@@ -1,0 +1,230 @@
+(* The full reproduction harness.
+
+   Part 1 regenerates every figure and experiment table of the paper
+   (see DESIGN.md section 3 for the index and EXPERIMENTS.md for the
+   recorded results).
+
+   Part 2 runs Bechamel microbenchmarks of the core operations — one
+   Test.make per operation — so substrate performance regressions are
+   visible. *)
+
+module Scenario = Evolve.Scenario
+module E = Evolve.Experiments
+module Internet = Topology.Internet
+module Forward = Simcore.Forward
+module Service = Anycast.Service
+module Fabric = Vnbone.Fabric
+module Router = Vnbone.Router
+module Transport = Vnbone.Transport
+module Lpm = Netcore.Lpm
+module Prefix = Netcore.Prefix
+module Ipv4 = Netcore.Ipv4
+module Spt = Routing.Spt
+module Bgp = Interdomain.Bgp
+
+let section title =
+  print_newline ();
+  print_endline ("==== " ^ title ^ " ====");
+  print_newline ()
+
+let figures () =
+  section "Paper figures (scenario replays)";
+  print_endline "Figure 1: seamless spread of deployment";
+  Format.printf "%a@." Scenario.pp_fig1 (Scenario.fig1 ());
+  print_endline "Figure 2: Option 2 anycast with default routes";
+  Format.printf "%a@." Scenario.pp_fig2 (Scenario.fig2 ());
+  print_endline "Figure 3: egress selection with BGPv(N-1) import";
+  Format.printf "%a@." Scenario.pp_fig3 (Scenario.fig3 ());
+  print_endline "Figure 4: advertising-by-proxy";
+  Format.printf "%a@." Scenario.pp_fig4 (Scenario.fig4 ())
+
+let experiments () =
+  section "Experiments (E1-E28)";
+  E.print_e1 (E.e1_deployment_sweep ());
+  E.print_e2 (E.e2_default_route_sweep ());
+  E.print_e3 (E.e3_egress_comparison ());
+  E.print_e4 (E.e3_egress_comparison ~deploy_fraction:0.15 ~pairs:80 ());
+  E.print_e5 (E.e5_state_scaling ());
+  E.print_e6 (E.e6_adoption ());
+  E.print_e7 (E.e7_robustness ());
+  E.print_e8 (E.e8_convergence ());
+  E.print_e9 (E.e9_host_advertised ());
+  E.print_e10 (E.e10_discovery_ablation ());
+  E.print_e11 (E.e11_congruence ());
+  E.print_e12 (E.e12_gia_sweep ());
+  E.print_e13 (E.e13_seed_stability ());
+  E.print_e14 (E.e14_proxy_alpha ());
+  E.print_e15 (E.e15_viability_sweep ());
+  E.print_e16 (E.e16_revenue_gravity ());
+  E.print_e17 (E.e17_bgpvn_scaling ());
+  E.print_e18 (E.e18_flooding_cost ());
+  E.print_e19 (E.e19_mrai_sweep ());
+  E.print_e20 (E.e20_anycast_resilience ());
+  E.print_e21 (E.e21_size_scaling ());
+  E.print_e22 (E.e22_fib_scaling ());
+  E.print_e23 (E.e23_topology_robustness ());
+  E.print_e24 (E.e24_flow_stability ());
+  E.print_e25 (E.e25_coalition_sweep ());
+  E.print_e26 (E.e26_encapsulation_overhead ());
+  E.print_e27 (E.e27_mixed_igp ());
+  E.print_e28 (E.e28_path_hunting ())
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                     *)
+
+open Bechamel
+open Toolkit
+
+let bench_lpm_lookup () =
+  let rng = Topology.Rng.create 1L in
+  let table =
+    Lpm.of_list
+      (List.init 1000 (fun i ->
+           ( Prefix.make
+               (Ipv4.of_int (Topology.Rng.int rng 0x3FFFFFFF * 4))
+               (8 + Topology.Rng.int rng 17),
+             i )))
+  in
+  let probes = Array.init 64 (fun _ -> Ipv4.of_int (Topology.Rng.int rng 0xFFFFFFF)) in
+  let i = ref 0 in
+  Test.make ~name:"lpm-lookup (1k prefixes)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Lpm.lookup probes.(!i land 63) table)))
+
+let bench_dijkstra () =
+  let inet = Internet.build Internet.default_params in
+  let i = ref 0 in
+  let n = Internet.num_routers inet in
+  Test.make ~name:"dijkstra (full router graph)"
+    (Staged.stage (fun () ->
+         i := (!i + 37) mod n;
+         ignore (Spt.dijkstra inet.Internet.graph ~src:!i)))
+
+let bench_bgp_convergence () =
+  let inet = Internet.build Internet.default_params in
+  Test.make ~name:"bgp full convergence (28 domains)"
+    (Staged.stage (fun () ->
+         let bgp = Bgp.create inet in
+         Bgp.originate_all_domain_prefixes bgp;
+         ignore (Bgp.converge bgp)))
+
+let anycast_fixture =
+  lazy
+    (let inet = Internet.build Internet.default_params in
+     let env = Forward.make_env inet in
+     let service = Service.deploy env ~version:8 ~strategy:Service.Option1 in
+     List.iter
+       (fun d ->
+         Service.add_participant service ~domain:d
+           ~routers:(Array.to_list (Internet.domain inet d).Internet.router_ids))
+       [ 5; 9; 14 ];
+     service)
+
+let bench_anycast_resolution () =
+  let service = Lazy.force anycast_fixture in
+  let inet = (Service.env service).Forward.inet in
+  let hn = Array.length inet.Internet.endhosts in
+  let i = ref 0 in
+  Test.make ~name:"anycast resolution (endhost probe)"
+    (Staged.stage (fun () ->
+         i := (!i + 7) mod hn;
+         ignore (Service.resolve_from_endhost service ~endhost:!i)))
+
+let bench_fabric_build () =
+  let service = Lazy.force anycast_fixture in
+  Test.make ~name:"vn-bone construction (3 domains)"
+    (Staged.stage (fun () -> ignore (Fabric.build service)))
+
+let bench_journey () =
+  let service = Lazy.force anycast_fixture in
+  let router = Router.create (Fabric.build service) in
+  let inet = (Service.env service).Forward.inet in
+  let hn = Array.length inet.Internet.endhosts in
+  let i = ref 0 in
+  Test.make ~name:"end-to-end IPvN journey"
+    (Staged.stage (fun () ->
+         i := (!i + 11) mod (hn - 1);
+         ignore
+           (Transport.send router ~strategy:Router.Bgp_aware ~src:!i ~dst:(!i + 1)
+              ~payload:"bench")))
+
+let bench_internet_build () =
+  Test.make ~name:"internet generation (28 domains)"
+    (Staged.stage (fun () -> ignore (Internet.build Internet.default_params)))
+
+let bench_bgpvn () =
+  let service = Lazy.force anycast_fixture in
+  let fabric = Fabric.build service in
+  Test.make ~name:"bgpvn convergence (3 domains)"
+    (Staged.stage (fun () ->
+         let s = Vnbone.Bgpvn.create fabric in
+         ignore (Vnbone.Bgpvn.converge s)))
+
+let bench_lsa_flood () =
+  let inet = Internet.build Internet.default_params in
+  Test.make ~name:"lsa flood (domain of 12 routers)"
+    (Staged.stage (fun () ->
+         let proto = Simcore.Lsproto.create inet ~domain:0 in
+         let engine = Simcore.Engine.create () in
+         Simcore.Lsproto.start proto engine;
+         ignore (Simcore.Engine.run engine)))
+
+let bench_bgp_async_boot () =
+  let inet = Internet.build Internet.default_params in
+  Test.make ~name:"async bgp bootstrap (28 domains)"
+    (Staged.stage (fun () ->
+         let dyn = Simcore.Bgpdyn.create inet in
+         let engine = Simcore.Engine.create () in
+         Simcore.Bgpdyn.originate_all_domain_prefixes dyn engine;
+         ignore (Simcore.Engine.run engine)))
+
+let run_benchmarks () =
+  section "Microbenchmarks (Bechamel)";
+  let tests =
+    [
+      bench_lpm_lookup ();
+      bench_dijkstra ();
+      bench_bgp_convergence ();
+      bench_anycast_resolution ();
+      bench_fabric_build ();
+      bench_journey ();
+      bench_internet_build ();
+      bench_bgpvn ();
+      bench_lsa_flood ();
+      bench_bgp_async_boot ();
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (x :: _) -> x
+              | _ -> nan
+            in
+            (name, ns) :: acc)
+          analyzed []
+        |> List.rev)
+      tests
+  in
+  Evolve.Table.print ~title:"core operation costs"
+    ~header:[ "operation"; "ns/run" ]
+    ~rows:
+      (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows)
+
+let () =
+  figures ();
+  experiments ();
+  run_benchmarks ()

@@ -1,0 +1,258 @@
+(* evolvenet: command-line front end for the scenarios and experiments.
+
+   `evolvenet fig 1`     — replay a paper figure
+   `evolvenet exp e3`    — run one experiment table
+   `evolvenet all`       — run everything (what bench/main.exe also does)
+   `evolvenet demo`      — narrated end-to-end quickstart *)
+
+open Cmdliner
+
+let run_fig n =
+  match n with
+  | 1 -> Format.printf "%a" Evolve.Scenario.pp_fig1 (Evolve.Scenario.fig1 ())
+  | 2 -> Format.printf "%a" Evolve.Scenario.pp_fig2 (Evolve.Scenario.fig2 ())
+  | 3 -> Format.printf "%a" Evolve.Scenario.pp_fig3 (Evolve.Scenario.fig3 ())
+  | 4 -> Format.printf "%a" Evolve.Scenario.pp_fig4 (Evolve.Scenario.fig4 ())
+  | _ -> prerr_endline "no such figure (1-4)"
+
+let params_of ~seed ~transit ~stubs =
+  let base = Topology.Internet.default_params in
+  {
+    base with
+    Topology.Internet.seed = Int64.of_int seed;
+    transit_domains = transit;
+    stubs_per_transit = stubs;
+  }
+
+let run_exp name seed transit stubs =
+  let module E = Evolve.Experiments in
+  let params = params_of ~seed ~transit ~stubs in
+  match String.lowercase_ascii name with
+  | "e1" -> E.print_e1 (E.e1_deployment_sweep ~params ())
+  | "e2" -> E.print_e2 (E.e2_default_route_sweep ~params ())
+  | "e3" -> E.print_e3 (E.e3_egress_comparison ~params ())
+  | "e4" ->
+      E.print_e4 (E.e3_egress_comparison ~params ~deploy_fraction:0.15 ~pairs:80 ())
+  | "e5" -> E.print_e5 (E.e5_state_scaling ~params ())
+  | "e6" -> E.print_e6 (E.e6_adoption ())
+  | "e7" -> E.print_e7 (E.e7_robustness ~params ())
+  | "e8" -> E.print_e8 (E.e8_convergence ~seed:(Int64.of_int seed) ())
+  | "e9" -> E.print_e9 (E.e9_host_advertised ~params ())
+  | "e10" -> E.print_e10 (E.e10_discovery_ablation ~params ())
+  | "e11" -> E.print_e11 (E.e11_congruence ~params ())
+  | "e12" -> E.print_e12 (E.e12_gia_sweep ~params ())
+  | "e13" -> E.print_e13 (E.e13_seed_stability ())
+  | "e14" -> E.print_e14 (E.e14_proxy_alpha ~params ())
+  | "e15" -> E.print_e15 (E.e15_viability_sweep ())
+  | "e16" -> E.print_e16 (E.e16_revenue_gravity ~params ())
+  | "e17" -> E.print_e17 (E.e17_bgpvn_scaling ~params ())
+  | "e18" -> E.print_e18 (E.e18_flooding_cost ~seed:(Int64.of_int seed) ())
+  | "e19" -> E.print_e19 (E.e19_mrai_sweep ~params ())
+  | "e20" -> E.print_e20 (E.e20_anycast_resilience ~params ())
+  | "e21" -> E.print_e21 (E.e21_size_scaling ())
+  | "e22" -> E.print_e22 (E.e22_fib_scaling ~params ())
+  | "e23" -> E.print_e23 (E.e23_topology_robustness ())
+  | "e24" -> E.print_e24 (E.e24_flow_stability ~params ())
+  | "e25" -> E.print_e25 (E.e25_coalition_sweep ())
+  | "e26" -> E.print_e26 (E.e26_encapsulation_overhead ~params ())
+  | "e27" -> E.print_e27 (E.e27_mixed_igp ~params ())
+  | "e28" -> E.print_e28 (E.e28_path_hunting ~params ())
+  | other -> Printf.eprintf "no such experiment: %s (e1-e28)\n" other
+
+let default_seed = Int64.to_int Topology.Internet.default_params.Topology.Internet.seed
+let default_transit = Topology.Internet.default_params.Topology.Internet.transit_domains
+let default_stubs = Topology.Internet.default_params.Topology.Internet.stubs_per_transit
+
+let run_all () =
+  List.iter run_fig [ 1; 2; 3; 4 ];
+  List.iter
+    (fun e -> run_exp e default_seed default_transit default_stubs)
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28" ]
+
+let run_demo () =
+  let module Setup = Evolve.Setup in
+  let module Service = Anycast.Service in
+  let module Transport = Vnbone.Transport in
+  print_endline "Building a random transit-stub internet...";
+  let setup =
+    Setup.create ~version:8 ~strategy:Anycast.Service.Option1 ()
+  in
+  let inet = Setup.internet setup in
+  Printf.printf "  %d domains, %d routers, %d endhosts\n"
+    (Topology.Internet.num_domains inet)
+    (Topology.Internet.num_routers inet)
+    (Array.length inet.Topology.Internet.endhosts);
+  print_endline "Deploying IPv8 in two stub domains...";
+  Setup.deploy setup ~domain:5;
+  Setup.deploy setup ~domain:9;
+  let service = Setup.service setup in
+  Printf.printf "  participants: %s; %d IPv8 routers\n"
+    (String.concat ", "
+       (List.map string_of_int (Service.participants service)))
+    (List.length (Service.members service));
+  print_endline "Sending an IPv8 packet between endhosts 0 and 50...";
+  let j = Setup.send setup ~strategy:Vnbone.Router.Bgp_aware ~src:0 ~dst:50 () in
+  Printf.printf "  delivered: %b; hops: %d (of which %d on the vN-Bone)\n"
+    (Transport.delivered j) (Transport.total_hops j) (Transport.vn_hops j)
+
+let run_dot what =
+  let setup =
+    Evolve.Setup.create ~version:8 ~strategy:Anycast.Service.Option1 ()
+  in
+  List.iter (fun d -> Evolve.Setup.deploy setup ~domain:d) [ 5; 9; 14 ];
+  match String.lowercase_ascii what with
+  | "domains" -> print_string (Evolve.Dot.domain_graph (Evolve.Setup.internet setup))
+  | "routers" -> print_string (Evolve.Dot.router_graph (Evolve.Setup.internet setup))
+  | "fabric" -> print_string (Evolve.Dot.fabric (Evolve.Setup.fabric setup))
+  | other -> Printf.eprintf "no such graph: %s (domains|routers|fabric)\n" other
+
+let parse_strategy s =
+  match String.lowercase_ascii s with
+  | "option1" -> Ok Anycast.Service.Option1
+  | "option2" -> Ok (Anycast.Service.Option2 { default_domain = 0 })
+  | s when String.length s > 4 && String.sub s 0 4 = "gia:" -> (
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some r when r >= 0 ->
+          Ok (Anycast.Service.Gia { home_domain = 0; radius = r })
+      | _ -> Error "GIA radius must be a non-negative integer")
+  | _ -> Error "strategy must be option1, option2 or gia:<radius>"
+
+let parse_egress s =
+  match String.lowercase_ascii s with
+  | "early" -> Ok Vnbone.Router.Exit_early
+  | "aware" -> Ok Vnbone.Router.Bgp_aware
+  | "proxy" -> Ok Vnbone.Router.Proxy
+  | "host" -> Ok Vnbone.Router.Host_advertised
+  | _ -> Error "egress must be early, aware, proxy or host"
+
+let run_sim strategy_s deploy_s src dst egress_s seed verbose =
+  match (parse_strategy strategy_s, parse_egress egress_s) with
+  | Error e, _ | _, Error e -> prerr_endline e
+  | Ok strategy, Ok egress -> (
+      let params =
+        { Topology.Internet.default_params with
+          Topology.Internet.seed = Int64.of_int seed }
+      in
+      let setup = Evolve.Setup.create ~params ~version:8 ~strategy () in
+      let inet = Evolve.Setup.internet setup in
+      let domains =
+        String.split_on_char ',' deploy_s
+        |> List.filter_map int_of_string_opt
+        |> List.filter (fun d -> d >= 0 && d < Topology.Internet.num_domains inet)
+      in
+      (match domains with
+      | [] -> prerr_endline "no valid domains to deploy"
+      | _ -> List.iter (fun d -> Evolve.Setup.deploy setup ~domain:d) domains);
+      let hn = Array.length inet.Topology.Internet.endhosts in
+      if src < 0 || src >= hn || dst < 0 || dst >= hn || src = dst then
+        Printf.eprintf "endhosts must be distinct ids in [0, %d)\n" hn
+      else begin
+        (* register the destination when the host-advertised strategy
+           is requested, as the paper's scheme requires *)
+        (if egress = Vnbone.Router.Host_advertised then
+           ignore
+             (Vnbone.Router.register_endhost (Evolve.Setup.router setup)
+                ~endhost:dst));
+        let j = Evolve.Setup.send setup ~strategy:egress ~src ~dst () in
+        let module T = Vnbone.Transport in
+        Printf.printf "strategy %s, deployed domains %s\n" strategy_s deploy_s;
+        Printf.printf "endhost %d (domain %d) -> endhost %d (domain %d)\n" src
+          (Topology.Internet.endhost inet src).Topology.Internet.hdomain dst
+          (Topology.Internet.endhost inet dst).Topology.Internet.hdomain;
+        Printf.printf "delivered: %b\n" (T.delivered j);
+        (match (j.T.ingress, j.T.egress) with
+        | Some i, Some e ->
+            Printf.printf "ingress router %d (domain %d); egress router %d (domain %d)\n"
+              i (Topology.Internet.router inet i).Topology.Internet.rdomain
+              e (Topology.Internet.router inet e).Topology.Internet.rdomain
+        | _ -> ());
+        Printf.printf "hops: %d total = %d access + %d vN-Bone + %d exit\n"
+          (T.total_hops j) (T.access_hops j) (T.vn_hops j) (T.exit_hops j);
+        if verbose then Format.printf "%a" (T.pp_journey inet) j
+      end)
+
+let sim_cmd =
+  let strategy =
+    Arg.(value & opt string "option1" & info [ "strategy" ] ~docv:"S"
+           ~doc:"Anycast strategy: option1, option2 or gia:<radius>.")
+  in
+  let deploy =
+    Arg.(value & opt string "5,9,14" & info [ "deploy" ] ~docv:"D,D,..."
+           ~doc:"Comma-separated domains that deploy IPv8.")
+  in
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"H") in
+  let dst = Arg.(value & opt int 50 & info [ "dst" ] ~docv:"H") in
+  let egress =
+    Arg.(value & opt string "aware" & info [ "egress" ] ~docv:"E"
+           ~doc:"Egress strategy: early, aware, proxy or host.")
+  in
+  let seed = Arg.(value & opt int default_seed & info [ "seed" ] ~docv:"SEED") in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the leg-by-leg trace.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Send one IPv8 journey through a custom deployment")
+    Term.(const run_sim $ strategy $ deploy $ src $ dst $ egress $ seed $ verbose)
+
+let fig_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  Cmd.v (Cmd.info "fig" ~doc:"Replay paper figure N (1-4)")
+    Term.(const run_fig $ n)
+
+let exp_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXP")
+  in
+  let seed =
+    Arg.(value & opt int default_seed & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Topology seed for experiments built on a random internet.")
+  in
+  let transit =
+    Arg.(value & opt int default_transit & info [ "transit" ] ~docv:"N"
+           ~doc:"Number of transit (tier-1) domains.")
+  in
+  let stubs =
+    Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
+           ~doc:"Stub domains per transit.")
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e28)")
+    Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
+
+let run_report path =
+  Evolve.Report.write ~path;
+  Printf.printf "wrote %s\n" path
+
+let report_cmd =
+  let path =
+    Arg.(value & opt string "RESULTS.md" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run every figure and experiment and write a markdown report")
+    Term.(const run_report $ path)
+
+let dot_cmd =
+  let what =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit a GraphViz graph (domains, routers, or fabric) on stdout")
+    Term.(const run_dot $ what)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every figure and experiment")
+    Term.(const run_all $ const ())
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Narrated end-to-end quickstart")
+    Term.(const run_demo $ const ())
+
+let () =
+  let info =
+    Cmd.info "evolvenet" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Towards an Evolvable Internet Architecture' \
+         (SIGCOMM 2005)"
+  in
+  exit (Cmd.eval (Cmd.group info [ fig_cmd; exp_cmd; all_cmd; demo_cmd; dot_cmd; report_cmd; sim_cmd ]))

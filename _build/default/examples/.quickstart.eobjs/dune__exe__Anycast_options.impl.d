@@ -1,0 +1,1 @@
+examples/anycast_options.ml: Anycast Evolve Fun Interdomain List Printf Simcore Topology

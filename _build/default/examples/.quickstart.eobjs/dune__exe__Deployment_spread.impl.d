@@ -1,0 +1,1 @@
+examples/deployment_spread.ml: Anycast Array Evolve Format Fun Printf Topology

@@ -1,0 +1,1 @@
+examples/live_evolution.ml: Anycast Evolve List Printf Simcore Topology

@@ -1,0 +1,1 @@
+examples/multicast_lesson.ml: Anycast Array Evolve Float List Printf String Vnbone

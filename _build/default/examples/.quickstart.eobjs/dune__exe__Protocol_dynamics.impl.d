@@ -1,0 +1,1 @@
+examples/protocol_dynamics.ml: Array List Netcore Printf Simcore Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anycast Array Evolve List Netcore Printf Topology Vnbone

@@ -1,0 +1,1 @@
+examples/vnbone_tour.ml: Anycast Array Evolve Format List Printf String Topology Vnbone

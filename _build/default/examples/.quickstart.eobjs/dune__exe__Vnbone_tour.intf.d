@@ -1,0 +1,1 @@
+examples/vnbone_tour.mli:

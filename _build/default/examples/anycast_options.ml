@@ -1,0 +1,59 @@
+(* The three inter-domain anycast designs, side by side on one
+   internet (§3.2 and the GIA discussion):
+
+   - Option 1: every participant originates a dedicated,
+     non-aggregatable /24 globally — best proximity, needs a policy
+     change at every ISP and one global route per IP generation.
+   - Option 2: the address lives in the default ISP's own space —
+     zero changes anywhere else, but the default ISP carries the load.
+   - GIA: home-domain rooting plus radius-limited advertisements —
+     the tunable middle.
+
+   Run with: dune exec examples/anycast_options.exe *)
+
+module Setup = Evolve.Setup
+module Service = Anycast.Service
+module Metrics = Anycast.Metrics
+module Internet = Topology.Internet
+module Bgp = Interdomain.Bgp
+
+let measure name strategy =
+  let setup = Setup.create ~version:8 ~strategy () in
+  let inet = Setup.internet setup in
+  (* the same participants every time: domain 0 (the default/home where
+     one is needed) plus three stubs *)
+  List.iter (fun d -> Setup.deploy setup ~domain:d) [ 0; 7; 13; 21 ];
+  let service = Setup.service setup in
+  let env = Setup.env setup in
+  let mean_rib =
+    let n = Internet.num_domains inet in
+    let total =
+      List.fold_left
+        (fun acc d -> acc + Bgp.rib_size env.Simcore.Forward.bgp ~domain:d)
+        0
+        (List.init n Fun.id)
+    in
+    float_of_int total /. float_of_int n
+  in
+  Printf.printf "%-22s delivery %5s   stretch %.2f   domain-0 share %5s   mean RIB %.2f\n"
+    name
+    (Printf.sprintf "%.0f%%" (100.0 *. Metrics.delivery_rate service))
+    (Metrics.mean_stretch service)
+    (Printf.sprintf "%.0f%%" (100.0 *. Metrics.termination_share service ~domain:0))
+    mean_rib
+
+let () =
+  print_endline
+    "four participants (domain 0 + three stubs), 28-domain internet:\n";
+  measure "option 1 (global)" Service.Option1;
+  measure "option 2 (default)" (Service.Option2 { default_domain = 0 });
+  List.iter
+    (fun r ->
+      measure
+        (Printf.sprintf "GIA (radius %d)" r)
+        (Service.Gia { home_domain = 0; radius = r }))
+    [ 0; 1; 2 ];
+  print_endline
+    "\nthe trade: option 2 concentrates load at domain 0 with baseline\n\
+     routing state; option 1 distributes it at +1 global route; GIA\n\
+     buys the distribution with state only within its radius."

@@ -1,0 +1,48 @@
+(* Quickstart: stand up an internet, deploy IPv8 in one ISP, and send
+   an IPv8 packet between two endhosts whose own ISPs know nothing
+   about IPv8 — the paper's universal-access property in ~30 lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Setup = Evolve.Setup
+module Service = Anycast.Service
+module Router = Vnbone.Router
+module Transport = Vnbone.Transport
+module Internet = Topology.Internet
+
+let () =
+  (* 1. a random multi-provider internet: 4 tier-1s, 24 stubs *)
+  let setup = Setup.create ~version:8 ~strategy:Service.Option1 () in
+  let inet = Setup.internet setup in
+  Printf.printf "internet: %d domains, %d routers, %d endhosts\n"
+    (Internet.num_domains inet)
+    (Internet.num_routers inet)
+    (Array.length inet.Internet.endhosts);
+
+  (* 2. a single ISP (domain 7) deploys IPv8 on all its routers *)
+  Setup.deploy setup ~domain:7;
+  Printf.printf "domain 7 deployed IPv8: %d IPv8 routers, anycast %s\n"
+    (List.length (Service.members (Setup.service setup)))
+    (Netcore.Ipv4.to_string (Service.address (Setup.service setup)));
+
+  (* 3. two endhosts in two OTHER domains talk IPv8 anyway *)
+  let src = 0 and dst = 60 in
+  Printf.printf "endhost %d (domain %d) -> endhost %d (domain %d)\n" src
+    (Internet.endhost inet src).Internet.hdomain dst
+    (Internet.endhost inet dst).Internet.hdomain;
+  let j = Setup.send setup ~strategy:Router.Bgp_aware ~src ~dst () in
+  Printf.printf "delivered: %b\n" (Transport.delivered j);
+  Printf.printf "  IPv8 source address:      %s\n"
+    (Netcore.Ipvn.to_string j.Transport.packet.Netcore.Packet.vsrc);
+  Printf.printf "  IPv8 destination address: %s\n"
+    (Netcore.Ipvn.to_string j.Transport.packet.Netcore.Packet.vdst);
+  (match (j.Transport.ingress, j.Transport.egress) with
+  | Some i, Some e ->
+      Printf.printf "  anycast ingress: router %d (domain %d)\n" i
+        (Internet.router inet i).Internet.rdomain;
+      Printf.printf "  vN-Bone egress:  router %d (domain %d)\n" e
+        (Internet.router inet e).Internet.rdomain
+  | _ -> ());
+  Printf.printf "  hops: %d total = %d access + %d vN-Bone + %d exit\n"
+    (Transport.total_hops j) (Transport.access_hops j) (Transport.vn_hops j)
+    (Transport.exit_hops j)

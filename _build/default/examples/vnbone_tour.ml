@@ -1,0 +1,80 @@
+(* A guided tour of the vN-Bone: construction, routing, and the three
+   egress-selection strategies of §3.3.2 (Figures 3 and 4).
+
+   Run with: dune exec examples/vnbone_tour.exe *)
+
+module Setup = Evolve.Setup
+module Service = Anycast.Service
+module Fabric = Vnbone.Fabric
+module Router = Vnbone.Router
+module Transport = Vnbone.Transport
+module Internet = Topology.Internet
+
+let kind_name = function
+  | `Intra -> "intra-domain"
+  | `Inter_policy -> "inter-domain (policy)"
+  | `Inter_bootstrap -> "inter-domain (anycast bootstrap)"
+  | `Manual -> "hand-configured"
+
+let () =
+  let setup = Setup.create ~version:8 ~strategy:Service.Option1 () in
+  let inet = Setup.internet setup in
+  List.iter (fun d -> Setup.deploy setup ~domain:d) [ 6; 11; 19 ];
+  let fabric = Setup.fabric setup in
+
+  print_endline "-- vN-Bone construction --";
+  Printf.printf "members: %d IPv8 routers across domains %s\n"
+    (Array.length (Fabric.members fabric))
+    (String.concat ", "
+       (List.map string_of_int (Service.participants (Setup.service setup))));
+  Printf.printf "connected: %b; anchored to domain %s\n"
+    (Fabric.is_connected fabric)
+    (match Fabric.anchor_domain fabric with
+    | Some d -> string_of_int d
+    | None -> "-");
+  let tunnels = Fabric.tunnels fabric in
+  let count k = List.length (List.filter (fun t -> t.Fabric.kind = k) tunnels) in
+  Printf.printf "tunnels: %d intra, %d policy, %d bootstrap\n\n" (count `Intra)
+    (count `Inter_policy) (count `Inter_bootstrap);
+  print_endline "inter-domain tunnels and their underlay cost:";
+  List.iter
+    (fun t ->
+      if t.Fabric.kind <> `Intra then
+        Printf.printf "  %d (dom %d) <-> %d (dom %d)  metric %.1f  [%s]\n"
+          t.Fabric.from_router
+          (Internet.router inet t.Fabric.from_router).Internet.rdomain
+          t.Fabric.to_router
+          (Internet.router inet t.Fabric.to_router).Internet.rdomain
+          t.Fabric.underlay_metric (kind_name t.Fabric.kind))
+    tunnels;
+
+  print_endline "\n-- egress selection strategies --";
+  (* source near one participant, destinations scattered over
+     non-IPv8 domains: the strategies pick different egresses when a
+     farther participant sits closer to the destination *)
+  let src = (Internet.domain inet 6).Internet.endhost_ids.(0) in
+  List.iter
+    (fun dst_domain ->
+      let dst = (Internet.domain inet dst_domain).Internet.endhost_ids.(0) in
+      Printf.printf "src endhost %d (IPv8 domain 6) -> endhost %d (non-IPv8 domain %d)\n"
+        src dst dst_domain;
+      Printf.printf "  %-20s %-10s %-10s %-10s %-10s\n" "strategy" "vN hops"
+        "exit hops" "total" "egress dom";
+      List.iter
+        (fun strategy ->
+          let j = Setup.send setup ~strategy ~src ~dst () in
+          Printf.printf "  %-20s %-10d %-10d %-10d %s\n"
+            (Router.strategy_to_string strategy)
+            (Transport.vn_hops j) (Transport.exit_hops j) (Transport.total_hops j)
+            (match j.Transport.egress with
+            | Some e -> string_of_int (Internet.router inet e).Internet.rdomain
+            | None -> "-"))
+        [ Router.Exit_early; Router.Bgp_aware; Router.Proxy ];
+      print_newline ())
+    [ 12; 18; 25 ];
+
+  print_endline "\n-- the paper's own figures --";
+  print_endline "Figure 3 (BGPv(N-1)-aware egress):";
+  Format.printf "%a@." Evolve.Scenario.pp_fig3 (Evolve.Scenario.fig3 ());
+  print_endline "Figure 4 (advertising-by-proxy):";
+  Format.printf "%a@." Evolve.Scenario.pp_fig4 (Evolve.Scenario.fig4 ())

@@ -1,0 +1,1 @@
+lib/anycast/metrics.ml: Array Float Fun List Netcore Service Simcore Topology

@@ -1,0 +1,1 @@
+lib/anycast/metrics.mli: Service Simcore

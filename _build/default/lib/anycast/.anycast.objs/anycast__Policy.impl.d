@@ -1,0 +1,1 @@
+lib/anycast/policy.ml: Hashtbl Interdomain List Netcore

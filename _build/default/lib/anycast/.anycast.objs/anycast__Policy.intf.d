@@ -1,0 +1,1 @@
+lib/anycast/policy.mli: Interdomain Netcore

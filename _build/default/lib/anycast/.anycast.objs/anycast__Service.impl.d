@@ -1,0 +1,1 @@
+lib/anycast/service.ml: Array Hashtbl Int Interdomain List Netcore Routing Simcore Topology

@@ -1,0 +1,1 @@
+lib/anycast/service.mli: Netcore Simcore

@@ -1,0 +1,82 @@
+module Internet = Topology.Internet
+module Forward = Simcore.Forward
+module Packet = Netcore.Packet
+module Ipv4 = Netcore.Ipv4
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) rank))
+
+let unicast_metric env ~endhost ~router =
+  let dst = (Internet.router env.Forward.inet router).raddr in
+  let probe = Packet.make_data ~src:Ipv4.any ~dst "metric-probe" in
+  let trace = Forward.send_from_endhost env probe ~endhost in
+  if Forward.delivered trace then Some (Forward.path_metric env trace) else None
+
+let best_member service ~endhost =
+  let env = Service.env service in
+  List.fold_left
+    (fun acc m ->
+      match unicast_metric env ~endhost ~router:m with
+      | None -> acc
+      | Some d -> (
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (m, d)))
+    None (Service.members service)
+
+let actual service ~endhost =
+  let env = Service.env service in
+  let trace = Service.resolve_from_endhost service ~endhost in
+  match trace.Forward.outcome with
+  | Forward.Router_accepted r -> Some (r, Forward.path_metric env trace)
+  | Forward.Endhost_accepted _ | Forward.Dropped _ -> None
+
+let stretch service ~endhost =
+  match actual service ~endhost with
+  | None -> None
+  | Some (_, got) -> (
+      match best_member service ~endhost with
+      | None -> None
+      | Some (_, best) ->
+          if best = 0.0 then Some 1.0 else Some (got /. best))
+
+let all_endhosts service =
+  let inet = (Service.env service).Forward.inet in
+  List.init (Array.length inet.Internet.endhosts) Fun.id
+
+let mean_stretch service =
+  all_endhosts service
+  |> List.filter_map (fun h -> stretch service ~endhost:h)
+  |> mean
+
+let delivery_rate service =
+  let hs = all_endhosts service in
+  let ok =
+    List.length (List.filter_map (fun h -> actual service ~endhost:h) hs)
+  in
+  float_of_int ok /. float_of_int (max 1 (List.length hs))
+
+let termination_share service ~domain =
+  let inet = (Service.env service).Forward.inet in
+  let delivered =
+    all_endhosts service |> List.filter_map (fun h -> actual service ~endhost:h)
+  in
+  match delivered with
+  | [] -> 0.0
+  | _ ->
+      let inside =
+        List.filter
+          (fun (m, _) -> (Internet.router inet m).rdomain = domain)
+          delivered
+      in
+      float_of_int (List.length inside) /. float_of_int (List.length delivered)

@@ -1,0 +1,44 @@
+(** Measurement helpers for anycast redirection quality.
+
+    "Stretch" compares the path an anycast packet actually takes with
+    the best path to {e any} group member reachable by ordinary unicast
+    forwarding — both measured on the policy-routed data plane, since
+    the paper's notion of "closest" is "the network's measure of
+    routing distance". *)
+
+val unicast_metric : Simcore.Forward.env -> endhost:int -> router:int -> float option
+(** Metric of the unicast path from an endhost to a router's address;
+    [None] when undeliverable. *)
+
+val best_member : Service.t -> endhost:int -> (int * float) option
+(** The member with the cheapest unicast path from the endhost, with
+    that metric. *)
+
+val actual : Service.t -> endhost:int -> (int * float) option
+(** The member the anycast service actually delivers to, with the
+    metric of the path taken. *)
+
+val stretch : Service.t -> endhost:int -> float option
+(** [actual / best]; 1.0 when both are zero (the access router is a
+    member); [None] when anycast delivery fails. *)
+
+val mean_stretch : Service.t -> float
+(** Mean stretch over all endhosts with successful delivery; [nan]
+    when none succeed. *)
+
+val delivery_rate : Service.t -> float
+(** Fraction of endhosts whose anycast probes get delivered. *)
+
+val termination_share : Service.t -> domain:int -> float
+(** Fraction of successfully delivered probes that terminate at a
+    member inside the given domain (the default-provider load of
+    Option 2, experiment E2). *)
+
+(** {1 Small statistics helpers} *)
+
+val mean : float list -> float
+(** [nan] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 1\]] (nearest-rank); [nan] on
+    the empty list. *)

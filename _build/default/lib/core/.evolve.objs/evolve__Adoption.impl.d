@@ -1,0 +1,1 @@
+lib/core/adoption.ml: Array Float Fun List Topology

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Anycast Array Buffer Fun List Printf Simcore Topology Vnbone

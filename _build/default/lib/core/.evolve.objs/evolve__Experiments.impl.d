@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Adoption Anycast Array Float Fun Hashtbl Int64 Interdomain List Netcore Option Printf Queue Revenue Routing Setup Simcore Stats String Sys Table Topology Traffic Vnbone

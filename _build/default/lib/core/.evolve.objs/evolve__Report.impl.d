@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Experiments Format Fun List Scenario Stats String Table

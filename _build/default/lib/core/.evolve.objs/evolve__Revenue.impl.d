@@ -1,0 +1,1 @@
+lib/core/revenue.ml: Anycast Array List Simcore Topology Vnbone

@@ -1,0 +1,1 @@
+lib/core/revenue.mli: Topology Vnbone

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Anycast Array Format List Setup Simcore String Topology Vnbone

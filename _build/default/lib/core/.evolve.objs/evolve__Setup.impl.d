@@ -1,0 +1,1 @@
+lib/core/setup.ml: Anycast Array Simcore Topology Vnbone

@@ -1,0 +1,1 @@
+lib/core/setup.mli: Anycast Simcore Topology Vnbone

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Array Float List Topology

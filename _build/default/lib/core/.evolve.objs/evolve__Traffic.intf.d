@@ -1,0 +1,1 @@
+lib/core/traffic.mli: Topology

@@ -1,0 +1,124 @@
+module Rng = Topology.Rng
+
+type params = {
+  num_isps : int;
+  num_apps : int;
+  universal_access : bool;
+  app_hazard : float;
+  app_viability_threshold : float;
+  isp_hazard : float;
+  revenue_weight : float;
+  demand_threshold : float;
+  early_adopters : int;
+  market : [ `Equal | `Zipf of float ];
+  steps : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    num_isps = 40;
+    num_apps = 60;
+    universal_access = true;
+    app_hazard = 0.25;
+    app_viability_threshold = 0.3;
+    isp_hazard = 0.30;
+    revenue_weight = 0.5;
+    demand_threshold = 0.02;
+    early_adopters = 1;
+    market = `Zipf 1.0;
+    steps = 150;
+    seed = 2005L;
+  }
+
+type point = {
+  step : int;
+  isp_fraction : float;
+  app_fraction : float;
+  reachable_users : float;
+  deployer_user_share : float;
+}
+
+let market_shares p =
+  match p.market with
+  | `Equal -> Array.make p.num_isps (1.0 /. float_of_int p.num_isps)
+  | `Zipf s ->
+      let raw =
+        Array.init p.num_isps (fun i ->
+            1.0 /. Float.pow (float_of_int (i + 1)) s)
+      in
+      let total = Array.fold_left ( +. ) 0.0 raw in
+      Array.map (fun x -> x /. total) raw
+
+let run p =
+  if p.num_isps <= 0 || p.num_apps <= 0 then
+    invalid_arg "Adoption.run: empty population";
+  let rng = Rng.create p.seed in
+  let share = market_shares p in
+  let deployed = Array.make p.num_isps false in
+  for i = 0 to min p.early_adopters p.num_isps - 1 do
+    deployed.(i) <- true
+  done;
+  let apps = Array.make p.num_apps false in
+  let observe step =
+    let deployer_user_share =
+      Array.to_list share
+      |> List.mapi (fun i s -> if deployed.(i) then s else 0.0)
+      |> List.fold_left ( +. ) 0.0
+    in
+    let any_deployed = Array.exists Fun.id deployed in
+    let reachable_users =
+      if p.universal_access then (if any_deployed then 1.0 else 0.0)
+      else deployer_user_share
+    in
+    let count a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a in
+    {
+      step;
+      isp_fraction = float_of_int (count deployed) /. float_of_int p.num_isps;
+      app_fraction = float_of_int (count apps) /. float_of_int p.num_apps;
+      reachable_users;
+      deployer_user_share;
+    }
+  in
+  let points = ref [ observe 0 ] in
+  for step = 1 to p.steps do
+    let prev = List.hd !points in
+    (* developers adopt in proportion to the users an IPvN app could
+       serve, and not at all below the viability floor *)
+    let app_rate =
+      if prev.reachable_users < p.app_viability_threshold then 0.0
+      else p.app_hazard *. prev.reachable_users
+    in
+    for a = 0 to p.num_apps - 1 do
+      if (not apps.(a)) && Rng.bernoulli rng app_rate then apps.(a) <- true
+    done;
+    (* ISPs adopt when application availability makes demand real;
+       the revenue term (A4) rewards attracting other ISPs' IPvN
+       traffic, which only flows under universal access *)
+    let attraction =
+      if p.universal_access then
+        p.revenue_weight *. (1.0 -. prev.deployer_user_share)
+      else 0.0
+    in
+    for i = 0 to p.num_isps - 1 do
+      if (not deployed.(i)) && prev.app_fraction > p.demand_threshold then begin
+        let demand = prev.app_fraction *. prev.reachable_users in
+        let hazard = p.isp_hazard *. demand *. (1.0 +. attraction) in
+        if Rng.bernoulli rng hazard then deployed.(i) <- true
+      end
+    done;
+    points := observe step :: !points
+  done;
+  List.rev !points
+
+let final = function
+  | [] -> invalid_arg "Adoption.final: empty run"
+  | points -> List.nth points (List.length points - 1)
+
+let tipped ?(threshold = 0.9) points =
+  List.exists (fun pt -> pt.isp_fraction >= threshold) points
+
+let time_to_tip ?(threshold = 0.9) points =
+  List.find_map
+    (fun pt -> if pt.isp_fraction >= threshold then Some pt.step else None)
+    points

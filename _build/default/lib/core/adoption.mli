@@ -1,0 +1,64 @@
+(** Adoption dynamics: the virtuous cycle vs the chicken-and-egg.
+
+    The paper argues (§2.1) that universal access converts deployment
+    into a positive feedback loop — "a virtuous cycle between
+    application demand and service demand" — while its absence
+    reproduces IP Multicast's failure: application developers would not
+    target a service reachable only by one ISP's customers, so ISPs saw
+    no demand.
+
+    The model: discrete time; each ISP holds a market share of the user
+    population; applications become IPvN-aware with a hazard
+    proportional to the {e reachable} user fraction; ISPs deploy with a
+    hazard proportional to application availability times addressable
+    demand (plus a revenue-attraction term for traffic pulled from
+    non-deployers, assumption A4). Universal access determines the
+    reachable fraction: with UA every user can reach IPvN as soon as a
+    single ISP deploys; without UA only the deployers' own customers
+    can. *)
+
+type params = {
+  num_isps : int;
+  num_apps : int;
+  universal_access : bool;
+  app_hazard : float;  (** per-step adoption eagerness of developers *)
+  app_viability_threshold : float;
+      (** developers ignore IPvN until the reachable user fraction
+          crosses this floor — the paper's "content providers were
+          reluctant to develop multicast applications that could only
+          service a fraction of Internet users" *)
+  isp_hazard : float;  (** per-step adoption eagerness of ISPs *)
+  revenue_weight : float;
+      (** strength of the traffic-attraction incentive (A4): deployers
+          earn from non-deployers' users only under universal access *)
+  demand_threshold : float;
+      (** an ISP only considers deploying once the app fraction exceeds
+          this floor — deployment has real costs *)
+  early_adopters : int;  (** ISPs deploying at t=0 regardless *)
+  market : [ `Equal | `Zipf of float ];  (** user share across ISPs *)
+  steps : int;
+  seed : int64;
+}
+
+val default_params : params
+(** 40 ISPs, 60 apps, 1 early adopter, Zipf(1.0) market, 150 steps. *)
+
+type point = {
+  step : int;
+  isp_fraction : float;  (** fraction of ISPs that have deployed *)
+  app_fraction : float;  (** fraction of IPvN-aware applications *)
+  reachable_users : float;  (** fraction of users able to use IPvN *)
+  deployer_user_share : float;  (** users whose own ISP deployed *)
+}
+
+val run : params -> point list
+(** Simulate; the list has [steps + 1] points (including t=0). *)
+
+val final : point list -> point
+(** Last point. @raise Invalid_argument on []. *)
+
+val tipped : ?threshold:float -> point list -> bool
+(** Whether ISP adoption crossed [threshold] (default 0.9) by the end. *)
+
+val time_to_tip : ?threshold:float -> point list -> int option
+(** First step at which ISP adoption crossed the threshold. *)

@@ -1,0 +1,86 @@
+module Internet = Topology.Internet
+module Graph = Topology.Graph
+module Relationship = Topology.Relationship
+module Fabric = Vnbone.Fabric
+module Service = Anycast.Service
+module Forward = Simcore.Forward
+
+let buf_graph f =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "graph G {\n";
+  f buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let domain_graph (inet : Internet.t) =
+  buf_graph (fun buf ->
+      Buffer.add_string buf "  layout=neato;\n  overlap=false;\n";
+      Array.iter
+        (fun (d : Internet.domain) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  d%d [label=\"AS%d\"%s];\n" d.Internet.did
+               d.Internet.did
+               (if d.Internet.is_transit then " shape=box style=filled fillcolor=lightgray"
+                else "")))
+        inet.Internet.domains;
+      List.iter
+        (fun (l : Internet.interlink) ->
+          let style =
+            match l.Internet.rel with
+            | Relationship.Peer -> "style=dashed label=\"peer\""
+            | Relationship.Provider -> "label=\"c2p\""
+            | Relationship.Customer -> "label=\"p2c\""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  d%d -- d%d [%s];\n" l.Internet.a_domain
+               l.Internet.b_domain style))
+        inet.Internet.interlinks)
+
+let router_clusters buf (inet : Internet.t) highlight =
+  Array.iter
+    (fun (d : Internet.domain) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_d%d {\n    label=\"AS%d\";\n"
+           d.Internet.did d.Internet.did);
+      Array.iter
+        (fun rid ->
+          let extra =
+            if highlight rid then " style=filled fillcolor=gold" else ""
+          in
+          Buffer.add_string buf (Printf.sprintf "    r%d [label=\"%d\"%s];\n" rid rid extra))
+        d.Internet.router_ids;
+      Buffer.add_string buf "  }\n")
+    inet.Internet.domains;
+  List.iter
+    (fun (u, v, _) -> Buffer.add_string buf (Printf.sprintf "  r%d -- r%d;\n" u v))
+    (Graph.edges inet.Internet.graph)
+
+let router_graph (inet : Internet.t) =
+  buf_graph (fun buf -> router_clusters buf inet (fun _ -> false))
+
+let fabric f =
+  let service = Fabric.service f in
+  let inet = (Service.env service).Forward.inet in
+  let members = Service.members service in
+  buf_graph (fun buf ->
+      router_clusters buf inet (fun rid -> List.mem rid members);
+      List.iter
+        (fun (t : Fabric.tunnel) ->
+          let style =
+            match t.Fabric.kind with
+            | `Intra -> "color=blue penwidth=2"
+            | `Inter_policy -> "color=red penwidth=2"
+            | `Inter_bootstrap -> "color=red penwidth=2 style=dashed"
+            | `Manual -> "color=darkgreen penwidth=2 style=dotted"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  r%d -- r%d [%s label=\"%.0f\"];\n"
+               t.Fabric.from_router t.Fabric.to_router style
+               t.Fabric.underlay_metric))
+        (Fabric.tunnels f))
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,23 @@
+(** GraphViz (DOT) export of internets and vN-Bones.
+
+    Handy for inspecting generated topologies and deployments:
+
+    {v
+    dune exec bin/evolvenet.exe -- dot internet > net.dot
+    dot -Tsvg net.dot -o net.svg
+    v} *)
+
+val domain_graph : Topology.Internet.t -> string
+(** One node per domain (transit domains boxed), edges labelled with
+    the business relationship seen from the lower-numbered side. *)
+
+val router_graph : Topology.Internet.t -> string
+(** The full router-level graph, routers clustered by domain. *)
+
+val fabric : Vnbone.Fabric.t -> string
+(** The router-level graph with the deployment overlaid: IPvN routers
+    and vN-Bone tunnels highlighted, tunnel styles by provenance
+    (intra / policy / bootstrap). *)
+
+val write_file : path:string -> string -> unit
+(** Write a rendered graph to disk. *)

@@ -1,0 +1,1985 @@
+module Internet = Topology.Internet
+module Rng = Topology.Rng
+module Forward = Simcore.Forward
+module Service = Anycast.Service
+module Metrics = Anycast.Metrics
+module Bgp = Interdomain.Bgp
+module Fabric = Vnbone.Fabric
+module Router = Vnbone.Router
+module Transport = Vnbone.Transport
+module Linkstate = Routing.Linkstate
+module Distvec = Routing.Distvec
+module Prefix = Netcore.Prefix
+module Addressing = Netcore.Addressing
+
+let all_endhosts (inet : Internet.t) =
+  List.init (Array.length inet.Internet.endhosts) Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* E1                                                                  *)
+
+type e1_row = {
+  fraction : float;
+  deployed_domains : int;
+  mean_stretch : float;
+  p95_stretch : float;
+  delivery_rate : float;
+}
+
+let e1_deployment_sweep ?(params = Internet.default_params)
+    ?(fractions = [ 0.05; 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let num = Internet.num_domains inet in
+  let order =
+    let rng = Rng.create (Int64.add params.Internet.seed 99L) in
+    let a = Array.init num Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let deployed = ref 0 in
+  let service = Setup.service setup in
+  List.map
+    (fun fraction ->
+      let target = max 1 (int_of_float (ceil (fraction *. float_of_int num))) in
+      while !deployed < target && !deployed < num do
+        Setup.deploy setup ~domain:order.(!deployed);
+        incr deployed
+      done;
+      let stretches =
+        all_endhosts inet
+        |> List.filter_map (fun h -> Metrics.stretch service ~endhost:h)
+      in
+      {
+        fraction;
+        deployed_domains = !deployed;
+        mean_stretch = Metrics.mean stretches;
+        p95_stretch = Metrics.percentile 0.95 stretches;
+        delivery_rate = Metrics.delivery_rate service;
+      })
+    fractions
+
+let print_e1 rows =
+  Table.print ~title:"E1: anycast stretch vs deployment fraction (Option 1)"
+    ~header:[ "fraction"; "domains"; "mean stretch"; "p95 stretch"; "delivery" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.fraction;
+             Table.fi r.deployed_domains;
+             Table.ff r.mean_stretch;
+             Table.ff r.p95_stretch;
+             Table.fpct r.delivery_rate;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E2                                                                  *)
+
+type e2_row = {
+  label : string;
+  advertisers : int;
+  default_share : float;
+  mean_stretch2 : float;
+  delivery2 : float;
+}
+
+let stub_domains (inet : Internet.t) =
+  Array.to_list inet.Internet.domains
+  |> List.filter (fun d -> not d.Internet.is_transit)
+  |> List.map (fun d -> d.Internet.did)
+
+let e2_default_route_sweep ?(params = Internet.default_params)
+    ?(participants = 5) () =
+  let inet = Internet.build params in
+  (* the default provider is a transit domain; other participants are
+     stubs spread over the internet *)
+  let default_domain = 0 in
+  let rng = Rng.create (Int64.add params.Internet.seed 7L) in
+  let others = Rng.sample rng (participants - 1) (stub_domains inet) in
+  let deploy_all setup =
+    Setup.deploy setup ~domain:default_domain;
+    List.iter (fun d -> Setup.deploy setup ~domain:d) others
+  in
+  let measure label advertisers service =
+    {
+      label;
+      advertisers;
+      default_share = Metrics.termination_share service ~domain:default_domain;
+      mean_stretch2 = Metrics.mean_stretch service;
+      delivery2 = Metrics.delivery_rate service;
+    }
+  in
+  (* Option 2 with a growing number of advertising participants *)
+  let setup2 =
+    Setup.of_internet inet ~version:8
+      ~strategy:(Service.Option2 { default_domain })
+  in
+  deploy_all setup2;
+  let service2 = Setup.service setup2 in
+  let advertise_from d =
+    List.iter
+      (fun (nb, _) ->
+        if not (Service.is_participant service2 ~domain:nb) then
+          Service.advertise_to_neighbor service2 ~from_:d ~to_:nb)
+      (Internet.neighbor_domains inet d)
+  in
+  let rows = ref [ measure "option2" 0 service2 ] in
+  List.iteri
+    (fun i d ->
+      advertise_from d;
+      rows := measure "option2" (i + 1) service2 :: !rows)
+    others;
+  (* Option 1 reference: same participants, global routes *)
+  let inet1 = Internet.build params in
+  let setup1 = Setup.of_internet inet1 ~version:8 ~strategy:Service.Option1 in
+  deploy_all setup1;
+  let ref_row =
+    measure "option1 (reference)" 0 (Setup.service setup1)
+  in
+  List.rev (ref_row :: !rows)
+
+let print_e2 rows =
+  Table.print
+    ~title:"E2: Option 2 default routes, effect of peering advertisements"
+    ~header:
+      [ "scheme"; "advertisers"; "default share"; "mean stretch"; "delivery" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.label;
+             Table.fi r.advertisers;
+             Table.fpct r.default_share;
+             Table.ff r.mean_stretch2;
+             Table.fpct r.delivery2;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E3 / E4                                                             *)
+
+type strategy_row = {
+  strategy_name : string;
+  mean_vn_fraction : float;
+  mean_vn_hops : float;
+  mean_exposure_hops : float;
+  mean_total_hops : float;
+  journey_delivery : float;
+}
+
+let e3_egress_comparison ?(params = Internet.default_params)
+    ?(deploy_fraction = 0.3) ?(pairs = 120) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let num = Internet.num_domains inet in
+  let rng = Rng.create (Int64.add params.Internet.seed 13L) in
+  let order =
+    let a = Array.init num Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let deploy_count =
+    max 1 (int_of_float (ceil (deploy_fraction *. float_of_int num)))
+  in
+  for i = 0 to deploy_count - 1 do
+    Setup.deploy setup ~domain:order.(i)
+  done;
+  let service = Setup.service setup in
+  (* pairs whose destination domain has NOT deployed *)
+  let hosts = Array.of_list (all_endhosts inet) in
+  let non_vn h =
+    not
+      (Service.is_participant service
+         ~domain:(Internet.endhost inet h).Internet.hdomain)
+  in
+  let sample_pairs =
+    List.init pairs (fun _ ->
+        let src = Rng.pick_array rng hosts in
+        let rec dst () =
+          let d = Rng.pick_array rng hosts in
+          if d <> src && non_vn d then d else dst ()
+        in
+        (src, dst ()))
+  in
+  let vrouter = Setup.router setup in
+  let run strategy =
+    let journeys =
+      List.map
+        (fun (src, dst) ->
+          Transport.send vrouter ~strategy ~src ~dst ~payload:"e3")
+        sample_pairs
+    in
+    let ok = List.filter Transport.delivered journeys in
+    let meanf f = Metrics.mean (List.map f ok) in
+    {
+      strategy_name = Router.strategy_to_string strategy;
+      mean_vn_fraction = meanf Transport.vn_fraction;
+      mean_vn_hops = meanf (fun j -> float_of_int (Transport.vn_hops j));
+      mean_exposure_hops =
+        meanf (fun j ->
+            float_of_int (Transport.access_hops j + Transport.exit_hops j));
+      mean_total_hops = meanf (fun j -> float_of_int (Transport.total_hops j));
+      journey_delivery =
+        float_of_int (List.length ok) /. float_of_int (max 1 (List.length journeys));
+    }
+  in
+  [ run Router.Exit_early; run Router.Bgp_aware; run Router.Proxy ]
+
+let print_strategy_rows title rows =
+  Table.print ~title
+    ~header:
+      [ "strategy"; "vN fraction"; "vN hops"; "exposure"; "total hops"; "delivery" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.strategy_name;
+             Table.ff r.mean_vn_fraction;
+             Table.ff r.mean_vn_hops;
+             Table.ff r.mean_exposure_hops;
+             Table.ff r.mean_total_hops;
+             Table.fpct r.journey_delivery;
+           ])
+         rows)
+
+let print_e3 rows =
+  print_strategy_rows "E3: egress selection (Fig 3 generalized)" rows
+
+let print_e4 rows =
+  print_strategy_rows "E4: advertising-by-proxy (Fig 4 generalized)" rows
+
+(* ------------------------------------------------------------------ *)
+(* E5                                                                  *)
+
+type e5_row = {
+  generations : int;
+  opt1_mean_rib : float;
+  opt1_max_rib : int;
+  opt2_mean_rib : float;
+  opt2_max_rib : int;
+  baseline_rib : int;
+}
+
+let rib_stats env =
+  let inet = env.Forward.inet in
+  let sizes =
+    List.init (Internet.num_domains inet) (fun d ->
+        Bgp.rib_size env.Forward.bgp ~domain:d)
+  in
+  ( Metrics.mean (List.map float_of_int sizes),
+    List.fold_left max 0 sizes )
+
+let e5_state_scaling ?(params = Internet.default_params) ?(max_generations = 6)
+    ?(domains_per_generation = 3) () =
+  let build_env () =
+    let inet = Internet.build params in
+    Forward.make_env inet
+  in
+  let env1 = build_env () and env2 = build_env () in
+  let baseline = Internet.num_domains env1.Forward.inet in
+  let rng = Rng.create (Int64.add params.Internet.seed 17L) in
+  let stubs = stub_domains env1.Forward.inet in
+  let deploy_generation env strategy version =
+    let service = Service.deploy env ~version ~strategy in
+    let doms =
+      match strategy with
+      | Service.Option2 { default_domain } | Service.Gia { home_domain = default_domain; _ }
+        ->
+          default_domain
+          :: Rng.sample rng (domains_per_generation - 1) stubs
+      | Service.Option1 -> Rng.sample rng domains_per_generation stubs
+    in
+    List.iter
+      (fun d ->
+        let routers =
+          Array.to_list (Internet.domain env.Forward.inet d).Internet.router_ids
+        in
+        Service.add_participant service ~domain:d ~routers)
+      doms;
+    service
+  in
+  List.init max_generations (fun i ->
+      let version = i + 1 in
+      ignore (deploy_generation env1 Service.Option1 version);
+      ignore
+        (deploy_generation env2 (Service.Option2 { default_domain = 0 }) version);
+      let m1, x1 = rib_stats env1 and m2, x2 = rib_stats env2 in
+      {
+        generations = version;
+        opt1_mean_rib = m1;
+        opt1_max_rib = x1;
+        opt2_mean_rib = m2;
+        opt2_max_rib = x2;
+        baseline_rib = baseline;
+      })
+
+let print_e5 rows =
+  Table.print ~title:"E5: inter-domain routing state vs concurrent IPvN generations"
+    ~header:
+      [
+        "generations";
+        "opt1 mean RIB";
+        "opt1 max RIB";
+        "opt2 mean RIB";
+        "opt2 max RIB";
+        "baseline";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.generations;
+             Table.ff r.opt1_mean_rib;
+             Table.fi r.opt1_max_rib;
+             Table.ff r.opt2_mean_rib;
+             Table.fi r.opt2_max_rib;
+             Table.fi r.baseline_rib;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E6                                                                  *)
+
+type e6_row = {
+  scenario : string;
+  universal_access : bool;
+  final_isp_fraction : float;
+  final_app_fraction : float;
+  tip_step : int option;
+}
+
+let e6_adoption ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) ?(base = Adoption.default_params)
+    () =
+  let run_mean ua =
+    let finals =
+      List.map
+        (fun seed ->
+          let points =
+            Adoption.run { base with Adoption.universal_access = ua; seed }
+          in
+          (Adoption.final points, Adoption.time_to_tip points))
+        seeds
+    in
+    let mean f = Metrics.mean (List.map f finals) in
+    let tips = List.filter_map snd finals in
+    {
+      scenario =
+        (if ua then "universal access" else "ISP-gated access (multicast)");
+      universal_access = ua;
+      final_isp_fraction = mean (fun (p, _) -> p.Adoption.isp_fraction);
+      final_app_fraction = mean (fun (p, _) -> p.Adoption.app_fraction);
+      tip_step =
+        (match tips with
+        | [] -> None
+        | _ ->
+            Some
+              (int_of_float
+                 (Metrics.mean (List.map float_of_int tips))));
+    }
+  in
+  [ run_mean true; run_mean false ]
+
+let print_e6 rows =
+  Table.print ~title:"E6: adoption dynamics (virtuous cycle vs chicken-and-egg)"
+    ~header:[ "scenario"; "final ISP adoption"; "final app adoption"; "tip step" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.scenario;
+             Table.fpct r.final_isp_fraction;
+             Table.fpct r.final_app_fraction;
+             (match r.tip_step with Some s -> Table.fi s | None -> "never");
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E7                                                                  *)
+
+type e7_row = {
+  failure_fraction : float;
+  survive_k1 : float;
+  survive_k2 : float;
+  survive_k3 : float;
+  mean_repair_tunnels : float;
+  trials : int;
+}
+
+(* connectivity of the subgraph induced by the surviving members *)
+let survivors_connected fabric dead =
+  let g = Fabric.graph fabric in
+  let n = Topology.Graph.n g in
+  let alive v = not (Hashtbl.mem dead v) in
+  let start = ref (-1) in
+  for v = n - 1 downto 0 do
+    if alive v then start := v
+  done;
+  if !start < 0 then true
+  else begin
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(!start) <- true;
+    Queue.add !start q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Topology.Graph.iter_neighbors g u (fun v _ ->
+          if alive v && not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v q
+          end)
+    done;
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if alive v && not seen.(v) then ok := false
+    done;
+    !ok
+  end
+
+let e7_robustness ?(params = Internet.default_params) ?(deploy_domains = 8)
+    ?(trials = 20) ?(failure_fractions = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let rng = Rng.create (Int64.add params.Internet.seed 29L) in
+  let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+  List.iter (fun d -> Setup.deploy ~fraction:1.0 setup ~domain:d) doms;
+  let service = Setup.service setup in
+  let fabrics = List.map (fun k -> (k, Fabric.build ~k service)) [ 1; 2; 3 ] in
+  let members = Array.of_list (Service.members service) in
+  let fabric2 = List.assoc 2 fabrics in
+  let base_tunnels = List.length (Fabric.tunnels fabric2) in
+  List.map
+    (fun failure_fraction ->
+      let kill_count =
+        int_of_float (failure_fraction *. float_of_int (Array.length members))
+      in
+      let survive = Hashtbl.create 3 in
+      let repair_total = ref 0.0 in
+      for _ = 1 to trials do
+        let victims = Rng.sample rng kill_count (Array.to_list members) in
+        (* static survivability per k *)
+        List.iter
+          (fun (k, fabric) ->
+            let dead = Hashtbl.create 16 in
+            List.iter
+              (fun r ->
+                match Fabric.index_of fabric r with
+                | Some n -> Hashtbl.replace dead n ()
+                | None -> ())
+              victims;
+            if survivors_connected fabric dead then
+              Hashtbl.replace survive k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt survive k)))
+          fabrics;
+        (* repair cost: rebuild (k = 2) over the survivors *)
+        List.iter (fun r -> Service.remove_member service ~router:r) victims;
+        let rebuilt = Fabric.build ~k:2 service in
+        let lost =
+          List.length
+            (List.filter
+               (fun tn ->
+                 List.mem tn.Fabric.from_router victims
+                 || List.mem tn.Fabric.to_router victims)
+               (Fabric.tunnels fabric2))
+        in
+        let now = List.length (Fabric.tunnels rebuilt) in
+        repair_total :=
+          !repair_total +. float_of_int (max 0 (now - (base_tunnels - lost)));
+        List.iter (fun r -> Service.add_member service ~router:r) victims
+      done;
+      let rate k =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt survive k))
+        /. float_of_int trials
+      in
+      {
+        failure_fraction;
+        survive_k1 = rate 1;
+        survive_k2 = rate 2;
+        survive_k3 = rate 3;
+        mean_repair_tunnels = !repair_total /. float_of_int trials;
+        trials;
+      })
+    failure_fractions
+
+let print_e7 rows =
+  Table.print ~title:"E7: vN-Bone survivability under member failures"
+    ~header:
+      [
+        "failure fraction";
+        "survives (k=1)";
+        "survives (k=2)";
+        "survives (k=3)";
+        "repair tunnels";
+        "trials";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.failure_fraction;
+             Table.fpct r.survive_k1;
+             Table.fpct r.survive_k2;
+             Table.fpct r.survive_k3;
+             Table.ff r.mean_repair_tunnels;
+             Table.fi r.trials;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E8                                                                  *)
+
+type e8_row = {
+  domain_routers : int;
+  ls_mean_rounds : float;
+  dv_join_rounds : float;
+  dv_leave_rounds : float;
+}
+
+let e8_convergence ?(sizes = [ 8; 16; 32; 64 ]) ?(seed = 5L) () =
+  List.map
+    (fun n ->
+      let inet =
+        Internet.build_custom ~seed
+          [| { Internet.routers = n; endhosts = 1; transit = true } |]
+          []
+      in
+      let group = Addressing.anycast_global ~group:8 in
+      let ls = Linkstate.compute inet ~domain:0 in
+      let dv = Distvec.create inet ~domain:0 in
+      ignore (Distvec.converge dv) (* warm up unicast vectors *);
+      let rng = Rng.create (Int64.add seed (Int64.of_int n)) in
+      let routers = Array.to_list (Internet.domain inet 0).Internet.router_ids in
+      let first = Rng.pick rng routers in
+      Linkstate.advertise_anycast ls ~group ~member:first;
+      Distvec.advertise_anycast dv ~group ~member:first;
+      ignore (Distvec.converge dv);
+      (* a second member joins at the far side of the domain (the
+         worst case for update propagation), then leaves *)
+      let joiner =
+        List.fold_left
+          (fun best r ->
+            if r = first then best
+            else
+              let d = Linkstate.distance ls ~src:first ~dst:r in
+              match best with
+              | Some (_, bd) when bd >= d -> best
+              | _ -> Some (r, d))
+          None routers
+        |> Option.get |> fst
+      in
+      let ls_rounds = Linkstate.flood_rounds ls ~origin:joiner in
+      Linkstate.advertise_anycast ls ~group ~member:joiner;
+      Distvec.advertise_anycast dv ~group ~member:joiner;
+      let dv_join = Distvec.converge dv in
+      Linkstate.withdraw_anycast ls ~group ~member:joiner;
+      Distvec.withdraw_anycast dv ~group ~member:joiner;
+      let dv_leave = Distvec.converge dv in
+      {
+        domain_routers = n;
+        ls_mean_rounds = float_of_int ls_rounds;
+        dv_join_rounds = float_of_int dv_join;
+        dv_leave_rounds = float_of_int dv_leave;
+      })
+    sizes
+
+let print_e8 rows =
+  Table.print ~title:"E8: anycast convergence, link-state vs distance-vector"
+    ~header:[ "routers"; "LS flood rounds"; "DV join rounds"; "DV leave rounds" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.domain_routers;
+             Table.ff r.ls_mean_rounds;
+             Table.ff r.dv_join_rounds;
+             Table.ff r.dv_leave_rounds;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E9                                                                  *)
+
+type e9_row = {
+  member_failure : float;
+  host_adv_delivery : float;
+  proxy_delivery : float;
+  host_adv_exposure : float;
+  proxy_exposure : float;
+}
+
+let e9_host_advertised ?(params = Internet.default_params)
+    ?(deploy_fraction = 0.3) ?(pairs = 80)
+    ?(failures = [ 0.0; 0.1; 0.25; 0.5 ]) () =
+  List.map
+    (fun member_failure ->
+      (* a fresh world per failure level so stale registrations do not
+         leak between rows *)
+      let inet = Internet.build params in
+      let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+      let rng = Rng.create (Int64.add params.Internet.seed 31L) in
+      let num = Internet.num_domains inet in
+      let order =
+        let a = Array.init num Fun.id in
+        Rng.shuffle rng a;
+        a
+      in
+      let deploy_count =
+        max 1 (int_of_float (ceil (deploy_fraction *. float_of_int num)))
+      in
+      for i = 0 to deploy_count - 1 do
+        Setup.deploy setup ~domain:order.(i)
+      done;
+      let service = Setup.service setup in
+      let vrouter = Setup.router setup in
+      let hosts = Array.of_list (all_endhosts inet) in
+      let sample_pairs =
+        List.init pairs (fun _ ->
+            let src = Rng.pick_array rng hosts in
+            let rec dst () =
+              let d = Rng.pick_array rng hosts in
+              if d <> src then d else dst ()
+            in
+            (src, dst ()))
+      in
+      (* every destination registers while the deployment is intact *)
+      List.iter
+        (fun (_, dst) -> ignore (Router.register_endhost vrouter ~endhost:dst))
+        sample_pairs;
+      (* then a fraction of the members fail; nobody re-registers *)
+      let members = Array.of_list (Service.members service) in
+      let kill =
+        Rng.sample rng
+          (int_of_float (member_failure *. float_of_int (Array.length members)))
+          (Array.to_list members)
+      in
+      List.iter (fun r -> Service.remove_member service ~router:r) kill;
+      let run strategy =
+        let journeys =
+          List.map
+            (fun (src, dst) ->
+              Transport.send vrouter ~strategy ~src ~dst ~payload:"e9")
+            sample_pairs
+        in
+        let ok = List.filter Transport.delivered journeys in
+        let delivery =
+          float_of_int (List.length ok)
+          /. float_of_int (max 1 (List.length journeys))
+        in
+        let exposure =
+          Metrics.mean
+            (List.map
+               (fun j ->
+                 float_of_int (Transport.access_hops j + Transport.exit_hops j))
+               ok)
+        in
+        (delivery, exposure)
+      in
+      let ha_del, ha_exp = run Router.Host_advertised in
+      let px_del, px_exp = run Router.Proxy in
+      {
+        member_failure;
+        host_adv_delivery = ha_del;
+        proxy_delivery = px_del;
+        host_adv_exposure = ha_exp;
+        proxy_exposure = px_exp;
+      })
+    failures
+
+let print_e9 rows =
+  Table.print ~title:"E9: host-advertised routes vs proxy under member failures"
+    ~header:
+      [
+        "member failure";
+        "host-adv delivery";
+        "proxy delivery";
+        "host-adv exposure";
+        "proxy exposure";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.member_failure;
+             Table.fpct r.host_adv_delivery;
+             Table.fpct r.proxy_delivery;
+             Table.ff r.host_adv_exposure;
+             Table.ff r.proxy_exposure;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E10                                                                 *)
+
+type e10_row = {
+  discovery_name : string;
+  intra_tunnels : int;
+  vn_stretch : float;
+  connected10 : bool;
+}
+
+let e10_discovery_ablation ?(params = Internet.default_params)
+    ?(deploy_domains = 4) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let rng = Rng.create (Int64.add params.Internet.seed 41L) in
+  let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+  List.iter (fun d -> Setup.deploy setup ~domain:d) doms;
+  let service = Setup.service setup in
+  let measure name fabric =
+    {
+      discovery_name = name;
+      intra_tunnels =
+        List.length
+          (List.filter (fun t -> t.Fabric.kind = `Intra) (Fabric.tunnels fabric));
+      vn_stretch = Fabric.mean_vn_stretch fabric;
+      connected10 = Fabric.is_connected fabric;
+    }
+  in
+  [
+    measure "LSDB k=1" (Fabric.build ~k:1 service);
+    measure "LSDB k=2" (Fabric.build ~k:2 service);
+    measure "LSDB k=3" (Fabric.build ~k:3 service);
+    measure "anycast walk (DV)"
+      (Fabric.build ~discovery:Fabric.Anycast_walk service);
+  ]
+
+let print_e10 rows =
+  Table.print
+    ~title:"E10: member discovery ablation (LSDB k-closest vs DV anycast walk)"
+    ~header:[ "discovery"; "intra tunnels"; "vN stretch"; "connected" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.discovery_name;
+             Table.fi r.intra_tunnels;
+             Table.ff r.vn_stretch;
+             Table.fb r.connected10;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E11                                                                 *)
+
+type e11_row = {
+  deploy_fraction11 : float;
+  members11 : int;
+  vn_stretch11 : float;
+  inter_tunnels11 : int;
+}
+
+let e11_congruence ?(params = Internet.default_params)
+    ?(fractions = [ 0.1; 0.25; 0.5; 0.75; 1.0 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let num = Internet.num_domains inet in
+  let order =
+    let rng = Rng.create (Int64.add params.Internet.seed 43L) in
+    let a = Array.init num Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let deployed = ref 0 in
+  List.map
+    (fun fraction ->
+      let target = max 2 (int_of_float (ceil (fraction *. float_of_int num))) in
+      while !deployed < target && !deployed < num do
+        Setup.deploy setup ~domain:order.(!deployed);
+        incr deployed
+      done;
+      let fabric = Setup.fabric setup in
+      {
+        deploy_fraction11 = fraction;
+        members11 = Array.length (Fabric.members fabric);
+        vn_stretch11 = Fabric.mean_vn_stretch fabric;
+        inter_tunnels11 =
+          List.length
+            (List.filter
+               (fun t -> t.Fabric.kind <> `Intra)
+               (Fabric.tunnels fabric));
+      })
+    fractions
+
+let print_e11 rows =
+  Table.print ~title:"E11: vN-Bone congruence with the physical topology"
+    ~header:[ "deploy fraction"; "members"; "vN stretch"; "inter tunnels" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.deploy_fraction11;
+             Table.fi r.members11;
+             Table.ff r.vn_stretch11;
+             Table.fi r.inter_tunnels11;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E12                                                                 *)
+
+type e12_row = {
+  scheme12 : string;
+  gia_radius : int option;
+  home_share : float;
+  mean_stretch12 : float;
+  delivery12 : float;
+  mean_rib12 : float;
+}
+
+let e12_gia_sweep ?(params = Internet.default_params) ?(participants = 5)
+    ?(radii = [ 0; 1; 2; 3 ]) () =
+  let home = 0 in
+  let rng0 = Rng.create (Int64.add params.Internet.seed 53L) in
+  let others =
+    Rng.sample rng0 (participants - 1) (stub_domains (Internet.build params))
+  in
+  let run scheme12 gia_radius strategy =
+    let inet = Internet.build params in
+    let setup = Setup.of_internet inet ~version:8 ~strategy in
+    Setup.deploy setup ~domain:home;
+    List.iter (fun d -> Setup.deploy setup ~domain:d) others;
+    let service = Setup.service setup in
+    let env = Setup.env setup in
+    let rib_mean =
+      Metrics.mean
+        (List.init (Internet.num_domains inet) (fun d ->
+             float_of_int (Bgp.rib_size env.Forward.bgp ~domain:d)))
+    in
+    {
+      scheme12;
+      gia_radius;
+      home_share = Metrics.termination_share service ~domain:home;
+      mean_stretch12 = Metrics.mean_stretch service;
+      delivery12 = Metrics.delivery_rate service;
+      mean_rib12 = rib_mean;
+    }
+  in
+  let gia_rows =
+    List.map
+      (fun r ->
+        run (Printf.sprintf "GIA r=%d" r) (Some r)
+          (Service.Gia { home_domain = home; radius = r }))
+      radii
+  in
+  gia_rows
+  @ [
+      run "option2 (no adverts)" None (Service.Option2 { default_domain = home });
+      run "option1 (global)" None Service.Option1;
+    ]
+
+let print_e12 rows =
+  Table.print
+    ~title:"E12: GIA search radius, between Option 2 (r=0) and Option 1"
+    ~header:
+      [ "scheme"; "home share"; "mean stretch"; "delivery"; "mean RIB" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.scheme12;
+             Table.fpct r.home_share;
+             Table.ff r.mean_stretch12;
+             Table.fpct r.delivery12;
+             Table.ff r.mean_rib12;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E13                                                                 *)
+
+type e13_row = {
+  strategy13 : string;
+  vn_fraction_ci : Stats.summary;
+  exposure_ci : Stats.summary;
+  delivery_ci : Stats.summary;
+  seeds13 : int;
+}
+
+let e13_seed_stability ?(seeds = [ 101L; 202L; 303L; 404L; 505L ])
+    ?(deploy_fraction = 0.3) ?(pairs = 60) () =
+  let per_seed =
+    List.map
+      (fun seed ->
+        let params = { Internet.default_params with Internet.seed = seed } in
+        e3_egress_comparison ~params ~deploy_fraction ~pairs ())
+      seeds
+  in
+  let names =
+    List.map (fun r -> r.strategy_name) (List.hd per_seed)
+  in
+  List.map
+    (fun name ->
+      let rows =
+        List.map
+          (fun run ->
+            List.find (fun r -> r.strategy_name = name) run)
+          per_seed
+      in
+      {
+        strategy13 = name;
+        vn_fraction_ci =
+          Stats.summarize (List.map (fun r -> r.mean_vn_fraction) rows);
+        exposure_ci =
+          Stats.summarize (List.map (fun r -> r.mean_exposure_hops) rows);
+        delivery_ci =
+          Stats.summarize (List.map (fun r -> r.journey_delivery) rows);
+        seeds13 = List.length seeds;
+      })
+    names
+
+let print_e13 rows =
+  Table.print
+    ~title:"E13: egress-strategy results across independent internets (95% CI)"
+    ~header:[ "strategy"; "vN fraction"; "exposure hops"; "delivery"; "seeds" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.strategy13;
+             Stats.to_string r.vn_fraction_ci;
+             Stats.to_string r.exposure_ci;
+             Stats.to_string r.delivery_ci;
+             Table.fi r.seeds13;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E14                                                                 *)
+
+type e14_row = {
+  alpha : float;
+  alpha_vn_fraction : float;
+  alpha_exposure : float;
+  alpha_total_hops : float;
+}
+
+let e14_proxy_alpha ?(params = Internet.default_params)
+    ?(deploy_fraction = 0.3) ?(pairs = 80)
+    ?(alphas = [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.5 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let num = Internet.num_domains inet in
+  let rng = Rng.create (Int64.add params.Internet.seed 61L) in
+  let order =
+    let a = Array.init num Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let deploy_count =
+    max 1 (int_of_float (ceil (deploy_fraction *. float_of_int num)))
+  in
+  for i = 0 to deploy_count - 1 do
+    Setup.deploy setup ~domain:order.(i)
+  done;
+  let service = Setup.service setup in
+  let fabric = Fabric.build service in
+  let hosts = Array.of_list (all_endhosts inet) in
+  let non_vn h =
+    not
+      (Service.is_participant service
+         ~domain:(Internet.endhost inet h).Internet.hdomain)
+  in
+  let sample_pairs =
+    List.init pairs (fun _ ->
+        let src = Rng.pick_array rng hosts in
+        let rec dst () =
+          let d = Rng.pick_array rng hosts in
+          if d <> src && non_vn d then d else dst ()
+        in
+        (src, dst ()))
+  in
+  List.map
+    (fun alpha ->
+      let vrouter = Router.create ~proxy_alpha:alpha fabric in
+      let journeys =
+        List.map
+          (fun (src, dst) ->
+            Transport.send vrouter ~strategy:Router.Proxy ~src ~dst ~payload:"e14")
+          sample_pairs
+      in
+      let ok = List.filter Transport.delivered journeys in
+      let meanf f = Metrics.mean (List.map f ok) in
+      {
+        alpha;
+        alpha_vn_fraction = meanf Transport.vn_fraction;
+        alpha_exposure =
+          meanf (fun j ->
+              float_of_int (Transport.access_hops j + Transport.exit_hops j));
+        alpha_total_hops = meanf (fun j -> float_of_int (Transport.total_hops j));
+      })
+    alphas
+
+let print_e14 rows =
+  Table.print
+    ~title:"E14: proxy-metric ablation — weight of a vN hop vs an AS hop"
+    ~header:[ "alpha"; "vN fraction"; "exposure hops"; "total hops" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.alpha;
+             Table.ff r.alpha_vn_fraction;
+             Table.ff r.alpha_exposure;
+             Table.ff r.alpha_total_hops;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E15                                                                 *)
+
+type e15_row = {
+  viability : float;  (** app developers' minimum viable user share *)
+  ua_final : float;
+  gated_final : float;
+}
+
+let e15_viability_sweep ?(seeds = [ 11L; 22L; 33L ])
+    ?(thresholds = [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.7 ]) () =
+  List.map
+    (fun viability ->
+      let final ua =
+        Metrics.mean
+          (List.map
+             (fun seed ->
+               let p =
+                 {
+                   Adoption.default_params with
+                   Adoption.universal_access = ua;
+                   app_viability_threshold = viability;
+                   seed;
+                 }
+               in
+               (Adoption.final (Adoption.run p)).Adoption.isp_fraction)
+             seeds)
+      in
+      { viability; ua_final = final true; gated_final = final false })
+    thresholds
+
+let print_e15 rows =
+  Table.print
+    ~title:
+      "E15: adoption vs app-viability threshold (where the chicken-and-egg bites)"
+    ~header:[ "viability floor"; "UA final adoption"; "gated final adoption" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.viability;
+             Table.fpct r.ua_final;
+             Table.fpct r.gated_final;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E16                                                                 *)
+
+type e16_row = {
+  picker : string;  (** which stubs deployed *)
+  pop_share : float;  (** deployers' share of the user population *)
+  traffic_share : float;  (** deployers' share of carried IPvN traffic *)
+  attraction_premium : float;  (** traffic share / population share *)
+}
+
+let e16_revenue_gravity ?(params = Internet.default_params) ?(deployers = 4)
+    ?(flows = 150) () =
+  let pick name sel =
+    let inet = Internet.build params in
+    let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+    let stubs = stub_domains inet in
+    let chosen = sel stubs in
+    List.iter (fun d -> Setup.deploy setup ~domain:d) chosen;
+    let traffic =
+      Traffic.create inet (Traffic.Gravity { zipf_s = 1.0 })
+        ~seed:(Int64.add params.Internet.seed 71L)
+    in
+    let pairs = Traffic.sample_flows traffic ~count:flows in
+    let report =
+      Revenue.traffic_report (Setup.router setup) ~strategy:Router.Bgp_aware
+        ~pairs
+    in
+    let total = Array.fold_left ( +. ) 0.0 report.Revenue.per_domain in
+    let deployer_load =
+      List.fold_left
+        (fun acc d -> acc +. report.Revenue.per_domain.(d))
+        0.0 chosen
+    in
+    let traffic_share = if total > 0.0 then deployer_load /. total else 0.0 in
+    let pop_share = Traffic.population_share traffic chosen in
+    {
+      picker = name;
+      pop_share;
+      traffic_share;
+      attraction_premium =
+        (if pop_share > 0.0 then traffic_share /. pop_share else nan);
+    }
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  [
+    pick "largest stubs" (fun stubs -> take deployers stubs);
+    pick "smallest stubs" (fun stubs -> take deployers (List.rev stubs));
+  ]
+
+let print_e16 rows =
+  Table.print
+    ~title:
+      "E16: traffic attraction under gravity workloads (assumption A4)"
+    ~header:
+      [ "deployers"; "population share"; "IPvN traffic share"; "premium" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.picker;
+             Table.fpct r.pop_share;
+             Table.fpct r.traffic_share;
+             Table.ff r.attraction_premium;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E17                                                                 *)
+
+type e17_row = {
+  vn_domains : int;
+  vn_members : int;
+  bgpvn_rounds : int;
+  mean_table : float;  (** per-member BGPvN routes (domain aggregates) *)
+}
+
+let e17_bgpvn_scaling ?(params = Internet.default_params)
+    ?(domain_counts = [ 2; 4; 8; 12 ]) () =
+  List.map
+    (fun count ->
+      let inet = Internet.build params in
+      let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+      let rng = Rng.create (Int64.add params.Internet.seed 83L) in
+      let doms = Rng.sample rng count (stub_domains inet) in
+      List.iter (fun d -> Setup.deploy ~fraction:0.5 setup ~domain:d) doms;
+      let fabric = Setup.fabric setup in
+      let speaker = Vnbone.Bgpvn.create fabric in
+      let rounds = Vnbone.Bgpvn.converge speaker in
+      let members = Vnbone.Fabric.members fabric in
+      let mean_table =
+        Metrics.mean
+          (Array.to_list
+             (Array.map
+                (fun m -> float_of_int (Vnbone.Bgpvn.table_size speaker ~at:m))
+                members))
+      in
+      {
+        vn_domains = count;
+        vn_members = Array.length members;
+        bgpvn_rounds = rounds;
+        mean_table;
+      })
+    domain_counts
+
+let print_e17 rows =
+  Table.print ~title:"E17: BGPvN convergence and per-member state"
+    ~header:[ "vN domains"; "members"; "rounds"; "mean table size" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.vn_domains;
+             Table.fi r.vn_members;
+             Table.fi r.bgpvn_rounds;
+             Table.ff r.mean_table;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E18                                                                 *)
+
+type e18_row = {
+  ls_routers : int;
+  sync_messages : int;  (** LSA transmissions for initial LSDB sync *)
+  update_messages : int;  (** for one anycast advertisement *)
+  update_latency : float;  (** engine time for the update to settle *)
+  eccentricity : int;  (** graph lower bound on the latency *)
+}
+
+let e18_flooding_cost ?(sizes = [ 8; 16; 32; 64 ]) ?(seed = 5L) () =
+  List.map
+    (fun n ->
+      let inet =
+        Internet.build_custom ~seed
+          [| { Internet.routers = n; endhosts = 1; transit = true } |]
+          []
+      in
+      let proto = Simcore.Lsproto.create inet ~domain:0 in
+      let engine = Simcore.Engine.create () in
+      Simcore.Lsproto.start proto engine;
+      ignore (Simcore.Engine.run engine);
+      let sync = (Simcore.Lsproto.stats proto).Simcore.Lsproto.messages in
+      let member = (Internet.domain inet 0).Internet.router_ids.(0) in
+      let t0 = Simcore.Engine.now engine in
+      Simcore.Lsproto.advertise_anycast proto engine ~router:member
+        (Addressing.anycast_global ~group:8);
+      ignore (Simcore.Engine.run engine);
+      let s = Simcore.Lsproto.stats proto in
+      {
+        ls_routers = n;
+        sync_messages = sync;
+        update_messages = s.Simcore.Lsproto.messages - sync;
+        update_latency = s.Simcore.Lsproto.last_change -. t0;
+        eccentricity =
+          Routing.Spt.eccentricity inet.Internet.graph ~src:member
+            ~allow:(fun _ -> true);
+      })
+    sizes
+
+let print_e18 rows =
+  Table.print ~title:"E18: message-level LSA flooding cost and latency"
+    ~header:
+      [ "routers"; "sync msgs"; "update msgs"; "update latency"; "eccentricity" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.ls_routers;
+             Table.fi r.sync_messages;
+             Table.fi r.update_messages;
+             Table.ff r.update_latency;
+             Table.fi r.eccentricity;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E19                                                                 *)
+
+type e19_row = {
+  mrai : float;
+  boot_updates : int;  (** update messages to converge all /16s *)
+  boot_time : float;
+  anycast_updates : int;  (** messages for one new anycast prefix *)
+  anycast_time : float;
+  churn : int;  (** transient best-route changes for the anycast prefix *)
+}
+
+let e19_mrai_sweep ?(params = Internet.default_params)
+    ?(mrais = [ 0.01; 0.5; 2.0; 5.0; 10.0 ]) () =
+  List.map
+    (fun mrai ->
+      let inet = Internet.build params in
+      let dyn = Simcore.Bgpdyn.create ~mrai ~jitter:3.0 inet in
+      let engine = Simcore.Engine.create () in
+      Simcore.Bgpdyn.originate_all_domain_prefixes dyn engine;
+      ignore (Simcore.Engine.run engine);
+      let boot = Simcore.Bgpdyn.stats dyn in
+      (* a participant now injects a new anycast prefix *)
+      let g = Addressing.anycast_global ~group:8 in
+      let t0 = Simcore.Engine.now engine in
+      Simcore.Bgpdyn.originate dyn engine ~domain:5 g;
+      ignore (Simcore.Engine.run engine);
+      let final = Simcore.Bgpdyn.stats dyn in
+      {
+        mrai;
+        boot_updates = boot.Simcore.Bgpdyn.updates;
+        boot_time = boot.Simcore.Bgpdyn.last_change;
+        anycast_updates = final.Simcore.Bgpdyn.updates - boot.Simcore.Bgpdyn.updates;
+        anycast_time = final.Simcore.Bgpdyn.last_change -. t0;
+        churn = final.Simcore.Bgpdyn.best_changes - boot.Simcore.Bgpdyn.best_changes;
+      })
+    mrais
+
+let print_e19 rows =
+  Table.print
+    ~title:"E19: asynchronous BGP — MRAI vs update load and convergence time"
+    ~header:
+      [
+        "MRAI";
+        "boot updates";
+        "boot time";
+        "anycast updates";
+        "anycast time";
+        "anycast churn";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.mrai;
+             Table.fi r.boot_updates;
+             Table.ff r.boot_time;
+             Table.fi r.anycast_updates;
+             Table.ff r.anycast_time;
+             Table.fi r.churn;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E20                                                                 *)
+
+type e20_row = {
+  dead_members : int;
+  anycast_delivery : float;  (** probes to the anycast address *)
+  unicast_delivery : float;  (** probes to one designated member's address *)
+}
+
+let e20_anycast_resilience ?(params = Internet.default_params)
+    ?(deploy_domains = 6) ?(kill_steps = [ 0; 2; 5; 10; 20 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let rng = Rng.create (Int64.add params.Internet.seed 91L) in
+  let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+  List.iter (fun d -> Setup.deploy setup ~domain:d) doms;
+  let service = Setup.service setup in
+  let env = Setup.env setup in
+  let members = Array.of_list (Service.members service) in
+  Rng.shuffle rng members;
+  (* the "unicast service" lives on one designated member *)
+  let designated = members.(0) in
+  let designated_addr = (Internet.router inet designated).Internet.raddr in
+  let hosts = all_endhosts inet in
+  let delivery_to dst =
+    let ok =
+      List.length
+        (List.filter
+           (fun h ->
+             let p = Netcore.Packet.make_data ~src:Netcore.Ipv4.any ~dst "r" in
+             Forward.delivered (Forward.send_from_endhost env p ~endhost:h))
+           hosts)
+    in
+    float_of_int ok /. float_of_int (List.length hosts)
+  in
+  let killed = ref 0 in
+  List.map
+    (fun dead_members ->
+      while !killed < dead_members && !killed < Array.length members do
+        Service.remove_member service ~router:members.(!killed);
+        incr killed
+      done;
+      {
+        dead_members = !killed;
+        anycast_delivery = delivery_to (Service.address service);
+        unicast_delivery =
+          (* the designated member is "down" once killed: a probe that
+             reaches its router no longer finds the service *)
+          (if Array.exists (fun m -> m = designated)
+                (Array.sub members 0 !killed)
+           then 0.0
+           else delivery_to designated_addr);
+      })
+    kill_steps
+
+let print_e20 rows =
+  Table.print
+    ~title:
+      "E20: service survival under member failures — anycast vs a single server"
+    ~header:[ "dead members"; "anycast delivery"; "single-server delivery" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.dead_members;
+             Table.fpct r.anycast_delivery;
+             Table.fpct r.unicast_delivery;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E21                                                                 *)
+
+type e21_row = {
+  domains21 : int;
+  routers21 : int;
+  bgp_rounds : int;
+  mean_stretch21 : float;
+  delivery21 : float;
+  build_seconds : float;
+}
+
+let e21_size_scaling ?(transit_counts = [ 2; 4; 8; 12; 16 ]) () =
+  List.map
+    (fun transit ->
+      let params =
+        {
+          Internet.default_params with
+          Internet.transit_domains = transit;
+          stubs_per_transit = 6;
+        }
+      in
+      let started = Sys.time () in
+      let inet = Internet.build params in
+      let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+      let bgp_rounds = Forward.reconverge (Setup.env setup) in
+      ignore bgp_rounds;
+      (* redo a clean convergence count on a fresh BGP for the metric *)
+      let bgp = Interdomain.Bgp.create inet in
+      Interdomain.Bgp.originate_all_domain_prefixes bgp;
+      let bgp_rounds = Interdomain.Bgp.converge bgp in
+      let rng = Rng.create 3L in
+      let doms =
+        Rng.sample rng (max 2 (Internet.num_domains inet / 7)) (stub_domains inet)
+      in
+      List.iter (fun d -> Setup.deploy setup ~domain:d) doms;
+      let service = Setup.service setup in
+      let elapsed = Sys.time () -. started in
+      {
+        domains21 = Internet.num_domains inet;
+        routers21 = Internet.num_routers inet;
+        bgp_rounds;
+        mean_stretch21 = Metrics.mean_stretch service;
+        delivery21 = Metrics.delivery_rate service;
+        build_seconds = elapsed;
+      })
+    transit_counts
+
+let print_e21 rows =
+  Table.print ~title:"E21: behaviour and cost vs internet size"
+    ~header:
+      [ "domains"; "routers"; "BGP rounds"; "mean stretch"; "delivery"; "seconds" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.domains21;
+             Table.fi r.routers21;
+             Table.fi r.bgp_rounds;
+             Table.ff r.mean_stretch21;
+             Table.fpct r.delivery21;
+             Table.ff r.build_seconds;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E22                                                                 *)
+
+type e22_row = {
+  generations22 : int;
+  opt1_mean_fib : float;
+  opt1_max_fib : int;
+  opt2_mean_fib : float;
+  opt2_max_fib : int;
+}
+
+let e22_fib_scaling ?(params = Internet.default_params) ?(max_generations = 5)
+    ?(domains_per_generation = 3) () =
+  let run_option strategy_of_version =
+    let inet = Internet.build params in
+    let env = Forward.make_env inet in
+    let rng = Rng.create (Int64.add params.Internet.seed 101L) in
+    let stubs = stub_domains inet in
+    List.init max_generations (fun i ->
+        let version = i + 1 in
+        let service = Service.deploy env ~version ~strategy:(strategy_of_version version) in
+        let doms =
+          match strategy_of_version version with
+          | Service.Option2 { default_domain } | Service.Gia { home_domain = default_domain; _ }
+            ->
+              default_domain :: Rng.sample rng (domains_per_generation - 1) stubs
+          | Service.Option1 -> Rng.sample rng domains_per_generation stubs
+        in
+        List.iter
+          (fun d ->
+            Service.add_participant service ~domain:d
+              ~routers:(Array.to_list (Internet.domain inet d).Internet.router_ids))
+          doms;
+        let fib = Simcore.Fib.compile env in
+        let sizes =
+          List.init (Internet.num_routers inet) (fun r ->
+              Simcore.Fib.size fib ~router:r)
+        in
+        ( Metrics.mean (List.map float_of_int sizes),
+          List.fold_left max 0 sizes ))
+  in
+  let opt1 = run_option (fun _ -> Service.Option1) in
+  let opt2 = run_option (fun _ -> Service.Option2 { default_domain = 0 }) in
+  List.mapi
+    (fun i ((m1, x1), (m2, x2)) ->
+      {
+        generations22 = i + 1;
+        opt1_mean_fib = m1;
+        opt1_max_fib = x1;
+        opt2_mean_fib = m2;
+        opt2_max_fib = x2;
+      })
+    (List.combine opt1 opt2)
+
+let print_e22 rows =
+  Table.print
+    ~title:"E22: compiled FIB size (data plane) vs concurrent IPvN generations"
+    ~header:
+      [ "generations"; "opt1 mean FIB"; "opt1 max FIB"; "opt2 mean FIB"; "opt2 max FIB" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.generations22;
+             Table.ff r.opt1_mean_fib;
+             Table.fi r.opt1_max_fib;
+             Table.ff r.opt2_mean_fib;
+             Table.fi r.opt2_max_fib;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E23                                                                 *)
+
+type e23_row = {
+  model : string;
+  domains23 : int;
+  delivery23 : float;  (** anycast delivery at ~20% deployment *)
+  stretch23 : float;
+  exposure_drop : float;
+      (** relative IPv(N-1)-exposure reduction of BGPv(N-1)-aware
+          egress vs exit-early *)
+}
+
+let e23_topology_robustness ?(pairs = 80) () =
+  let measure model inet =
+    let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+    let num = Internet.num_domains inet in
+    let rng = Rng.create 7L in
+    let order =
+      let a = Array.init num Fun.id in
+      Rng.shuffle rng a;
+      a
+    in
+    let count = max 2 (num / 5) in
+    for i = 0 to count - 1 do
+      Setup.deploy setup ~domain:order.(i)
+    done;
+    let service = Setup.service setup in
+    let vrouter = Setup.router setup in
+    let hosts = Array.of_list (all_endhosts inet) in
+    let sample_pairs =
+      List.init pairs (fun _ ->
+          let src = Rng.pick_array rng hosts in
+          let rec dst () =
+            let d = Rng.pick_array rng hosts in
+            if d <> src then d else dst ()
+          in
+          (src, dst ()))
+    in
+    let exposure strategy =
+      let ok =
+        List.filter_map
+          (fun (src, dst) ->
+            let j = Transport.send vrouter ~strategy ~src ~dst ~payload:"e23" in
+            if Transport.delivered j then
+              Some
+                (float_of_int (Transport.access_hops j + Transport.exit_hops j))
+            else None)
+          sample_pairs
+      in
+      Metrics.mean ok
+    in
+    let early = exposure Router.Exit_early in
+    let aware = exposure Router.Bgp_aware in
+    {
+      model;
+      domains23 = num;
+      delivery23 = Metrics.delivery_rate service;
+      stretch23 = Metrics.mean_stretch service;
+      exposure_drop = (early -. aware) /. early;
+    }
+  in
+  [
+    measure "transit-stub" (Internet.build Internet.default_params);
+    measure "transit-stub, weighted links"
+      (Internet.build
+         {
+           Internet.default_params with
+           Internet.link_weight = Internet.Uniform_weight (1.0, 10.0);
+         });
+    measure "preferential attachment"
+      (Internet.build_ba Internet.default_ba_params);
+  ]
+
+let print_e23 rows =
+  Table.print
+    ~title:"E23: robustness of the claims to the topology model (~20% deployed)"
+    ~header:[ "model"; "domains"; "delivery"; "mean stretch"; "exposure drop" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.model;
+             Table.fi r.domains23;
+             Table.fpct r.delivery23;
+             Table.ff r.stretch23;
+             Table.fpct r.exposure_drop;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E24                                                                 *)
+
+type e24_row = {
+  stage : int;  (** domains deployed so far *)
+  ingress_changed : float;
+      (** fraction of clients whose anycast ingress moved at this stage *)
+  cumulative_stability : float;
+      (** fraction of clients whose ingress never moved since stage 1 *)
+}
+
+let e24_flow_stability ?(params = Internet.default_params) ?(stages = 8) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let service = Setup.service setup in
+  let rng = Rng.create (Int64.add params.Internet.seed 111L) in
+  let order =
+    let a = Array.init (Internet.num_domains inet) Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let clients = all_endhosts inet in
+  let per_stage = max 1 (Internet.num_domains inet / stages) in
+  let previous = Hashtbl.create 32 in
+  let ever_moved = Hashtbl.create 32 in
+  let deployed = ref 0 in
+  List.filter_map
+    (fun stage ->
+      let target =
+        min (Internet.num_domains inet) ((stage + 1) * per_stage)
+      in
+      while !deployed < target do
+        Setup.deploy setup ~domain:order.(!deployed);
+        incr deployed
+      done;
+      let changed = ref 0 and observed = ref 0 in
+      List.iter
+        (fun h ->
+          match Metrics.actual service ~endhost:h with
+          | Some (ingress, _) ->
+              incr observed;
+              (match Hashtbl.find_opt previous h with
+              | Some old when old <> ingress ->
+                  incr changed;
+                  Hashtbl.replace ever_moved h ()
+              | _ -> ());
+              Hashtbl.replace previous h ingress
+          | None -> ())
+        clients;
+      if stage = 0 then None (* first observation: nothing to compare *)
+      else
+        Some
+          {
+            stage = !deployed;
+            ingress_changed =
+              float_of_int !changed /. float_of_int (max 1 !observed);
+            cumulative_stability =
+              1.0
+              -. float_of_int (Hashtbl.length ever_moved)
+                 /. float_of_int (max 1 !observed);
+          })
+    (List.init stages Fun.id)
+
+let print_e24 rows =
+  Table.print
+    ~title:
+      "E24: anycast flow stability during deployment churn (a known limitation)"
+    ~header:[ "domains deployed"; "ingress moved this stage"; "never moved" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.stage;
+             Table.fpct r.ingress_changed;
+             Table.fpct r.cumulative_stability;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E25                                                                 *)
+
+type e25_row = {
+  coalition : int;  (** ISPs deploying together at t=0 *)
+  coalition_share : float;  (** their combined market share *)
+  gated_final25 : float;
+  ua_final25 : float;
+}
+
+let e25_coalition_sweep ?(seeds = [ 1L; 2L; 3L ])
+    ?(coalitions = [ 1; 2; 3; 5; 8 ]) () =
+  List.map
+    (fun coalition ->
+      let base = { Adoption.default_params with Adoption.early_adopters = coalition } in
+      let final ua =
+        Metrics.mean
+          (List.map
+             (fun seed ->
+               (Adoption.final
+                  (Adoption.run
+                     { base with Adoption.universal_access = ua; seed }))
+                 .Adoption.isp_fraction)
+             seeds)
+      in
+      (* Zipf market share of the first [coalition] ISPs *)
+      let share =
+        let raw =
+          Array.init base.Adoption.num_isps (fun i ->
+              1.0 /. float_of_int (i + 1))
+        in
+        let total = Array.fold_left ( +. ) 0.0 raw in
+        let top = Array.sub raw 0 coalition in
+        Array.fold_left ( +. ) 0.0 top /. total
+      in
+      {
+        coalition;
+        coalition_share = share;
+        gated_final25 = final false;
+        ua_final25 = final true;
+      })
+    coalitions
+
+let print_e25 rows =
+  Table.print
+    ~title:
+      "E25: acting in concert — coalition size needed without universal access"
+    ~header:
+      [ "coalition"; "market share"; "gated final adoption"; "UA final adoption" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.coalition;
+             Table.fpct r.coalition_share;
+             Table.fpct r.gated_final25;
+             Table.fpct r.ua_final25;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E26                                                                 *)
+
+type e26_row = {
+  payload_bytes : int;
+  native_bytes : float;  (** mean bytes x hops for a plain IPv4 journey *)
+  evolved_bytes : float;  (** same flows, encapsulated via the vN path *)
+  byte_overhead : float;  (** evolved / native - 1 *)
+  header_share : float;  (** headers / total bytes on the evolved path *)
+}
+
+let e26_encapsulation_overhead ?(params = Internet.default_params)
+    ?(deploy_fraction = 0.3) ?(pairs = 60)
+    ?(payloads = [ 64; 512; 1400 ]) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let num = Internet.num_domains inet in
+  let rng = Rng.create (Int64.add params.Internet.seed 131L) in
+  let order =
+    let a = Array.init num Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  for i = 0 to max 1 (int_of_float (deploy_fraction *. float_of_int num)) - 1 do
+    Setup.deploy setup ~domain:order.(i)
+  done;
+  let vrouter = Setup.router setup in
+  let env = Setup.env setup in
+  let hosts = Array.of_list (all_endhosts inet) in
+  let sample_pairs =
+    List.init pairs (fun _ ->
+        let src = Rng.pick_array rng hosts in
+        let rec dst () =
+          let d = Rng.pick_array rng hosts in
+          if d <> src then d else dst ()
+        in
+        (src, dst ()))
+  in
+  List.map
+    (fun payload_bytes ->
+      let payload = String.make payload_bytes 'x' in
+      let native = ref 0.0
+      and evolved = ref 0.0
+      and headers = ref 0.0 in
+      List.iter
+        (fun (src, dst) ->
+          (* native: direct IPv4 datagram *)
+          let dsta = (Internet.endhost inet dst).Internet.haddr in
+          let srca = (Internet.endhost inet src).Internet.haddr in
+          let plain = Netcore.Packet.make_data ~src:srca ~dst:dsta payload in
+          let ptrace = Forward.send_from_endhost env plain ~endhost:src in
+          let plen = Netcore.Wire.wire_length plain in
+          native :=
+            !native +. float_of_int (Forward.hop_count ptrace * plen);
+          (* evolved: the encapsulated IPvN journey *)
+          let j =
+            Transport.send vrouter ~strategy:Router.Bgp_aware ~src ~dst ~payload
+          in
+          if Transport.delivered j then begin
+            let encap =
+              Netcore.Packet.encapsulate ~src:srca ~dst:dsta j.Transport.packet
+            in
+            let elen = Netcore.Wire.wire_length encap in
+            let hops = Transport.total_hops j in
+            evolved := !evolved +. float_of_int (hops * elen);
+            headers :=
+              !headers +. float_of_int (hops * (elen - payload_bytes))
+          end)
+        sample_pairs;
+      {
+        payload_bytes;
+        native_bytes = !native /. float_of_int pairs;
+        evolved_bytes = !evolved /. float_of_int pairs;
+        byte_overhead = (!evolved /. !native) -. 1.0;
+        header_share = !headers /. Float.max 1.0 !evolved;
+      })
+    payloads
+
+let print_e26 rows =
+  Table.print
+    ~title:"E26: the byte cost of evolution (encapsulation + vN detours)"
+    ~header:
+      [ "payload B"; "native B*hops"; "evolved B*hops"; "overhead"; "header share" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.payload_bytes;
+             Table.ff r.native_bytes;
+             Table.ff r.evolved_bytes;
+             Table.fpct r.byte_overhead;
+             Table.fpct r.header_share;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E27                                                                 *)
+
+type e27_row = {
+  dv_fraction : float;  (** fraction of domains on distance-vector *)
+  delivery27 : float;
+  stretch27 : float;
+  walk_domains : int;  (** participant domains forced to anycast-walk *)
+  vn_stretch27 : float;
+}
+
+let e27_mixed_igp ?(params = Internet.default_params)
+    ?(dv_fractions = [ 0.0; 0.25; 0.5; 1.0 ]) ?(deploy_domains = 5) () =
+  List.map
+    (fun dv_fraction ->
+      let inet = Internet.build params in
+      let num = Internet.num_domains inet in
+      let rng = Rng.create (Int64.add params.Internet.seed 151L) in
+      let flavors =
+        Array.init num (fun _ ->
+            if Rng.bernoulli rng dv_fraction then Routing.Igp.Distvec_igp
+            else Routing.Igp.Linkstate_igp)
+      in
+      let env = Forward.make_env ~flavor_of:(fun d -> flavors.(d)) inet in
+      let service = Service.deploy env ~version:8 ~strategy:Service.Option1 in
+      let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+      Service.add_participants service
+        (List.map
+           (fun d ->
+             (d, Array.to_list (Internet.domain inet d).Internet.router_ids))
+           doms);
+      let fabric = Fabric.build service in
+      {
+        dv_fraction;
+        delivery27 = Metrics.delivery_rate service;
+        stretch27 = Metrics.mean_stretch service;
+        walk_domains =
+          List.length
+            (List.filter
+               (fun d -> not (Routing.Igp.members_known env.Forward.igps.(d)))
+               doms);
+        vn_stretch27 = Fabric.mean_vn_stretch fabric;
+      })
+    dv_fractions
+
+let print_e27 rows =
+  Table.print
+    ~title:
+      "E27: heterogeneous IGPs — distance-vector domains in the deployment"
+    ~header:
+      [ "DV fraction"; "delivery"; "anycast stretch"; "walk domains"; "vN stretch" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.dv_fraction;
+             Table.fpct r.delivery27;
+             Table.ff r.stretch27;
+             Table.fi r.walk_domains;
+             Table.ff r.vn_stretch27;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E28                                                                 *)
+
+type e28_row = {
+  mrai28 : float;
+  announce_updates : int;
+  announce_churn : int;
+  withdraw_updates : int;
+  withdraw_churn : int;  (** path hunting shows up as extra flips *)
+  hunt_ratio : float;  (** withdraw churn / announce churn *)
+}
+
+let e28_path_hunting ?(params = Internet.default_params)
+    ?(mrais = [ 0.01; 2.0; 10.0 ]) () =
+  List.map
+    (fun mrai28 ->
+      let inet = Internet.build params in
+      let dyn = Simcore.Bgpdyn.create ~mrai:mrai28 ~jitter:3.0 inet in
+      let engine = Simcore.Engine.create () in
+      Simcore.Bgpdyn.originate_all_domain_prefixes dyn engine;
+      ignore (Simcore.Engine.run engine);
+      let boot = Simcore.Bgpdyn.stats dyn in
+      let g = Addressing.anycast_global ~group:8 in
+      let t0 = Simcore.Engine.now engine in
+      Simcore.Bgpdyn.originate dyn engine ~domain:5 g;
+      ignore (Simcore.Engine.run engine);
+      let announced = Simcore.Bgpdyn.stats dyn in
+      let t1 = Simcore.Engine.now engine in
+      Simcore.Bgpdyn.withdraw dyn engine ~domain:5 g;
+      ignore (Simcore.Engine.run engine);
+      let withdrawn = Simcore.Bgpdyn.stats dyn in
+      ignore t0;
+      ignore t1;
+      let announce_updates =
+        announced.Simcore.Bgpdyn.updates - boot.Simcore.Bgpdyn.updates
+      in
+      let announce_churn =
+        announced.Simcore.Bgpdyn.best_changes - boot.Simcore.Bgpdyn.best_changes
+      in
+      let withdraw_updates =
+        withdrawn.Simcore.Bgpdyn.updates - announced.Simcore.Bgpdyn.updates
+      in
+      let withdraw_churn =
+        withdrawn.Simcore.Bgpdyn.best_changes
+        - announced.Simcore.Bgpdyn.best_changes
+      in
+      {
+        mrai28;
+        announce_updates;
+        announce_churn;
+        withdraw_updates;
+        withdraw_churn;
+        hunt_ratio =
+          float_of_int withdraw_churn /. float_of_int (max 1 announce_churn);
+      })
+    mrais
+
+let print_e28 rows =
+  Table.print
+    ~title:
+      "E28: withdrawing an anycast prefix — BGP path hunting vs announcement"
+    ~header:
+      [
+        "MRAI";
+        "announce msgs";
+        "announce churn";
+        "withdraw msgs";
+        "withdraw churn";
+        "hunt ratio";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.ff r.mrai28;
+             Table.fi r.announce_updates;
+             Table.fi r.announce_churn;
+             Table.fi r.withdraw_updates;
+             Table.fi r.withdraw_churn;
+             Table.ff r.hunt_ratio;
+           ])
+         rows)

@@ -1,0 +1,12 @@
+(** One-shot results report.
+
+    Runs every figure scenario and experiment and renders a single
+    markdown document — the "regenerate all the numbers" button behind
+    EXPERIMENTS.md. Deterministic: two runs produce identical text. *)
+
+val generate : unit -> string
+(** The full report as markdown. Takes a few seconds (it runs all of
+    E1–E23). *)
+
+val write : path:string -> unit
+(** Render {!generate} to a file. *)

@@ -1,0 +1,83 @@
+module Internet = Topology.Internet
+module Forward = Simcore.Forward
+module Service = Anycast.Service
+module Router = Vnbone.Router
+module Fabric = Vnbone.Fabric
+module Transport = Vnbone.Transport
+module Rng = Topology.Rng
+
+type report = {
+  per_domain : float array;
+  deployers : int list;
+  deployer_mean : float;
+  non_deployer_mean : float;
+  delivered : int;
+  attempted : int;
+}
+
+let random_pairs (inet : Internet.t) ~seed ~count =
+  let rng = Rng.create seed in
+  let n = Array.length inet.Internet.endhosts in
+  if n < 2 then []
+  else
+    List.init count (fun _ ->
+        let src = Rng.int rng n in
+        let rec pick () =
+          let d = Rng.int rng n in
+          if d = src then pick () else d
+        in
+        (src, pick ()))
+
+let credit_trace inet per_domain trace =
+  (* each received hop credits the receiving router's domain *)
+  match trace.Forward.hops with
+  | [] -> ()
+  | _ :: receivers ->
+      List.iter
+        (fun r ->
+          let d = (Internet.router inet r).Internet.rdomain in
+          per_domain.(d) <- per_domain.(d) +. 1.0)
+        receivers
+
+let credit_journey inet per_domain (j : Transport.journey) =
+  List.iter
+    (fun leg ->
+      let trace =
+        match leg with
+        | Transport.Access t | Transport.Exit t -> t
+        | Transport.Vn { underlay; _ } -> underlay
+      in
+      credit_trace inet per_domain trace)
+    j.Transport.legs
+
+let traffic_report router ~strategy ~pairs =
+  let fabric = Router.fabric router in
+  let service = Fabric.service fabric in
+  let inet = (Service.env service).Forward.inet in
+  let per_domain = Array.make (Internet.num_domains inet) 0.0 in
+  let delivered = ref 0 in
+  List.iter
+    (fun (src, dst) ->
+      let j = Transport.send router ~strategy ~src ~dst ~payload:"traffic" in
+      if Transport.delivered j then incr delivered;
+      credit_journey inet per_domain j)
+    pairs;
+  let deployers = Service.participants service in
+  let mean sel =
+    let xs =
+      Array.to_list (Array.mapi (fun d v -> (d, v)) per_domain)
+      |> List.filter (fun (d, _) -> sel d)
+      |> List.map snd
+    in
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  {
+    per_domain;
+    deployers;
+    deployer_mean = mean (fun d -> List.mem d deployers);
+    non_deployer_mean = mean (fun d -> not (List.mem d deployers));
+    delivered = !delivered;
+    attempted = List.length pairs;
+  }

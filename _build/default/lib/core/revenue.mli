@@ -1,0 +1,29 @@
+(** The revenue-flow assumption (A4), made measurable.
+
+    The paper posits that an ISP offering IPvN attracts traffic from
+    non-offering ISPs and thereby gains settlement revenue. We measure
+    carried IPvN traffic directly on the data plane: every underlay
+    hop of every journey credits the domain of its receiving router.
+    Comparing deployers against non-deployers (and a domain's load
+    before/after it deploys) quantifies the attraction incentive. *)
+
+type report = {
+  per_domain : float array;  (** carried IPvN traffic units per domain *)
+  deployers : int list;
+  deployer_mean : float;  (** mean load over deploying domains *)
+  non_deployer_mean : float;
+  delivered : int;  (** journeys delivered *)
+  attempted : int;
+}
+
+val traffic_report :
+  Vnbone.Router.t ->
+  strategy:Vnbone.Router.strategy ->
+  pairs:(int * int) list ->
+  report
+(** Send one IPvN journey per (src endhost, dst endhost) pair and
+    account carried traffic. *)
+
+val random_pairs :
+  Topology.Internet.t -> seed:int64 -> count:int -> (int * int) list
+(** Uniform random distinct endhost pairs (src <> dst). *)

@@ -1,0 +1,19 @@
+(** Small-sample statistics for multi-seed experiment runs. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1) *)
+  ci95 : float;  (** half-width of the 95% Student-t confidence interval *)
+}
+
+val summarize : float list -> summary
+(** [nan] fields on the empty list; [ci95 = 0] for singletons. *)
+
+val to_string : summary -> string
+(** ["12.34 +/- 0.56"]. *)
+
+val mean_of : ('a -> float) -> 'a list -> float
+val t_critical_95 : int -> float
+(** Two-sided 95% Student-t critical value for the given degrees of
+    freedom (exact for df <= 30, 1.96 beyond). *)

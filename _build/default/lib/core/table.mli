@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Columns are padded to their widest cell; a rule separates the
+    header. *)
+
+val print : title:string -> header:string list -> rows:string list list -> unit
+(** Render to stdout with an underlined title and a trailing blank
+    line. *)
+
+val ff : float -> string
+(** Compact float: ["1.25"], ["inf"], ["-"] for nan. *)
+
+val fi : int -> string
+val fb : bool -> string
+val fpct : float -> string
+(** Percentage with one decimal: [0.5] -> ["50.0%"]. *)

@@ -1,0 +1,63 @@
+module Internet = Topology.Internet
+module Rng = Topology.Rng
+
+type model = Uniform | Gravity of { zipf_s : float }
+
+type t = {
+  inet : Internet.t;
+  weights : float array;  (* per domain, normalized *)
+  rng : Rng.t;
+}
+
+let create (inet : Internet.t) model ~seed =
+  let n = Internet.num_domains inet in
+  let raw =
+    match model with
+    | Uniform ->
+        (* weight by endhost count so uniform-over-hosts holds *)
+        Array.init n (fun d ->
+            float_of_int
+              (Array.length (Internet.domain inet d).Internet.endhost_ids))
+    | Gravity { zipf_s } ->
+        Array.init n (fun d ->
+            if Array.length (Internet.domain inet d).Internet.endhost_ids = 0
+            then 0.0
+            else 1.0 /. Float.pow (float_of_int (d + 1)) zipf_s)
+  in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  if total <= 0.0 then invalid_arg "Traffic.create: no endhosts anywhere";
+  { inet; weights = Array.map (fun w -> w /. total) raw; rng = Rng.create seed }
+
+let population t d = t.weights.(d)
+
+let population_share t doms =
+  List.fold_left (fun acc d -> acc +. t.weights.(d)) 0.0 doms
+
+let pick_domain t =
+  let u = Rng.float t.rng 1.0 in
+  let n = Array.length t.weights in
+  let rec go d acc =
+    if d >= n - 1 then n - 1
+    else
+      let acc = acc +. t.weights.(d) in
+      if u < acc then d else go (d + 1) acc
+  in
+  go 0 0.0
+
+let pick_endhost t =
+  let rec try_domain () =
+    let d = pick_domain t in
+    let hosts = (Internet.domain t.inet d).Internet.endhost_ids in
+    if Array.length hosts = 0 then try_domain ()
+    else hosts.(Rng.int t.rng (Array.length hosts))
+  in
+  try_domain ()
+
+let sample_flows t ~count =
+  List.init count (fun _ ->
+      let src = pick_endhost t in
+      let rec dst () =
+        let d = pick_endhost t in
+        if d = src then dst () else d
+      in
+      (src, dst ()))

@@ -1,0 +1,28 @@
+(** Traffic workload generation.
+
+    The paper's revenue argument (A4) is about {e attracted traffic},
+    which only means something under a non-uniform workload: big
+    domains source and sink more flows. The gravity model draws flow
+    endpoints with probability proportional to the product of the
+    endpoint domains' populations — the standard traffic-matrix
+    assumption — with populations following a Zipf law over domains. *)
+
+type model =
+  | Uniform  (** every endhost equally likely *)
+  | Gravity of { zipf_s : float }
+      (** domain populations Zipf-distributed with the given exponent;
+          flow endpoints drawn proportionally *)
+
+type t
+
+val create : Topology.Internet.t -> model -> seed:int64 -> t
+
+val population : t -> int -> float
+(** Normalized population weight of a domain (sums to 1). *)
+
+val population_share : t -> int list -> float
+(** Combined population weight of a set of domains. *)
+
+val sample_flows : t -> count:int -> (int * int) list
+(** [count] (src endhost, dst endhost) pairs with [src <> dst], drawn
+    per the model. *)

@@ -1,0 +1,1 @@
+lib/interdomain/bgp.ml: Array Hashtbl List Netcore Option Topology

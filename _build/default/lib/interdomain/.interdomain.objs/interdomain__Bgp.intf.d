@@ -1,0 +1,1 @@
+lib/interdomain/bgp.mli: Netcore Topology

@@ -1,0 +1,1 @@
+lib/netcore/addressing.ml: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/netcore/addressing.mli: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/netcore/ipvn.ml: Format Hashtbl Int Int64 Ipv4 Printf

@@ -1,0 +1,1 @@
+lib/netcore/ipvn.mli: Format Ipv4

@@ -1,0 +1,1 @@
+lib/netcore/lpm.ml: Ipv4 List Option Prefix

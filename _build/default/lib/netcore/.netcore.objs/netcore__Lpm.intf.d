@@ -1,0 +1,1 @@
+lib/netcore/lpm.mli: Ipv4 Prefix

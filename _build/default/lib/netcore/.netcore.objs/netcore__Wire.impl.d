@@ -1,0 +1,1 @@
+lib/netcore/wire.ml: Buffer Char Ipv4 Ipvn Packet Printf String

@@ -1,0 +1,1 @@
+lib/netcore/wire.mli: Packet

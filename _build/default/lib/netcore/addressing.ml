@@ -1,0 +1,69 @@
+(* Address plan:
+   - domain d owns the /16 starting at (d + 256) * 2^16 — offset by 256
+     so that domain space never collides with the 240/8 anycast range
+     or 0/8.  With d < 40960 this stays below 0xB000_0000, clear of the
+     0xF000_0000 (240/8) Option-1 anycast range.
+   - inside a /16: hosts 1..16383 are routers, 16384..32767 endhosts,
+     0xFF00..0xFFFF (the top /24s, one per group up to 63) are Option-2
+     anycast prefixes. *)
+
+let max_domains = 40960
+let router_base = 1
+let router_span = 16 * 1024
+let endhost_base = router_span
+let endhost_span = 16 * 1024
+
+let check_domain d =
+  if d < 0 || d >= max_domains then
+    invalid_arg "Addressing: domain id out of range"
+
+let domain_prefix d =
+  check_domain d;
+  Prefix.make (Ipv4.of_int ((d + 256) lsl 16)) 16
+
+let domain_of_address a =
+  let v = Ipv4.to_int a in
+  let block = v lsr 16 in
+  let d = block - 256 in
+  if d >= 0 && d < max_domains then Some d else None
+
+let router_address ~domain ~index =
+  if index < 0 || index >= router_span - router_base then
+    invalid_arg "Addressing.router_address: index out of range";
+  Prefix.host (domain_prefix domain) (router_base + index)
+
+let endhost_address ~domain ~index =
+  if index < 0 || index >= endhost_span then
+    invalid_arg "Addressing.endhost_address: index out of range";
+  Prefix.host (domain_prefix domain) (endhost_base + index)
+
+let low16 a = Ipv4.to_int a land 0xFFFF
+
+let is_router_address a =
+  match domain_of_address a with
+  | None -> false
+  | Some _ ->
+      let h = low16 a in
+      h >= router_base && h < router_span
+
+let is_endhost_address a =
+  match domain_of_address a with
+  | None -> false
+  | Some _ ->
+      let h = low16 a in
+      h >= endhost_base && h < endhost_base + endhost_span
+
+let anycast_global ~group =
+  if group < 0 || group >= 65536 then
+    invalid_arg "Addressing.anycast_global: group out of range";
+  (* 240.0.0.0/8 carved into /24s, one per group. *)
+  Prefix.make (Ipv4.of_int ((240 lsl 24) lor (group lsl 8))) 24
+
+let anycast_in_domain ~domain ~group =
+  if group < 0 || group >= 64 then
+    invalid_arg "Addressing.anycast_in_domain: group out of range";
+  (* the top 64 /24s of the domain's /16, clear of router/endhost space *)
+  let base = Ipv4.to_int (Prefix.network (domain_prefix domain)) in
+  Prefix.make (Ipv4.of_int (base lor ((0xC0 + group) lsl 8))) 24
+
+let anycast_address p = Prefix.host p 1

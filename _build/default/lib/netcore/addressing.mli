@@ -1,0 +1,49 @@
+(** Deterministic address-plan for simulated internets.
+
+    Every domain (ISP/AS) owns a /16; routers and endhosts get fixed
+    addresses inside it. Anycast addresses come in the paper's two
+    flavours:
+
+    - {!anycast_global}: a non-aggregatable /24 from a dedicated range,
+      as in inter-domain Option 1;
+    - {!anycast_in_domain}: a /24 carved out of the default ISP's own
+      /16, as in inter-domain Option 2 ("reuse a piece of the existing
+      unicast address space ... allocated from the unicast address
+      space of a default ISP"). *)
+
+val max_domains : int
+(** Domains must have ids in [\[0, max_domains)]. *)
+
+val domain_prefix : int -> Prefix.t
+(** The /16 owned by a domain. @raise Invalid_argument when the id is
+    out of range. *)
+
+val domain_of_address : Ipv4.t -> int option
+(** Inverse of the address plan: which domain owns this address, if
+    any. Anycast and reserved ranges return the owning domain for
+    Option 2 addresses and [None] for Option 1 addresses. *)
+
+val router_address : domain:int -> index:int -> Ipv4.t
+(** Address of the [index]-th router of a domain (index in
+    [\[0, 16384)]). *)
+
+val endhost_address : domain:int -> index:int -> Ipv4.t
+(** Address of the [index]-th endhost of a domain (index in
+    [\[0, 16384)]). *)
+
+val is_router_address : Ipv4.t -> bool
+val is_endhost_address : Ipv4.t -> bool
+
+val anycast_global : group:int -> Prefix.t
+(** Option 1: the dedicated, non-aggregatable /24 of anycast group
+    [group] (e.g. one group per IPvN generation being deployed). These
+    prefixes do not belong to any domain. *)
+
+val anycast_in_domain : domain:int -> group:int -> Prefix.t
+(** Option 2: a /24 inside [domain]'s own /16, reserved for anycast
+    group [group]. Unmodified unicast routing naturally carries these
+    packets toward [domain] — the "default" provider. *)
+
+val anycast_address : Prefix.t -> Ipv4.t
+(** The single well-known address inside an anycast prefix that clients
+    send to. *)

@@ -1,0 +1,110 @@
+(* A plain (non-compressed) binary trie over address bits. Depth is
+   bounded by 32, so the lack of path compression costs little and keeps
+   the structure easy to verify. *)
+
+type 'a t = Leaf | Node of 'a node
+and 'a node = { value : 'a option; zero : 'a t; one : 'a t }
+
+let empty = Leaf
+
+let is_node_empty = function
+  | { value = None; zero = Leaf; one = Leaf } -> true
+  | _ -> false
+
+let node value zero one =
+  let n = { value; zero; one } in
+  if is_node_empty n then Leaf else Node n
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let rec add_bits net depth len v t =
+  match t with
+  | Leaf ->
+      if depth = len then node (Some v) Leaf Leaf
+      else if Ipv4.bit net depth then node None Leaf (add_bits net (depth + 1) len v Leaf)
+      else node None (add_bits net (depth + 1) len v Leaf) Leaf
+  | Node n ->
+      if depth = len then node (Some v) n.zero n.one
+      else if Ipv4.bit net depth then
+        node n.value n.zero (add_bits net (depth + 1) len v n.one)
+      else node n.value (add_bits net (depth + 1) len v n.zero) n.one
+
+let add p v t = add_bits (Prefix.network p) 0 (Prefix.length p) v t
+
+let rec remove_bits net depth len t =
+  match t with
+  | Leaf -> Leaf
+  | Node n ->
+      if depth = len then node None n.zero n.one
+      else if Ipv4.bit net depth then
+        node n.value n.zero (remove_bits net (depth + 1) len n.one)
+      else node n.value (remove_bits net (depth + 1) len n.zero) n.one
+
+let remove p t = remove_bits (Prefix.network p) 0 (Prefix.length p) t
+
+let rec find_exact_bits net depth len t =
+  match t with
+  | Leaf -> None
+  | Node n ->
+      if depth = len then n.value
+      else if Ipv4.bit net depth then find_exact_bits net (depth + 1) len n.one
+      else find_exact_bits net (depth + 1) len n.zero
+
+let find_exact p t = find_exact_bits (Prefix.network p) 0 (Prefix.length p) t
+
+let lookup addr t =
+  let rec go depth t best =
+    match t with
+    | Leaf -> best
+    | Node n ->
+        let best =
+          match n.value with
+          | Some v -> Some (Prefix.make addr depth, v)
+          | None -> best
+        in
+        if depth = 32 then best
+        else if Ipv4.bit addr depth then go (depth + 1) n.one best
+        else go (depth + 1) n.zero best
+  in
+  go 0 t None
+
+let lookup_value addr t = Option.map snd (lookup addr t)
+
+let fold f t acc =
+  (* [path] is the address bits accumulated so far (as an int shifted to
+     the high end), [depth] their count. *)
+  let rec go path depth t acc =
+    match t with
+    | Leaf -> acc
+    | Node n ->
+        let acc =
+          match n.value with
+          | Some v -> f (Prefix.make (Ipv4.of_int path) depth) v acc
+          | None -> acc
+        in
+        let acc = go path (depth + 1) n.zero acc in
+        go (path lor (1 lsl (31 - depth))) (depth + 1) n.one acc
+  in
+  go 0 0 t acc
+
+let iter f t = fold (fun p v () -> f p v) t ()
+
+let bindings t =
+  fold (fun p v acc -> (p, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+let of_list l = List.fold_left (fun t (p, v) -> add p v t) empty l
+
+let rec map f = function
+  | Leaf -> Leaf
+  | Node n ->
+      Node { value = Option.map f n.value; zero = map f n.zero; one = map f n.one }
+
+let union f a b =
+  fold
+    (fun p vb acc ->
+      match find_exact p acc with
+      | None -> add p vb acc
+      | Some va -> add p (f p va vb) acc)
+    b a

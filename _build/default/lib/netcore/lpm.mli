@@ -1,0 +1,47 @@
+(** Longest-prefix-match tables.
+
+    A persistent binary trie from {!Prefix} keys to arbitrary values,
+    with longest-match lookup — the core forwarding-table structure for
+    both the IPv4 substrate and the anycast routing experiments. *)
+
+type 'a t
+(** A table mapping prefixes to values of type ['a]. Persistent:
+    operations return new tables. *)
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** [add p v t] binds [p] to [v], replacing any previous binding of
+    exactly [p]. Bindings for other (longer or shorter) prefixes are
+    unaffected. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+(** Remove the binding for exactly [p], if any. *)
+
+val find_exact : Prefix.t -> 'a t -> 'a option
+(** The value bound to exactly [p]. *)
+
+val lookup : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** [lookup addr t] is the binding with the longest prefix containing
+    [addr], or [None] when no bound prefix covers it. *)
+
+val lookup_value : Ipv4.t -> 'a t -> 'a option
+
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over all bindings, in unspecified order. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+val bindings : 'a t -> (Prefix.t * 'a) list
+(** All bindings sorted by {!Prefix.compare}. *)
+
+val cardinal : 'a t -> int
+(** Number of bound prefixes. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val union : (Prefix.t -> 'a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
+(** [union f a b] contains every binding of [a] and [b]; prefixes bound
+    in both are merged with [f]. *)

@@ -1,0 +1,155 @@
+let format_version = 1
+
+(* --- encoding ------------------------------------------------------ *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf v
+
+let put_ipv4 buf a = put_u32 buf (Ipv4.to_int a)
+
+let put_body buf body =
+  if String.length body > 0xFFFF then
+    invalid_arg "Wire.encode: body exceeds 65535 bytes";
+  put_u16 buf (String.length body);
+  Buffer.add_string buf body
+
+let put_ipvn buf a =
+  match Ipvn.embedded_ipv4 a with
+  | Some v4 ->
+      put_u8 buf 0;
+      put_ipv4 buf v4
+  | None -> (
+      match (Ipvn.domain a, Ipvn.host a) with
+      | Some d, Some h ->
+          put_u8 buf 1;
+          put_u32 buf d;
+          put_u32 buf h
+      | _ -> assert false (* an address is self or provider by construction *))
+
+let check_ttl ttl =
+  if ttl < 0 || ttl > 255 then invalid_arg "Wire.encode: TTL out of [0, 255]"
+
+let encode (p : Packet.t) =
+  check_ttl p.Packet.ttl;
+  let buf = Buffer.create 64 in
+  put_u8 buf format_version;
+  (match p.Packet.payload with
+  | Packet.Data _ -> put_u8 buf 0
+  | Packet.Encap _ -> put_u8 buf 1);
+  put_ipv4 buf p.Packet.src;
+  put_ipv4 buf p.Packet.dst;
+  put_u8 buf p.Packet.ttl;
+  (match p.Packet.payload with
+  | Packet.Data body -> put_body buf body
+  | Packet.Encap vn ->
+      check_ttl vn.Packet.vttl;
+      put_u8 buf vn.Packet.version;
+      put_u8 buf vn.Packet.vttl;
+      put_ipvn buf vn.Packet.vsrc;
+      put_ipvn buf vn.Packet.vdst;
+      (match vn.Packet.dest_v4_hint with
+      | Some a ->
+          put_u8 buf 1;
+          put_ipv4 buf a
+      | None -> put_u8 buf 0);
+      put_body buf vn.Packet.body);
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let need c n what =
+  if c.pos + n > String.length c.data then
+    raise (Malformed ("truncated " ^ what))
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c what =
+  let hi = get_u8 c what in
+  let lo = get_u8 c what in
+  (hi lsl 8) lor lo
+
+let get_u32 c what =
+  let hi = get_u16 c what in
+  let lo = get_u16 c what in
+  (hi lsl 16) lor lo
+
+let get_ipv4 c what = Ipv4.of_int (get_u32 c what)
+
+let get_body c =
+  let len = get_u16 c "body length" in
+  need c len "body";
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_ipvn c ~version what =
+  match get_u8 c (what ^ " tag") with
+  | 0 -> Ipvn.self_of_ipv4 ~version (get_ipv4 c what)
+  | 1 ->
+      let domain = get_u32 c (what ^ " domain") in
+      let host = get_u32 c (what ^ " host") in
+      (try Ipvn.provider ~version ~domain ~host
+       with Invalid_argument m -> raise (Malformed m))
+  | t -> raise (Malformed (Printf.sprintf "unknown %s tag %d" what t))
+
+let decode s =
+  let c = { data = s; pos = 0 } in
+  try
+    let v = get_u8 c "format version" in
+    if v <> format_version then
+      raise (Malformed (Printf.sprintf "unsupported format version %d" v));
+    let kind = get_u8 c "payload kind" in
+    let src = get_ipv4 c "source" in
+    let dst = get_ipv4 c "destination" in
+    let ttl = get_u8 c "ttl" in
+    let payload =
+      match kind with
+      | 0 -> Packet.Data (get_body c)
+      | 1 ->
+          let version = get_u8 c "ipvn version" in
+          if version < 1 then raise (Malformed "ipvn version must be positive");
+          let vttl = get_u8 c "vttl" in
+          let vsrc = get_ipvn c ~version "vsrc" in
+          let vdst = get_ipvn c ~version "vdst" in
+          let dest_v4_hint =
+            match get_u8 c "hint flag" with
+            | 0 -> None
+            | 1 -> Some (get_ipv4 c "hint")
+            | f -> raise (Malformed (Printf.sprintf "unknown hint flag %d" f))
+          in
+          let body = get_body c in
+          Packet.Encap
+            { Packet.version; vsrc; vdst; vttl; dest_v4_hint; body }
+      | k -> raise (Malformed (Printf.sprintf "unknown payload kind %d" k))
+    in
+    if c.pos <> String.length s then raise (Malformed "trailing bytes");
+    Ok { Packet.src; dst; ttl; payload }
+  with Malformed m -> Error m
+
+let wire_length (p : Packet.t) =
+  let ipvn_len a = match Ipvn.embedded_ipv4 a with Some _ -> 5 | None -> 9 in
+  let header = 1 + 1 + 4 + 4 + 1 in
+  match p.Packet.payload with
+  | Packet.Data body -> header + 2 + String.length body
+  | Packet.Encap vn ->
+      header + 1 + 1
+      + ipvn_len vn.Packet.vsrc
+      + ipvn_len vn.Packet.vdst
+      + (match vn.Packet.dest_v4_hint with Some _ -> 5 | None -> 1)
+      + 2
+      + String.length vn.Packet.body

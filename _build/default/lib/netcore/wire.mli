@@ -1,0 +1,33 @@
+(** Binary wire format for packets.
+
+    A compact, versioned encoding of {!Packet.t} — what would actually
+    cross a link. Layout (all integers big-endian):
+
+    {v
+    byte 0      : format version (1)
+    byte 1      : payload kind (0 = data, 1 = encapsulated IPvN)
+    bytes 2-5   : IPv4 source
+    bytes 6-9   : IPv4 destination
+    byte 10     : TTL
+    data:         u16 body length, body bytes
+    encap:        IPvN version (u8), vTTL (u8),
+                  vsrc (u8 tag + payload), vdst (u8 tag + payload),
+                  dest hint (u8 flag + optional IPv4),
+                  u16 body length, body bytes
+    v}
+
+    IPvN addresses encode as a tag byte (0 = self, 1 = provider)
+    followed by the embedded IPv4 (self) or u32 domain + u32 host
+    (provider). *)
+
+val encode : Packet.t -> string
+(** Serialize. @raise Invalid_argument when a body exceeds 65535
+    bytes or a TTL is outside [\[0, 255\]]. *)
+
+val decode : string -> (Packet.t, string) result
+(** Parse; [Error] describes the first malformed field. Every packet
+    produced by {!encode} decodes back to an equal value (round-trip
+    property in the test-suite). *)
+
+val wire_length : Packet.t -> int
+(** Encoded size in bytes, without encoding. *)

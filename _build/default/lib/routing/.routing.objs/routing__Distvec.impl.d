@@ -1,0 +1,1 @@
+lib/routing/distvec.ml: Array List Netcore Option Topology

@@ -1,0 +1,1 @@
+lib/routing/distvec.mli: Netcore Topology

@@ -1,0 +1,1 @@
+lib/routing/igp.ml: Distvec Hashtbl Linkstate List Netcore

@@ -1,0 +1,1 @@
+lib/routing/igp.mli: Linkstate Netcore Topology

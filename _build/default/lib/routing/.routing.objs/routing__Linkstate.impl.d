@@ -1,0 +1,1 @@
+lib/routing/linkstate.ml: Array Hashtbl Int List Netcore Spt Topology

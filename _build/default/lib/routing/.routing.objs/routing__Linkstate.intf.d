@@ -1,0 +1,1 @@
+lib/routing/linkstate.mli: Netcore Topology

@@ -1,0 +1,1 @@
+lib/routing/spt.ml: Array Queue Topology

@@ -1,0 +1,136 @@
+module Graph = Topology.Graph
+
+type t = { src : int; dist : float array; parent : int array }
+
+(* A simple binary min-heap of (priority, node); decrease-key is done by
+   pushing duplicates and skipping settled nodes on pop. *)
+module Heap = struct
+  type t = {
+    mutable prio : float array;
+    mutable node : int array;
+    mutable size : int;
+  }
+
+  let create () = { prio = Array.make 16 0.0; node = Array.make 16 0; size = 0 }
+
+  let grow h =
+    let cap = Array.length h.prio in
+    let prio = Array.make (2 * cap) 0.0 in
+    let node = Array.make (2 * cap) 0 in
+    Array.blit h.prio 0 prio 0 h.size;
+    Array.blit h.node 0 node 0 h.size;
+    h.prio <- prio;
+    h.node <- node
+
+  let swap h i j =
+    let p = h.prio.(i) and v = h.node.(i) in
+    h.prio.(i) <- h.prio.(j);
+    h.node.(i) <- h.node.(j);
+    h.prio.(j) <- p;
+    h.node.(j) <- v
+
+  let push h p v =
+    if h.size = Array.length h.prio then grow h;
+    h.prio.(h.size) <- p;
+    h.node.(h.size) <- v;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.prio.((!i - 1) / 2) > h.prio.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let p = h.prio.(0) and v = h.node.(0) in
+      h.size <- h.size - 1;
+      h.prio.(0) <- h.prio.(h.size);
+      h.node.(0) <- h.node.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+        if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some (p, v)
+    end
+end
+
+let dijkstra_filtered g ~src ~allow =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          Graph.iter_neighbors g u (fun v w ->
+              if (not settled.(v)) && (allow v || v = src) then begin
+                let nd = d +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent.(v) <- u;
+                  Heap.push heap nd v
+                end
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  { src; dist; parent }
+
+let dijkstra g ~src = dijkstra_filtered g ~src ~allow:(fun _ -> true)
+let distance t v = t.dist.(v)
+let reachable t v = t.dist.(v) < infinity
+
+let path t v =
+  if not (reachable t v) then None
+  else begin
+    let rec go v acc = if v = t.src then t.src :: acc else go t.parent.(v) (v :: acc) in
+    Some (go v [])
+  end
+
+let next_hop t v =
+  if v = t.src || not (reachable t v) then None
+  else begin
+    let rec go v = if t.parent.(v) = t.src then v else go t.parent.(v) in
+    Some (go v)
+  end
+
+let bfs_levels g ~src ~allow =
+  let n = Graph.n g in
+  let level = Array.make n (-1) in
+  let q = Queue.create () in
+  level.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v _ ->
+        if level.(v) < 0 && allow v then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  level
+
+let hops g ~src ~dst =
+  let level = bfs_levels g ~src ~allow:(fun _ -> true) in
+  if level.(dst) < 0 then None else Some level.(dst)
+
+let eccentricity g ~src ~allow =
+  let level = bfs_levels g ~src ~allow in
+  Array.fold_left max 0 level

@@ -1,0 +1,40 @@
+(** Shortest-path trees (Dijkstra) over {!Topology.Graph}.
+
+    Used for link-state route computation, for "ground truth" distances
+    in the anycast-stretch experiments, and for vN-Bone congruence. *)
+
+type t = {
+  src : int;
+  dist : float array;  (** [infinity] for unreachable nodes *)
+  parent : int array;  (** [-1] for the source and unreachable nodes *)
+}
+
+val dijkstra : Topology.Graph.t -> src:int -> t
+(** Single-source shortest paths with a binary heap. *)
+
+val dijkstra_filtered : Topology.Graph.t -> src:int -> allow:(int -> bool) -> t
+(** Same, but only traverses nodes satisfying [allow] (the source is
+    always traversed). Used to restrict route computation to one
+    domain's routers. *)
+
+val distance : t -> int -> float
+(** [infinity] when unreachable. *)
+
+val reachable : t -> int -> bool
+
+val path : t -> int -> int list option
+(** The node sequence from the source to the argument, inclusive, or
+    [None] when unreachable. *)
+
+val next_hop : t -> int -> int option
+(** First hop on the path from the source to the argument; [None] when
+    unreachable or equal to the source. *)
+
+val hops : Topology.Graph.t -> src:int -> dst:int -> int option
+(** Unweighted hop count (BFS), ignoring weights; [None] if
+    unreachable. *)
+
+val eccentricity : Topology.Graph.t -> src:int -> allow:(int -> bool) -> int
+(** Max BFS depth from [src] over allowed nodes — the number of
+    flooding rounds for an LSA originated at [src] to reach the whole
+    (filtered) network. *)

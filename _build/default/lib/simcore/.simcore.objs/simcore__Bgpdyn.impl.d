@@ -1,0 +1,1 @@
+lib/simcore/bgpdyn.ml: Array Engine Float Hashtbl Interdomain List Netcore Option Printf String Topology

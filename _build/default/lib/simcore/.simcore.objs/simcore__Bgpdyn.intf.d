@@ -1,0 +1,1 @@
+lib/simcore/bgpdyn.mli: Engine Interdomain Netcore Topology

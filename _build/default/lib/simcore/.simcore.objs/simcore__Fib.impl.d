@@ -1,0 +1,1 @@
+lib/simcore/fib.ml: Array Forward Interdomain List Netcore Printf Routing Topology

@@ -1,0 +1,1 @@
+lib/simcore/fib.mli: Forward Netcore

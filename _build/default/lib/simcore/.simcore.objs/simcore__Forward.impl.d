@@ -1,0 +1,1 @@
+lib/simcore/forward.ml: Array Interdomain List Netcore Routing Topology

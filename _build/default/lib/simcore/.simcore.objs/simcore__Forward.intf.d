@@ -1,0 +1,1 @@
+lib/simcore/forward.mli: Interdomain Netcore Routing Topology

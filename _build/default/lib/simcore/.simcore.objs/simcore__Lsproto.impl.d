@@ -1,0 +1,1 @@
+lib/simcore/lsproto.ml: Array Engine Hashtbl Int List Netcore Routing Topology

@@ -1,0 +1,1 @@
+lib/simcore/lsproto.mli: Engine Netcore Routing Topology

@@ -1,0 +1,246 @@
+module Internet = Topology.Internet
+module Relationship = Topology.Relationship
+module Bgp = Interdomain.Bgp
+module Prefix = Netcore.Prefix
+
+type stats = { updates : int; best_changes : int; last_change : float }
+
+(* a candidate route at a domain *)
+type cand = { path : int list; pref : int }
+
+type session = {
+  peer : int;
+  role_of_peer : Relationship.t;
+  delay : float;  (* propagation latency of this session *)
+  mutable advertised : (Prefix.t * int list) list;
+      (* what we last announced to this peer *)
+  mutable pending : bool;  (* a flush is scheduled *)
+  mutable next_allowed : float;  (* MRAI gate *)
+}
+
+type t = {
+  inet : Internet.t;
+  config : Bgp.config;
+  mrai : float;
+  link_delay : float;
+  origins : (int, Prefix.t list ref) Hashtbl.t;  (* domain -> originated *)
+  rib_in : (int * int * Prefix.t, cand) Hashtbl.t;  (* (domain, peer, prefix) *)
+  best : (int * Prefix.t, cand) Hashtbl.t;  (* (domain, prefix) *)
+  sessions : session list array;  (* per domain *)
+  touched : (int * Prefix.t, unit) Hashtbl.t array;
+      (* per domain: prefixes whose export state may have changed,
+         keyed by (peer, prefix) — flushed by the MRAI timer *)
+  mutable updates : int;
+  mutable best_changes : int;
+  mutable last_change : float;
+}
+
+let origin_pref = 4
+
+let create ?(mrai = 2.0) ?(link_delay = 0.1) ?(jitter = 0.0)
+    ?(config = Bgp.default_config) inet =
+  let n = Internet.num_domains inet in
+  let rng = Topology.Rng.create 97L in
+  {
+    inet;
+    config;
+    mrai;
+    link_delay;
+    origins = Hashtbl.create 8;
+    rib_in = Hashtbl.create 64;
+    best = Hashtbl.create 64;
+    sessions =
+      Array.init n (fun d ->
+          List.map
+            (fun (peer, role_of_peer) ->
+              {
+                peer;
+                role_of_peer;
+                delay =
+                  link_delay *. (1.0 +. (jitter *. Topology.Rng.float rng 1.0));
+                advertised = [];
+                pending = false;
+                next_allowed = 0.0;
+              })
+            (Internet.neighbor_domains inet d));
+    touched = Array.init n (fun _ -> Hashtbl.create 8);
+    updates = 0;
+    best_changes = 0;
+    last_change = 0.0;
+  }
+
+let better a b =
+  if a.pref <> b.pref then a.pref > b.pref
+  else
+    let la = List.length a.path and lb = List.length b.path in
+    if la <> lb then la < lb else a.path < b.path
+
+let learned_role c =
+  if c.pref >= origin_pref then Relationship.Customer
+  else if c.pref = Relationship.(local_preference Customer) then Relationship.Customer
+  else if c.pref = Relationship.(local_preference Peer) then Relationship.Peer
+  else Relationship.Provider
+
+(* the route [d] would export to [s], if any *)
+let exportable t d (s : session) prefix =
+  match Hashtbl.find_opt t.best (d, prefix) with
+  | None -> None
+  | Some c ->
+      (* the export target's role, seen from the exporter [d], is
+         exactly the session's role_of_peer *)
+      if
+        Relationship.export_allowed ~learned_from:(learned_role c)
+          ~to_:s.role_of_peer
+        && not (List.mem s.peer c.path)
+        && t.config.Bgp.propagate s.peer prefix
+      then Some c.path
+      else None
+
+let rec recompute_best t engine d prefix =
+  (* candidates: own origination + rib_in *)
+  let own =
+    match Hashtbl.find_opt t.origins d with
+    | Some ps when List.exists (Prefix.equal prefix) !ps ->
+        Some { path = [ d ]; pref = origin_pref }
+    | _ -> None
+  in
+  let cands =
+    List.fold_left
+      (fun acc (s : session) ->
+        match Hashtbl.find_opt t.rib_in (d, s.peer, prefix) with
+        | Some c when not (List.mem d c.path) ->
+            { path = d :: c.path; pref = Relationship.local_preference s.role_of_peer }
+            :: acc
+        | _ -> acc)
+      (match own with Some c -> [ c ] | None -> [])
+      t.sessions.(d)
+  in
+  let new_best =
+    List.fold_left
+      (fun acc c ->
+        match acc with Some b when not (better c b) -> acc | _ -> Some c)
+      None cands
+  in
+  let old_best = Hashtbl.find_opt t.best (d, prefix) in
+  if new_best <> old_best then begin
+    (match new_best with
+    | Some c -> Hashtbl.replace t.best (d, prefix) c
+    | None -> Hashtbl.remove t.best (d, prefix));
+    t.best_changes <- t.best_changes + 1;
+    t.last_change <- Engine.now engine;
+    (* export state toward every session may have changed *)
+    List.iter (fun s -> mark_touched t engine d s prefix) t.sessions.(d)
+  end
+
+and mark_touched t engine d (s : session) prefix =
+  Hashtbl.replace t.touched.(d) (s.peer, prefix) ();
+  if not s.pending then begin
+    s.pending <- true;
+    let now = Engine.now engine in
+    let at = Float.max (now +. 0.001) s.next_allowed in
+    Engine.schedule_at engine ~time:at (fun engine -> flush t engine d s)
+  end
+
+and flush t engine d (s : session) =
+  s.pending <- false;
+  s.next_allowed <- Engine.now engine +. t.mrai;
+  (* collect this session's touched prefixes *)
+  let mine =
+    Hashtbl.fold
+      (fun (peer, p) () acc -> if peer = s.peer then p :: acc else acc)
+      t.touched.(d) []
+  in
+  List.iter (fun p -> Hashtbl.remove t.touched.(d) (s.peer, p)) mine;
+  List.iter
+    (fun prefix ->
+      let now_export = exportable t d s prefix in
+      let was = List.assoc_opt prefix s.advertised in
+      match (now_export, was) with
+      | Some path, Some old when old = path -> () (* no change *)
+      | Some path, _ ->
+          s.advertised <-
+            (prefix, path) :: List.remove_assoc prefix s.advertised;
+          t.updates <- t.updates + 1;
+          Engine.schedule engine ~delay:s.delay (fun engine ->
+              receive t engine ~at:s.peer ~from:d ~prefix (Some path))
+      | None, Some _ ->
+          s.advertised <- List.remove_assoc prefix s.advertised;
+          t.updates <- t.updates + 1;
+          Engine.schedule engine ~delay:s.delay (fun engine ->
+              receive t engine ~at:s.peer ~from:d ~prefix None)
+      | None, None -> ())
+    mine
+
+and receive t engine ~at ~from ~prefix update =
+  (match update with
+  | Some path ->
+      Hashtbl.replace t.rib_in (at, from, prefix) { path; pref = 0 }
+  | None -> Hashtbl.remove t.rib_in (at, from, prefix));
+  recompute_best t engine at prefix
+
+let originate t engine ~domain prefix =
+  let cell =
+    match Hashtbl.find_opt t.origins domain with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.origins domain c;
+        c
+  in
+  if not (List.exists (Prefix.equal prefix) !cell) then begin
+    cell := prefix :: !cell;
+    recompute_best t engine domain prefix
+  end
+
+let withdraw t engine ~domain prefix =
+  match Hashtbl.find_opt t.origins domain with
+  | None -> ()
+  | Some cell ->
+      if List.exists (Prefix.equal prefix) !cell then begin
+        cell := List.filter (fun p -> not (Prefix.equal p prefix)) !cell;
+        recompute_best t engine domain prefix
+      end
+
+let originate_all_domain_prefixes t engine =
+  for d = 0 to Internet.num_domains t.inet - 1 do
+    originate t engine ~domain:d (Internet.domain t.inet d).Internet.prefix
+  done
+
+let best_path t ~domain prefix =
+  Option.map (fun c -> c.path) (Hashtbl.find_opt t.best (domain, prefix))
+
+let stats t =
+  { updates = t.updates; best_changes = t.best_changes; last_change = t.last_change }
+
+let agrees_with_synchronous t =
+  let reference = Bgp.create ~config:t.config t.inet in
+  Hashtbl.iter
+    (fun d ps -> List.iter (fun p -> Bgp.originate reference ~domain:d p) !ps)
+    t.origins;
+  ignore (Bgp.converge reference);
+  let disagreement = ref None in
+  let prefixes =
+    Hashtbl.fold (fun _ ps acc -> !ps @ acc) t.origins []
+    |> List.sort_uniq Prefix.compare
+  in
+  for d = 0 to Internet.num_domains t.inet - 1 do
+    List.iter
+      (fun p ->
+        let sync =
+          Option.map (fun r -> r.Bgp.as_path) (Bgp.route_to reference ~domain:d p)
+        in
+        let dyn = best_path t ~domain:d p in
+        if sync <> dyn && !disagreement = None then
+          disagreement :=
+            Some
+              (Printf.sprintf "domain %d, %s: sync=%s dyn=%s" d
+                 (Prefix.to_string p)
+                 (match sync with
+                 | Some path -> String.concat "," (List.map string_of_int path)
+                 | None -> "-")
+                 (match dyn with
+                 | Some path -> String.concat "," (List.map string_of_int path)
+                 | None -> "-")))
+      prefixes
+  done;
+  match !disagreement with None -> Ok () | Some msg -> Error msg

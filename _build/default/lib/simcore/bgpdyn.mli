@@ -1,0 +1,58 @@
+(** Asynchronous BGP dynamics with MRAI timers.
+
+    {!Interdomain.Bgp} computes the stable routing state by synchronous
+    iteration; this module runs the protocol the way real BGP runs:
+    per-session update messages with propagation delay, per-neighbor
+    MRAI (minimum route advertisement interval) rate limiting, path
+    exploration, and withdrawal on export-policy flips. Selection and
+    export policy are identical to the synchronous engine, so the
+    converged state must match it exactly — the test-suite asserts
+    that.
+
+    Why it matters for the paper: evolvability rides on BGP carrying
+    new (anycast) prefixes, so the cost of injecting one — update
+    messages, transient path churn, time to quiescence — is part of
+    the deployment story (experiment E19). *)
+
+type stats = {
+  updates : int;  (** announce + withdraw messages sent *)
+  best_changes : int;  (** times any domain's best route flipped (churn) *)
+  last_change : float;  (** engine time of the last best-route change *)
+}
+
+type t
+
+val create :
+  ?mrai:float ->
+  ?link_delay:float ->
+  ?jitter:float ->
+  ?config:Interdomain.Bgp.config ->
+  Topology.Internet.t ->
+  t
+(** [mrai] (default 2.0) is the per-neighbor minimum interval between
+    successive advertisement batches; [link_delay] (default 0.1) the
+    base session propagation delay; [jitter] (default 0) spreads each
+    session's delay over [link_delay * \[1, 1+jitter\]], which is what
+    induces realistic path exploration. *)
+
+val originate : t -> Engine.t -> domain:int -> Netcore.Prefix.t -> unit
+(** The domain originates a prefix now; updates start flowing. Run the
+    engine to quiescence. *)
+
+val originate_all_domain_prefixes : t -> Engine.t -> unit
+
+val withdraw : t -> Engine.t -> domain:int -> Netcore.Prefix.t -> unit
+(** The domain stops originating the prefix. Withdrawals trigger the
+    protocol's notorious path hunting: routers fall back to
+    not-yet-withdrawn alternatives before giving up, so retiring a
+    route costs more messages than announcing it (experiment E28). *)
+
+val best_path : t -> domain:int -> Netcore.Prefix.t -> int list option
+(** The current best AS path ([head] = the domain itself). *)
+
+val stats : t -> stats
+
+val agrees_with_synchronous : t -> (unit, string) result
+(** Run the synchronous engine over the same internet, config and
+    origins and compare every (domain, prefix) best path. [Error]
+    carries the first disagreement. *)

@@ -1,0 +1,88 @@
+type event = { time : float; seq : int; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable heap : event array;
+  mutable size : int;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    heap = Array.make 16 { time = 0.0; seq = 0; action = (fun _ -> ()) };
+    size = 0;
+  }
+
+let now t = t.clock
+let pending t = t.size
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let heap = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- ev;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  while !i > 0 && earlier t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(p);
+    t.heap.(p) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < t.size && earlier t.heap.(l) t.heap.(!m) then m := l;
+      if r < t.size && earlier t.heap.(r) t.heap.(!m) then m := r;
+      if !m <> !i then begin
+        let tmp = t.heap.(!i) in
+        t.heap.(!i) <- t.heap.(!m);
+        t.heap.(!m) <- tmp;
+        i := !m
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let ev = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.action t;
+      true
+
+let run ?until t =
+  let rec go count =
+    match until with
+    | Some limit when t.size > 0 && t.heap.(0).time > limit -> count
+    | _ -> if step t then go (count + 1) else count
+  in
+  go 0

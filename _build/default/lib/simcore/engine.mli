@@ -1,0 +1,29 @@
+(** A minimal discrete-event simulation engine.
+
+    Used by the dynamic experiments (protocol convergence after
+    membership changes, staged deployment, adoption dynamics); the
+    forwarding plane itself is synchronous and lives in {!Forward}. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Run the callback [delay] time units from now.
+    @raise Invalid_argument on negative delays. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Run the callback at an absolute time (not before [now]).
+    @raise Invalid_argument when the time is in the past. *)
+
+val step : t -> bool
+(** Execute the next event; false when the queue is empty. Events at
+    equal times run in scheduling order. *)
+
+val run : ?until:float -> t -> int
+(** Drain the queue (or stop once the next event is later than
+    [until]); returns the number of events executed. *)
+
+val pending : t -> int
+(** Events still queued. *)

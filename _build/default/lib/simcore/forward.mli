@@ -1,0 +1,70 @@
+(** The IPv4 forwarding plane.
+
+    Hop-by-hop forwarding over the router graph, driven by three route
+    sources in priority order, mirroring a real FIB:
+
+    + intra-domain anycast routes (the paper's redirection primitive),
+    + the domain's own unicast routes (routers and endhosts of the
+      local /16),
+    + inter-domain (BGP) routes, resolved through the chosen egress
+      border link.
+
+    Forwarding is synchronous and returns the full trace, which the
+    experiments mine for path lengths, redirection targets and
+    stretch. *)
+
+type env = {
+  inet : Topology.Internet.t;
+  igps : Routing.Igp.t array;  (** one per domain *)
+  bgp : Interdomain.Bgp.t;
+}
+
+val make_env :
+  ?config:Interdomain.Bgp.config ->
+  ?flavor_of:(int -> Routing.Igp.flavor) ->
+  Topology.Internet.t ->
+  env
+(** Compute every domain's IGP ([flavor_of] picks link-state or
+    distance-vector per domain; default all link-state), originate all
+    domain /16s into BGP and converge it. The result is ready for
+    {!forward}. *)
+
+val reconverge : env -> int
+(** Re-run BGP to a stable state after originations/withdrawals;
+    returns rounds. *)
+
+type drop_reason =
+  | Ttl_expired
+  | No_route  (** no FIB entry anywhere on the way *)
+  | Stuck  (** next hop exists but does not advance (should not happen) *)
+
+type outcome =
+  | Router_accepted of int  (** packet addressed to this router, or anycast
+                                delivery at this group member *)
+  | Endhost_accepted of int
+  | Dropped of drop_reason
+
+type trace = {
+  hops : int list;  (** router ids in forwarding order, first = entry point *)
+  outcome : outcome;
+}
+
+val hop_count : trace -> int
+(** Number of router-to-router transmissions in the trace. *)
+
+val delivered : trace -> bool
+
+val forward : env -> Netcore.Packet.t -> entry:int -> trace
+(** Forward a packet hop by hop starting at router [entry] until
+    delivery or drop. TTL decrements per hop. *)
+
+val send_from_endhost : env -> Netcore.Packet.t -> endhost:int -> trace
+(** Hand the packet to the endhost's access router and forward. The
+    access link is not counted as a router hop. *)
+
+val anycast_member_reached : env -> dst:Netcore.Ipv4.t -> entry:int -> int option
+(** Convenience: forward a probe to [dst] from [entry] and report the
+    router that accepted it, if delivery succeeded. *)
+
+val path_metric : env -> trace -> float
+(** Sum of link weights along the trace's hops. *)

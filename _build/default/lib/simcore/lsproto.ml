@@ -1,0 +1,194 @@
+module Spt = Routing.Spt
+module Internet = Topology.Internet
+module Graph = Topology.Graph
+module Prefix = Netcore.Prefix
+
+type lsa = {
+  origin : int;
+  seq : int;
+  links : (int * float) list;
+  groups : Prefix.t list;
+}
+
+type stats = { messages : int; originations : int; last_change : float }
+
+type t = {
+  inet : Internet.t;
+  dom : int;
+  delay : float;
+  router_ids : int array;
+  neighbors : int list array;  (* by local index: intra-domain adjacency *)
+  lsdbs : (int, lsa) Hashtbl.t array;  (* by local index: origin -> lsa *)
+  own_groups : (int, Prefix.t list ref) Hashtbl.t;  (* router id -> groups *)
+  mutable messages : int;
+  mutable originations : int;
+  mutable last_change : float;
+}
+
+let local_index t rid = (Internet.router t.inet rid).Internet.rindex
+
+let in_domain t rid =
+  rid >= 0
+  && rid < Internet.num_routers t.inet
+  && (Internet.router t.inet rid).Internet.rdomain = t.dom
+
+let create ?(link_delay = 1.0) inet ~domain =
+  let d = Internet.domain inet domain in
+  let n = Array.length d.Internet.router_ids in
+  let neighbors =
+    Array.map
+      (fun rid ->
+        Graph.neighbors inet.Internet.graph rid
+        |> List.filter_map (fun (nb, _) ->
+               if (Internet.router inet nb).Internet.rdomain = domain then Some nb
+               else None))
+      d.Internet.router_ids
+  in
+  {
+    inet;
+    dom = domain;
+    delay = link_delay;
+    router_ids = d.Internet.router_ids;
+    neighbors;
+    lsdbs = Array.init n (fun _ -> Hashtbl.create 8);
+    own_groups = Hashtbl.create 8;
+    messages = 0;
+    originations = 0;
+    last_change = 0.0;
+  }
+
+(* deliver [lsa] to router [rid]; flood onward if newer *)
+let rec receive t engine ~rid ~from lsa =
+  let li = local_index t rid in
+  let fresher =
+    match Hashtbl.find_opt t.lsdbs.(li) lsa.origin with
+    | Some cur -> lsa.seq > cur.seq
+    | None -> true
+  in
+  if fresher then begin
+    Hashtbl.replace t.lsdbs.(li) lsa.origin lsa;
+    t.last_change <- Engine.now engine;
+    flood t engine ~rid ~except:from lsa
+  end
+
+and flood t engine ~rid ~except lsa =
+  let li = local_index t rid in
+  List.iter
+    (fun nb ->
+      if Some nb <> except then begin
+        t.messages <- t.messages + 1;
+        Engine.schedule engine ~delay:t.delay (fun engine ->
+            receive t engine ~rid:nb ~from:(Some rid) lsa)
+      end)
+    t.neighbors.(li)
+
+let current_groups t rid =
+  match Hashtbl.find_opt t.own_groups rid with Some g -> !g | None -> []
+
+let originate t engine rid =
+  let li = local_index t rid in
+  let seq =
+    match Hashtbl.find_opt t.lsdbs.(li) rid with
+    | Some cur -> cur.seq + 1
+    | None -> 1
+  in
+  let links =
+    Graph.neighbors t.inet.Internet.graph rid
+    |> List.filter (fun (nb, _) -> (Internet.router t.inet nb).Internet.rdomain = t.dom)
+  in
+  let lsa = { origin = rid; seq; links; groups = current_groups t rid } in
+  t.originations <- t.originations + 1;
+  (* install locally and flood *)
+  Hashtbl.replace t.lsdbs.(li) rid lsa;
+  t.last_change <- Engine.now engine;
+  flood t engine ~rid ~except:None lsa
+
+let start t engine = Array.iter (fun rid -> originate t engine rid) t.router_ids
+
+let advertise_anycast t engine ~router prefix =
+  if not (in_domain t router) then
+    invalid_arg "Lsproto.advertise_anycast: router not in domain";
+  let cell =
+    match Hashtbl.find_opt t.own_groups router with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.own_groups router c;
+        c
+  in
+  if not (List.mem prefix !cell) then cell := prefix :: !cell;
+  originate t engine router
+
+let withdraw_anycast t engine ~router prefix =
+  if not (in_domain t router) then
+    invalid_arg "Lsproto.withdraw_anycast: router not in domain";
+  (match Hashtbl.find_opt t.own_groups router with
+  | Some c -> c := List.filter (fun p -> not (Prefix.equal p prefix)) !c
+  | None -> ());
+  originate t engine router
+
+let link_failed t engine a b =
+  if not (in_domain t a && in_domain t b) then
+    invalid_arg "Lsproto.link_failed: router not in domain";
+  let drop rid gone =
+    let li = local_index t rid in
+    t.neighbors.(li) <- List.filter (fun nb -> nb <> gone) t.neighbors.(li)
+  in
+  drop a b;
+  drop b a;
+  originate t engine a;
+  originate t engine b
+
+let lsdb_synchronized t =
+  let canonical db =
+    Hashtbl.fold (fun o l acc -> (o, l) :: acc) db [] |> List.sort compare
+  in
+  match Array.to_list t.lsdbs with
+  | [] -> true
+  | first :: rest ->
+      let ref_view = canonical first in
+      List.for_all (fun db -> canonical db = ref_view) rest
+
+let stats t =
+  { messages = t.messages; originations = t.originations; last_change = t.last_change }
+
+let spf t ~router =
+  if not (in_domain t router) then
+    invalid_arg "Lsproto.spf: router not in domain";
+  let li = local_index t router in
+  (* build a graph over global router ids from this router's LSDB,
+     with the OSPF two-way check: a link counts only when both
+     endpoints advertise it *)
+  let db = t.lsdbs.(li) in
+  let advertises origin nb =
+    match Hashtbl.find_opt db origin with
+    | Some lsa -> List.exists (fun (x, _) -> x = nb) lsa.links
+    | None -> false
+  in
+  let g = Graph.create ~n:(Internet.num_routers t.inet) in
+  Hashtbl.iter
+    (fun origin lsa ->
+      List.iter
+        (fun (nb, w) ->
+          if advertises nb origin && not (Graph.has_edge g origin nb) then
+            Graph.add_edge g origin nb w)
+        lsa.links)
+    db;
+  Spt.dijkstra_filtered g ~src:router ~allow:(fun rid ->
+      (Internet.router t.inet rid).Internet.rdomain = t.dom)
+
+let distance_view t ~router ~dst =
+  if not (in_domain t router && in_domain t dst) then infinity
+  else Spt.distance (spf t ~router) dst
+
+let members_view t ~router prefix =
+  if not (in_domain t router) then []
+  else begin
+    let li = local_index t router in
+    Hashtbl.fold
+      (fun origin lsa acc ->
+        if List.exists (Prefix.equal prefix) lsa.groups then origin :: acc
+        else acc)
+      t.lsdbs.(li) []
+    |> List.sort Int.compare
+  end

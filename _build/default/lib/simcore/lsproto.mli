@@ -1,0 +1,66 @@
+(** Message-level link-state protocol.
+
+    {!Routing.Linkstate} computes routes from an assumed-synchronized LSDB;
+    this module supplies the dynamics underneath: routers originate
+    sequence-numbered LSAs (their links plus the anycast addresses they
+    accept, per the paper's §3.2 extension), flood them over links with
+    latency on a {!Engine}, and each maintains its own LSDB
+    view. The test-suite proves the converged views agree with
+    {!Routing.Linkstate}; the E18 experiment measures flooding cost and
+    convergence latency. *)
+
+type lsa = {
+  origin : int;  (** global router id *)
+  seq : int;
+  links : (int * float) list;  (** neighbor router id, metric *)
+  groups : Netcore.Prefix.t list;  (** anycast groups the origin accepts *)
+}
+
+type t
+(** Protocol state for the routers of one domain. *)
+
+type stats = {
+  messages : int;  (** LSA transmissions on links *)
+  originations : int;
+  last_change : float;  (** engine time of the last LSDB update *)
+}
+
+val create : ?link_delay:float -> Topology.Internet.t -> domain:int -> t
+(** [link_delay] (default 1.0) is the per-hop propagation latency. *)
+
+val start : t -> Engine.t -> unit
+(** Every router originates its initial LSA at the current engine
+    time and flooding begins. Run the engine to propagate. *)
+
+val advertise_anycast : t -> Engine.t -> router:int -> Netcore.Prefix.t -> unit
+(** The router re-originates its LSA with the group added (sequence
+    number bumped) and floods the update.
+    @raise Invalid_argument if the router is outside the domain. *)
+
+val withdraw_anycast : t -> Engine.t -> router:int -> Netcore.Prefix.t -> unit
+
+val link_failed : t -> Engine.t -> int -> int -> unit
+(** Both endpoints of a just-removed intra-domain link notice the
+    failure, drop the adjacency, and re-originate their LSAs. Call
+    {e after} removing the edge from the underlying graph
+    ({!Topology.Graph.remove_edge}); run the engine to propagate. SPF
+    uses the OSPF two-way check, so a link disappears from routing as
+    soon as either flooded LSA omits it.
+    @raise Invalid_argument when either router is outside the domain. *)
+
+val lsdb_synchronized : t -> bool
+(** Whether all routers currently hold identical LSDBs. *)
+
+val stats : t -> stats
+
+val spf : t -> router:int -> Routing.Spt.t
+(** Shortest paths computed from {e that router's} current LSDB view
+    (node ids are global router ids, as in the underlying graph). *)
+
+val distance_view : t -> router:int -> dst:int -> float
+(** Distance to [dst] in the router's current view; [infinity] when
+    unknown. *)
+
+val members_view : t -> router:int -> Netcore.Prefix.t -> int list
+(** The anycast members of a group as visible in the router's LSDB —
+    the property that lets link-state members discover one another. *)

@@ -1,0 +1,1 @@
+lib/topology/internet.ml: Array Float Graph Hashtbl Int List Netcore Printf Relationship Rng

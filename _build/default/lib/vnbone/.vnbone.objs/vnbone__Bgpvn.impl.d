@@ -1,0 +1,1 @@
+lib/vnbone/bgpvn.ml: Anycast Array Fabric Hashtbl List Netcore Simcore Topology

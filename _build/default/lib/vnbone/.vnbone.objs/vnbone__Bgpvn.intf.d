@@ -1,0 +1,1 @@
+lib/vnbone/bgpvn.mli: Fabric Netcore

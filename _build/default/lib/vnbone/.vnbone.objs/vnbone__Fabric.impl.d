@@ -1,0 +1,1 @@
+lib/vnbone/fabric.ml: Anycast Array Float Hashtbl Int List Netcore Option Queue Routing Simcore Topology

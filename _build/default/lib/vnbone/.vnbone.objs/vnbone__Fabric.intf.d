@@ -1,0 +1,1 @@
+lib/vnbone/fabric.mli: Anycast Topology

@@ -1,0 +1,1 @@
+lib/vnbone/router.ml: Anycast Array Bgpvn Fabric Hashtbl Interdomain List Netcore Option Simcore Topology

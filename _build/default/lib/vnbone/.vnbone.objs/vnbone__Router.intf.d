@@ -1,0 +1,1 @@
+lib/vnbone/router.mli: Bgpvn Fabric Netcore

@@ -1,0 +1,1 @@
+lib/vnbone/transport.ml: Anycast Fabric Format List Netcore Printf Result Router Simcore Stdlib String Topology

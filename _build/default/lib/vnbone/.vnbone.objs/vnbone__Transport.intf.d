@@ -1,0 +1,1 @@
+lib/vnbone/transport.mli: Anycast Format Netcore Router Simcore Stdlib Topology

@@ -1,0 +1,1 @@
+lib/vnbone/vn_fib.mli: Bgpvn

@@ -1,0 +1,137 @@
+module Internet = Topology.Internet
+module Graph = Topology.Graph
+module Forward = Simcore.Forward
+module Service = Anycast.Service
+module Prefix = Netcore.Prefix
+
+type dest = Vn_domain of int | External of Prefix.t
+
+type route = {
+  rdest : dest;
+  cost : float;
+  next : int option;
+  egress : int;
+  vn_hops : int;
+}
+
+type t = {
+  fabric : Fabric.t;
+  alpha : float;
+  tables : (dest, route) Hashtbl.t array;  (* per fabric node *)
+  mutable external_origins : (int * Prefix.t * float) list;
+      (* fabric node, prefix, exit cost *)
+}
+
+let alpha t = t.alpha
+let fabric t = t.fabric
+
+let node_of t member =
+  match Fabric.index_of t.fabric member with
+  | Some n -> n
+  | None -> invalid_arg "Bgpvn: router is not a vN-Bone member"
+
+let create ?(alpha = 0.5) fabric =
+  let n = Array.length (Fabric.members fabric) in
+  { fabric; alpha; tables = Array.init n (fun _ -> Hashtbl.create 8); external_origins = [] }
+
+let originate_external t ~member ~prefix ~exit_cost =
+  if exit_cost < 0.0 then invalid_arg "Bgpvn.originate_external: negative cost";
+  let node = node_of t member in
+  let entry = (node, prefix, exit_cost) in
+  if not (List.mem entry t.external_origins) then
+    t.external_origins <- entry :: t.external_origins
+
+(* deterministic preference: cheaper cost, then lower egress id *)
+let better a b = a.cost < b.cost || (a.cost = b.cost && a.egress < b.egress)
+
+let install t node r =
+  match Hashtbl.find_opt t.tables.(node) r.rdest with
+  | Some cur when not (better r cur) -> false
+  | _ ->
+      Hashtbl.replace t.tables.(node) r.rdest r;
+      true
+
+let step t =
+  let members = Fabric.members t.fabric in
+  let inet = (Service.env (Fabric.service t.fabric)).Forward.inet in
+  let changed = ref false in
+  (* 1. originations *)
+  Array.iteri
+    (fun node member ->
+      let dom = (Internet.router inet member).Internet.rdomain in
+      let r =
+        {
+          rdest = Vn_domain dom;
+          cost = 0.0;
+          next = None;
+          egress = member;
+          vn_hops = 0;
+        }
+      in
+      if install t node r then changed := true)
+    members;
+  List.iter
+    (fun (node, prefix, exit_cost) ->
+      let r =
+        {
+          rdest = External prefix;
+          cost = exit_cost;
+          next = None;
+          egress = members.(node);
+          vn_hops = 0;
+        }
+      in
+      if install t node r then changed := true)
+    t.external_origins;
+  (* 2. neighbor exchange from a snapshot *)
+  let snapshot = Array.map Hashtbl.copy t.tables in
+  let g = Fabric.graph t.fabric in
+  Array.iteri
+    (fun node member ->
+      ignore member;
+      Graph.iter_neighbors g node (fun nb w ->
+          Hashtbl.iter
+            (fun _dest (r : route) ->
+              let hop_cost =
+                match r.rdest with
+                | Vn_domain _ -> w (* aggregates ride the tunnel metric *)
+                | External _ -> t.alpha (* proxy routes pay the policy weight *)
+              in
+              let candidate =
+                {
+                  r with
+                  cost = r.cost +. hop_cost;
+                  next = Some members.(nb);
+                  vn_hops = r.vn_hops + 1;
+                }
+              in
+              if install t node candidate then changed := true)
+            snapshot.(nb)))
+    members;
+  !changed
+
+let converge t =
+  let n = Array.length (Fabric.members t.fabric) in
+  let dests = n + List.length t.external_origins in
+  let limit = (4 * (n + 2) * (dests + 2)) + 16 in
+  let rec go rounds =
+    if rounds >= limit then rounds else if step t then go (rounds + 1) else rounds
+  in
+  go 0
+
+let route t ~at dest =
+  match Fabric.index_of t.fabric at with
+  | None -> None
+  | Some node -> Hashtbl.find_opt t.tables.(node) dest
+
+let routes t ~at =
+  match Fabric.index_of t.fabric at with
+  | None -> []
+  | Some node ->
+      Hashtbl.fold (fun _ r acc -> r :: acc) t.tables.(node) []
+      |> List.sort compare
+
+let table_size t ~at =
+  match Fabric.index_of t.fabric at with
+  | None -> 0
+  | Some node -> Hashtbl.length t.tables.(node)

@@ -1,0 +1,49 @@
+type vn_action = Vn_local | Vn_next of int
+
+type t = {
+  fabric : Fabric.t;
+  tables : (Bgpvn.dest, vn_action) Hashtbl.t array;  (* per fabric node *)
+}
+
+let compile speaker =
+  let fabric = Bgpvn.fabric speaker in
+  let members = Fabric.members fabric in
+  let tables =
+    Array.map
+      (fun member ->
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun (r : Bgpvn.route) ->
+            let action =
+              match r.Bgpvn.next with
+              | None -> Vn_local
+              | Some nh -> Vn_next nh
+            in
+            Hashtbl.replace table r.Bgpvn.rdest action)
+          (Bgpvn.routes speaker ~at:member);
+        table)
+      members
+  in
+  { fabric; tables }
+
+let node t at =
+  match Fabric.index_of t.fabric at with
+  | Some n -> n
+  | None -> invalid_arg "Vn_fib: router is not a vN-Bone member"
+
+let lookup t ~at dest = Hashtbl.find_opt t.tables.(node t at) dest
+let size t ~at = Hashtbl.length t.tables.(node t at)
+
+let walk t ~from_ dest =
+  let limit = Array.length (Fabric.members t.fabric) + 1 in
+  let rec go at acc steps =
+    if steps > limit then Error "forwarding loop"
+    else
+      match lookup t ~at dest with
+      | None -> Error "no route at member"
+      | Some Vn_local -> Ok (List.rev (at :: acc))
+      | Some (Vn_next nh) ->
+          if List.mem nh acc then Error "forwarding loop"
+          else go nh (at :: acc) (steps + 1)
+  in
+  go from_ [] 0

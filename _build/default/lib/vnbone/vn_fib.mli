@@ -1,0 +1,29 @@
+(** Compiled IPvN forwarding tables for vN-Bone members.
+
+    The IPvN analogue of {!Simcore.Fib}: each member's BGPvN routes
+    ({!Bgpvn}) are materialized into a table keyed by destination, and
+    vN packets can be forwarded hop by hop across tunnels using only
+    local tables — the way member routers would actually move IPvN
+    traffic. The test-suite proves hop-by-hop forwarding reaches the
+    same egress as the path-oracle transport. *)
+
+type vn_action =
+  | Vn_local  (** this member is the route's egress *)
+  | Vn_next of int  (** forward through the tunnel to this member *)
+
+type t
+
+val compile : Bgpvn.t -> t
+(** Snapshot every member's table from a converged {!Bgpvn} speaker
+    state. *)
+
+val lookup : t -> at:int -> Bgpvn.dest -> vn_action option
+(** The member's forwarding decision for a destination; [None] =
+    unknown destination. *)
+
+val size : t -> at:int -> int
+
+val walk : t -> from_:int -> Bgpvn.dest -> (int list, string) result
+(** Follow the compiled tables hop by hop from a member to the route's
+    egress; returns the member sequence (inclusive), or an error on a
+    loop, a dead end, or an unknown destination. *)

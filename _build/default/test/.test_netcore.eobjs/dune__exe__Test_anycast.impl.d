@@ -1,0 +1,1 @@
+test/test_anycast.ml: Alcotest Anycast Array Float List Netcore Simcore Topology

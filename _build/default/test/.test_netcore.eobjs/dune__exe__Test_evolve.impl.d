@@ -1,0 +1,1 @@
+test/test_evolve.ml: Alcotest Anycast Array Evolve Filename Float Fun Int64 List Netcore QCheck QCheck_alcotest Routing Simcore String Sys Topology Vnbone

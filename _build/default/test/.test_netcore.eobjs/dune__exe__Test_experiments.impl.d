@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Evolve Lazy List Printf Topology

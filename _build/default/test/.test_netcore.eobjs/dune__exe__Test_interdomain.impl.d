@@ -1,0 +1,1 @@
+test/test_interdomain.ml: Alcotest Fun Int Int64 Interdomain List Netcore Printf QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Bool Fun List Netcore Option QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Float Fun Int64 List Netcore Printf QCheck QCheck_alcotest Routing Topology

@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Fun Int64 Interdomain Lazy List Netcore Printf QCheck QCheck_alcotest Routing Simcore Topology

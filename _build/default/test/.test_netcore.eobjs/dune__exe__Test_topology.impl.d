@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Fun Int Int64 List Option QCheck QCheck_alcotest Topology

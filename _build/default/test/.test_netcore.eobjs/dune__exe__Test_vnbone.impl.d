@@ -1,0 +1,1 @@
+test/test_vnbone.ml: Alcotest Anycast Array Buffer Format Fun Int64 List Netcore Option Printf QCheck QCheck_alcotest Simcore String Topology Vnbone

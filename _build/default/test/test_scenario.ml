@@ -1,0 +1,190 @@
+(* Integration tests: the four paper figures must reproduce their
+   narrated outcomes (see DESIGN.md section 3 for the expected shapes). *)
+
+module Scenario = Evolve.Scenario
+
+let check = Alcotest.check
+
+(* --- Figure 1: seamless spread of deployment ---------------------- *)
+
+let fig1 = lazy (Scenario.fig1 ())
+
+let test_fig1_stage_count () =
+  check Alcotest.int "three stages" 3 (List.length (Lazy.force fig1))
+
+let test_fig1_always_delivered () =
+  List.iter
+    (fun (s : Scenario.fig1_stage) ->
+      check Alcotest.bool "universal access at every stage" true
+        (s.Scenario.metric < infinity))
+    (Lazy.force fig1)
+
+let test_fig1_ingress_tracks_deployment () =
+  match Lazy.force fig1 with
+  | [ s1; s2; s3 ] ->
+      check Alcotest.string "only X offers at stage 1" "X" s1.Scenario.ingress_domain;
+      check Alcotest.string "closer Y takes over" "Y" s2.Scenario.ingress_domain;
+      check Alcotest.string "local Z serves its own client" "Z"
+        s3.Scenario.ingress_domain
+  | _ -> Alcotest.fail "expected exactly three stages"
+
+let test_fig1_monotone_improvement () =
+  let rec monotone = function
+    | (a : Scenario.fig1_stage) :: (b :: _ as rest) ->
+        a.Scenario.metric >= b.Scenario.metric && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "redirection distance never worsens" true
+    (monotone (Lazy.force fig1));
+  (* final stage: the client's own ISP serves it at zero distance *)
+  let last = List.nth (Lazy.force fig1) 2 in
+  check (Alcotest.float 1e-9) "local service" 0.0 last.Scenario.metric
+
+(* --- Figure 2: default routes and peering advertisements ---------- *)
+
+let fig2 = lazy (Scenario.fig2 ())
+
+let terminates stage source rows =
+  match
+    List.find_opt
+      (fun (r : Scenario.fig2_row) ->
+        r.Scenario.stage = stage && r.Scenario.source = source)
+      rows
+  with
+  | Some r -> r.Scenario.terminates_in
+  | None -> "(missing)"
+
+let test_fig2_before_peering () =
+  let rows = Lazy.force fig2 in
+  check Alcotest.string "X defaults to D" "D"
+    (terminates "before Y-Q peering" "X" rows);
+  check Alcotest.string "Y defaults to D" "D"
+    (terminates "before Y-Q peering" "Y" rows);
+  check Alcotest.string "Z reaches Q" "Q" (terminates "before Y-Q peering" "Z" rows)
+
+let test_fig2_after_peering () =
+  let rows = Lazy.force fig2 in
+  check Alcotest.string "X still defaults to D" "D"
+    (terminates "after Y-Q peering" "X" rows);
+  check Alcotest.string "Y switches to Q" "Q"
+    (terminates "after Y-Q peering" "Y" rows);
+  check Alcotest.string "Z unchanged" "Q" (terminates "after Y-Q peering" "Z" rows)
+
+(* --- Figure 3: egress selection ----------------------------------- *)
+
+let fig3 = lazy (Scenario.fig3 ())
+
+let row3 name =
+  match
+    List.find_opt
+      (fun (r : Scenario.fig3_row) -> r.Scenario.strategy = name)
+      (Lazy.force fig3)
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("missing strategy row: " ^ name)
+
+let test_fig3_exit_early_leaves_at_m () =
+  let r = row3 "exit-early" in
+  check Alcotest.string "last vN hop in M" "M" r.Scenario.last_vn_domain;
+  check Alcotest.int "no vN-Bone hops" 0 r.Scenario.vn_hops
+
+let test_fig3_bgp_aware_rides_to_o () =
+  let r = row3 "bgpv(n-1)-aware" in
+  check Alcotest.string "last vN hop in O" "O" r.Scenario.last_vn_domain;
+  check Alcotest.bool "uses the vN-Bone" true (r.Scenario.vn_hops > 0)
+
+let test_fig3_bgp_aware_exits_closer () =
+  let early = row3 "exit-early" and aware = row3 "bgpv(n-1)-aware" in
+  check Alcotest.bool "fewer exposed exit hops" true
+    (aware.Scenario.exit_hops < early.Scenario.exit_hops);
+  check Alcotest.bool "larger vN fraction" true
+    (aware.Scenario.vn_fraction > early.Scenario.vn_fraction)
+
+(* --- Figure 4: advertising-by-proxy ------------------------------- *)
+
+let fig4 = lazy (Scenario.fig4 ())
+
+let row4 name =
+  match
+    List.find_opt
+      (fun (r : Scenario.fig4_row) -> r.Scenario.strategy = name)
+      (Lazy.force fig4)
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("missing strategy row: " ^ name)
+
+let test_fig4_delivery () =
+  List.iter
+    (fun (r : Scenario.fig4_row) ->
+      check Alcotest.bool ("delivered: " ^ r.Scenario.strategy) true
+        r.Scenario.delivered)
+    (Lazy.force fig4)
+
+let test_fig4_without_proxy_exits_at_a () =
+  let r = row4 "exit-early" in
+  check Alcotest.string "egress stays in A" "A" r.Scenario.egress_domain;
+  check Alcotest.int "no vN hops" 0 r.Scenario.vn_hops
+
+let test_fig4_proxy_rides_to_c () =
+  let r = row4 "advertise-by-proxy" in
+  check Alcotest.string "egress at C, adjacent to Z" "C" r.Scenario.egress_domain;
+  check Alcotest.bool "rides the vN-Bone" true (r.Scenario.vn_hops > 0)
+
+let test_fig4_proxy_reduces_exposure () =
+  let early = row4 "exit-early" and proxy = row4 "advertise-by-proxy" in
+  check Alcotest.bool "less IPv(N-1) exposure with proxy" true
+    (proxy.Scenario.exposure_hops < early.Scenario.exposure_hops)
+
+(* --- pretty-printers ------------------------------------------------ *)
+
+let render pp v =
+  let b = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer b in
+  pp fmt v;
+  Format.pp_print_flush fmt ();
+  Buffer.contents b
+
+let test_pp_smoke () =
+  let nonempty what s =
+    check Alcotest.bool (what ^ " renders") true (String.length s > 40)
+  in
+  nonempty "fig1" (render Scenario.pp_fig1 (Lazy.force fig1));
+  nonempty "fig2" (render Scenario.pp_fig2 (Lazy.force fig2));
+  nonempty "fig3" (render Scenario.pp_fig3 (Lazy.force fig3));
+  nonempty "fig4" (render Scenario.pp_fig4 (Lazy.force fig4))
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "stage count" `Quick test_fig1_stage_count;
+          Alcotest.test_case "always delivered" `Quick test_fig1_always_delivered;
+          Alcotest.test_case "ingress tracks deployment" `Quick
+            test_fig1_ingress_tracks_deployment;
+          Alcotest.test_case "monotone improvement" `Quick test_fig1_monotone_improvement;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "before peering" `Quick test_fig2_before_peering;
+          Alcotest.test_case "after peering" `Quick test_fig2_after_peering;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "exit-early leaves at M" `Quick
+            test_fig3_exit_early_leaves_at_m;
+          Alcotest.test_case "bgp-aware rides to O" `Quick test_fig3_bgp_aware_rides_to_o;
+          Alcotest.test_case "bgp-aware exits closer" `Quick
+            test_fig3_bgp_aware_exits_closer;
+        ] );
+      ("pp", [ Alcotest.test_case "printers render" `Quick test_pp_smoke ]);
+      ( "fig4",
+        [
+          Alcotest.test_case "delivery" `Quick test_fig4_delivery;
+          Alcotest.test_case "no proxy: exits at A" `Quick
+            test_fig4_without_proxy_exits_at_a;
+          Alcotest.test_case "proxy rides to C" `Quick test_fig4_proxy_rides_to_c;
+          Alcotest.test_case "proxy reduces exposure" `Quick
+            test_fig4_proxy_reduces_exposure;
+        ] );
+    ]

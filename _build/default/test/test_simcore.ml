@@ -1,0 +1,596 @@
+(* Tests for the event engine and the IPv4 forwarding plane. *)
+
+module Engine = Simcore.Engine
+module Forward = Simcore.Forward
+module Internet = Topology.Internet
+module Relationship = Topology.Relationship
+module Packet = Netcore.Packet
+module Ipv4 = Netcore.Ipv4
+module Addressing = Netcore.Addressing
+module Linkstate = Routing.Linkstate
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun _ -> log := 3 :: !log);
+  Engine.schedule e ~delay:1.0 (fun _ -> log := 1 :: !log);
+  Engine.schedule e ~delay:2.0 (fun _ -> log := 2 :: !log);
+  let n = Engine.run e in
+  check Alcotest.int "all ran" 3 n;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun _ -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  check Alcotest.(list int) "scheduling order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun e ->
+      log := "a" :: !log;
+      Engine.schedule e ~delay:1.0 (fun _ -> log := "c" :: !log);
+      Engine.schedule e ~delay:0.5 (fun _ -> log := "b" :: !log));
+  ignore (Engine.run e);
+  check Alcotest.(list string) "nested order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun _ -> incr count)
+  done;
+  let ran = Engine.run ~until:5.5 e in
+  check Alcotest.int "stopped at limit" 5 ran;
+  check Alcotest.int "remaining queued" 5 (Engine.pending e);
+  ignore (Engine.run e);
+  check Alcotest.int "rest ran" 10 !count
+
+let test_engine_rejects () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) (fun _ -> ()));
+  Engine.schedule e ~delay:5.0 (fun _ -> ());
+  ignore (Engine.run e);
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at e ~time:1.0 (fun _ -> ()))
+
+let prop_engine_time_order =
+  QCheck.Test.make ~name:"random schedules execute in time order" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 1000))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          Engine.schedule e ~delay:(float_of_int d) (fun e ->
+              fired := Engine.now e :: !fired))
+        delays;
+      ignore (Engine.run e);
+      let times = List.rev !fired in
+      List.length times = List.length delays
+      && List.for_all2
+           (fun a b -> a <= b)
+           (List.filteri (fun i _ -> i < List.length times - 1) times)
+           (List.tl times))
+
+(* ------------------------------------------------------------------ *)
+(* Forward                                                             *)
+
+let env_fixture =
+  lazy (Forward.make_env (Internet.build Internet.default_params))
+
+let test_forward_router_to_router () =
+  let env = Lazy.force env_fixture in
+  let inet = env.Forward.inet in
+  (* every router can reach every other router's address *)
+  let n = Internet.num_routers inet in
+  let rng = Topology.Rng.create 17L in
+  for _ = 1 to 200 do
+    let a = Topology.Rng.int rng n and b = Topology.Rng.int rng n in
+    let dst = (Internet.router inet b).Internet.raddr in
+    let p = Packet.make_data ~src:Ipv4.any ~dst "x" in
+    let trace = Forward.forward env p ~entry:a in
+    match trace.Forward.outcome with
+    | Forward.Router_accepted r -> check Alcotest.int "right router" b r
+    | _ -> Alcotest.fail (Printf.sprintf "router %d -> %d undelivered" a b)
+  done
+
+let test_forward_endhost_delivery () =
+  let env = Lazy.force env_fixture in
+  let inet = env.Forward.inet in
+  let hn = Array.length inet.Internet.endhosts in
+  let rng = Topology.Rng.create 18L in
+  for _ = 1 to 200 do
+    let src = Topology.Rng.int rng hn and dst = Topology.Rng.int rng hn in
+    let dsta = (Internet.endhost inet dst).Internet.haddr in
+    let p = Packet.make_data ~src:(Internet.endhost inet src).Internet.haddr ~dst:dsta "x" in
+    let trace = Forward.send_from_endhost env p ~endhost:src in
+    match trace.Forward.outcome with
+    | Forward.Endhost_accepted h -> check Alcotest.int "right endhost" dst h
+    | _ -> Alcotest.fail "endhost pair undelivered"
+  done
+
+let test_forward_trace_walks_edges () =
+  let env = Lazy.force env_fixture in
+  let inet = env.Forward.inet in
+  let dst = (Internet.router inet (Internet.num_routers inet - 1)).Internet.raddr in
+  let p = Packet.make_data ~src:Ipv4.any ~dst "x" in
+  let trace = Forward.forward env p ~entry:0 in
+  let rec consecutive = function
+    | a :: (b :: _ as rest) ->
+        Topology.Graph.has_edge inet.Internet.graph a b && consecutive rest
+    | _ -> true
+  in
+  check Alcotest.bool "hops are real edges" true (consecutive trace.Forward.hops);
+  check Alcotest.bool "metric positive" true (Forward.path_metric env trace > 0.0);
+  check Alcotest.int "hop count" (List.length trace.Forward.hops - 1)
+    (Forward.hop_count trace)
+
+let test_forward_ttl_expiry () =
+  let env = Lazy.force env_fixture in
+  let inet = env.Forward.inet in
+  let dst = (Internet.router inet (Internet.num_routers inet - 1)).Internet.raddr in
+  let p = { (Packet.make_data ~src:Ipv4.any ~dst "x") with Packet.ttl = 2 } in
+  let trace = Forward.forward env p ~entry:0 in
+  (match trace.Forward.outcome with
+  | Forward.Dropped Forward.Ttl_expired -> ()
+  | Forward.Router_accepted _ ->
+      (* entry may be adjacent; retry with ttl 1 and a far target *)
+      Alcotest.fail "expected ttl expiry for distant destination"
+  | _ -> Alcotest.fail "unexpected outcome");
+  check Alcotest.bool "trace cut short" true (List.length trace.Forward.hops <= 2)
+
+let test_forward_no_route () =
+  let env = Lazy.force env_fixture in
+  (* an address in an unallocated domain block *)
+  let dst = Ipv4.of_string "9.9.9.9" in
+  let p = Packet.make_data ~src:Ipv4.any ~dst "x" in
+  let trace = Forward.forward env p ~entry:0 in
+  match trace.Forward.outcome with
+  | Forward.Dropped Forward.No_route -> ()
+  | _ -> Alcotest.fail "expected no-route drop"
+
+let test_forward_anycast_intra () =
+  (* fresh env to avoid polluting the shared fixture's IGPs *)
+  let env = Forward.make_env (Internet.build Internet.default_params) in
+  let inet = env.Forward.inet in
+  let group = Addressing.anycast_global ~group:8 in
+  let dom = Internet.domain inet 0 in
+  let member = dom.Internet.router_ids.(0) in
+  Routing.Igp.advertise_anycast env.Forward.igps.(0) ~group ~member;
+  Interdomain.Bgp.originate env.Forward.bgp ~domain:0 group;
+  ignore (Forward.reconverge env);
+  let dst = Addressing.anycast_address group in
+  (* from inside the domain *)
+  let local = dom.Internet.router_ids.(Array.length dom.Internet.router_ids - 1) in
+  check Alcotest.(option int) "local redirection" (Some member)
+    (Forward.anycast_member_reached env ~dst ~entry:local);
+  (* from a remote domain: crosses BGP then lands at the member *)
+  let remote = (Internet.domain inet 7).Internet.router_ids.(0) in
+  check Alcotest.(option int) "remote redirection" (Some member)
+    (Forward.anycast_member_reached env ~dst ~entry:remote)
+
+let prop_forward_trace_shape =
+  QCheck.Test.make ~name:"traces start at the entry and never self-loop"
+    ~count:80
+    QCheck.(pair (int_bound 10000) (int_bound 10000))
+    (fun (a, b) ->
+      let env = Lazy.force env_fixture in
+      let inet = env.Forward.inet in
+      let entry = a mod Internet.num_routers inet in
+      let dst =
+        (Internet.endhost inet (b mod Array.length inet.Internet.endhosts))
+          .Internet.haddr
+      in
+      let p = Packet.make_data ~src:Ipv4.any ~dst "x" in
+      let trace = Forward.forward env p ~entry in
+      let rec no_self_loop = function
+        | x :: (y :: _ as rest) -> x <> y && no_self_loop rest
+        | _ -> true
+      in
+      (match trace.Forward.hops with
+      | first :: _ -> first = entry
+      | [] -> false)
+      && no_self_loop trace.Forward.hops)
+
+let prop_forward_universal_reachability =
+  QCheck.Test.make ~name:"all endhost pairs deliver on random internets"
+    ~count:5
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let params =
+        { Internet.default_params with Internet.seed = Int64.of_int seed }
+      in
+      let env = Forward.make_env (Internet.build params) in
+      let inet = env.Forward.inet in
+      let hn = Array.length inet.Internet.endhosts in
+      let rng = Topology.Rng.create (Int64.of_int (seed + 1)) in
+      List.for_all
+        (fun _ ->
+          let src = Topology.Rng.int rng hn and dst = Topology.Rng.int rng hn in
+          let dsta = (Internet.endhost inet dst).Internet.haddr in
+          let p = Packet.make_data ~src:Ipv4.any ~dst:dsta "x" in
+          Forward.delivered (Forward.send_from_endhost env p ~endhost:src))
+        (List.init 40 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed IGP flavors                                                   *)
+
+let mixed_env =
+  lazy
+    (Forward.make_env
+       ~flavor_of:(fun d ->
+         if d mod 2 = 0 then Routing.Igp.Linkstate_igp else Routing.Igp.Distvec_igp)
+       (Internet.build Internet.default_params))
+
+let test_mixed_igp_universal_reachability () =
+  let env = Lazy.force mixed_env in
+  let inet = env.Forward.inet in
+  let hn = Array.length inet.Internet.endhosts in
+  let rng = Topology.Rng.create 31L in
+  for _ = 1 to 150 do
+    let src = Topology.Rng.int rng hn and dst = Topology.Rng.int rng hn in
+    let dsta = (Internet.endhost inet dst).Internet.haddr in
+    let p = Packet.make_data ~src:Ipv4.any ~dst:dsta "x" in
+    let trace = Forward.send_from_endhost env p ~endhost:src in
+    match trace.Forward.outcome with
+    | Forward.Endhost_accepted h -> check Alcotest.int "delivered" dst h
+    | _ -> Alcotest.fail "mixed-IGP delivery failed"
+  done
+
+let test_mixed_igp_anycast_in_dv_domain () =
+  let env = Lazy.force mixed_env in
+  let inet = env.Forward.inet in
+  (* domain 5 runs distance-vector under the mixed flavoring *)
+  check Alcotest.bool "fixture sanity: domain 5 is DV" true
+    (Routing.Igp.flavor env.Forward.igps.(5) = Routing.Igp.Distvec_igp);
+  let group = Addressing.anycast_global ~group:8 in
+  let member = (Internet.domain inet 5).Internet.router_ids.(0) in
+  Routing.Igp.advertise_anycast env.Forward.igps.(5) ~group ~member;
+  Interdomain.Bgp.originate env.Forward.bgp ~domain:5 group;
+  ignore (Forward.reconverge env);
+  let dst = Addressing.anycast_address group in
+  (* local and remote clients all reach the DV-domain member *)
+  check Alcotest.(option int) "local" (Some member)
+    (Forward.anycast_member_reached env ~dst
+       ~entry:(Internet.domain inet 5).Internet.router_ids.(3));
+  check Alcotest.(option int) "remote" (Some member)
+    (Forward.anycast_member_reached env ~dst
+       ~entry:(Internet.domain inet 8).Internet.router_ids.(0));
+  (* DV reveals no member identity to the control plane *)
+  check Alcotest.bool "DV hides the member set" true
+    (Routing.Igp.anycast_members env.Forward.igps.(5) ~group = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lsproto                                                             *)
+
+module Lsproto = Simcore.Lsproto
+
+let ls_fixture ?(n = 10) ?(seed = 3L) () =
+  let inet =
+    Internet.build_custom ~seed
+      [| { Internet.routers = n; endhosts = 1; transit = true } |]
+      []
+  in
+  let proto = Lsproto.create inet ~domain:0 in
+  let engine = Engine.create () in
+  Lsproto.start proto engine;
+  ignore (Engine.run engine);
+  (inet, proto, engine)
+
+let test_lsproto_synchronizes () =
+  let _, proto, _ = ls_fixture () in
+  check Alcotest.bool "all LSDBs identical" true (Lsproto.lsdb_synchronized proto)
+
+let test_lsproto_views_match_linkstate () =
+  let inet, proto, _ = ls_fixture () in
+  let ls = Linkstate.compute inet ~domain:0 in
+  let routers = Linkstate.routers ls in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "view %d->%d" a b)
+            (Linkstate.distance ls ~src:a ~dst:b)
+            (Lsproto.distance_view proto ~router:a ~dst:b))
+        routers)
+    routers
+
+let test_lsproto_flood_cost_bounded () =
+  let inet, proto, _ = ls_fixture () in
+  let intra_edges = Topology.Graph.edge_count inet.Internet.graph in
+  let n = Array.length (Internet.domain inet 0).Internet.router_ids in
+  let s = Lsproto.stats proto in
+  check Alcotest.int "one origination per router" n s.Lsproto.originations;
+  (* each LSA crosses each link at most twice (once per direction) *)
+  check Alcotest.bool "message bound" true
+    (s.Lsproto.messages <= n * 2 * intra_edges);
+  check Alcotest.bool "messages were sent" true (s.Lsproto.messages > 0)
+
+let test_lsproto_anycast_propagates () =
+  let inet, proto, engine = ls_fixture () in
+  let group = Addressing.anycast_global ~group:8 in
+  let member = (Internet.domain inet 0).Internet.router_ids.(3) in
+  Lsproto.advertise_anycast proto engine ~router:member group;
+  (* before the flood runs, a remote router may not know yet *)
+  let far =
+    (Internet.domain inet 0).Internet.router_ids.(7)
+  in
+  ignore (Engine.run engine);
+  check Alcotest.(list int) "everyone sees the member" [ member ]
+    (Lsproto.members_view proto ~router:far group);
+  check Alcotest.bool "synchronized after flood" true
+    (Lsproto.lsdb_synchronized proto);
+  (* withdrawal also floods *)
+  Lsproto.withdraw_anycast proto engine ~router:member group;
+  ignore (Engine.run engine);
+  check Alcotest.(list int) "member gone from views" []
+    (Lsproto.members_view proto ~router:far group)
+
+let test_lsproto_convergence_latency () =
+  (* with unit link delay, an update reaches everyone within the
+     origin's eccentricity *)
+  let inet, proto, engine = ls_fixture ~n:16 () in
+  let group = Addressing.anycast_global ~group:9 in
+  let member = (Internet.domain inet 0).Internet.router_ids.(0) in
+  let t0 = Engine.now engine in
+  Lsproto.advertise_anycast proto engine ~router:member group;
+  ignore (Engine.run engine);
+  let ecc =
+    Routing.Spt.eccentricity inet.Internet.graph ~src:member ~allow:(fun _ -> true)
+  in
+  let s = Lsproto.stats proto in
+  check Alcotest.bool "flood finishes within eccentricity" true
+    (s.Lsproto.last_change -. t0 <= float_of_int ecc +. 1e-9)
+
+let test_lsproto_link_failure_reconverges () =
+  let inet, proto, engine = ls_fixture ~n:10 ~seed:6L () in
+  (* remove a cycle edge so the domain stays connected *)
+  let g = inet.Internet.graph in
+  let edge =
+    List.find_opt
+      (fun (a, b, _) ->
+        Topology.Graph.remove_edge g a b;
+        let still = Topology.Graph.is_connected g in
+        if not still then Topology.Graph.add_edge g a b 1.0;
+        still)
+      (Topology.Graph.edges g)
+  in
+  match edge with
+  | None -> Alcotest.fail "no removable edge"
+  | Some (a, b, _) ->
+      Lsproto.link_failed proto engine a b;
+      ignore (Engine.run engine);
+      check Alcotest.bool "synchronized after failure" true
+        (Lsproto.lsdb_synchronized proto);
+      (* every router's view equals routing recomputed on the mutated
+         graph *)
+      let ls = Linkstate.compute inet ~domain:0 in
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              check (Alcotest.float 1e-9)
+                (Printf.sprintf "post-failure view %d->%d" src dst)
+                (Linkstate.distance ls ~src ~dst)
+                (Lsproto.distance_view proto ~router:src ~dst))
+            (Linkstate.routers ls))
+        (Linkstate.routers ls)
+
+(* ------------------------------------------------------------------ *)
+(* Fib                                                                 *)
+
+module Fib = Simcore.Fib
+
+let fib_env =
+  lazy
+    (let env = Forward.make_env (Internet.build Internet.default_params) in
+     (* some anycast state so group entries are exercised too *)
+     let group = Addressing.anycast_global ~group:8 in
+     let dom = Internet.domain env.Forward.inet 5 in
+     Array.iter
+       (fun m -> Routing.Igp.advertise_anycast env.Forward.igps.(5) ~group ~member:m)
+       dom.Internet.router_ids;
+     Interdomain.Bgp.originate env.Forward.bgp ~domain:5 group;
+     ignore (Forward.reconverge env);
+     (env, Fib.compile env))
+
+let test_fib_agrees_with_decide () =
+  let env, fib = Lazy.force fib_env in
+  let inet = env.Forward.inet in
+  let rng = Topology.Rng.create 21L in
+  let samples =
+    List.init 300 (fun _ ->
+        let entry = Topology.Rng.int rng (Internet.num_routers inet) in
+        let dst =
+          match Topology.Rng.int rng 4 with
+          | 0 ->
+              (Internet.router inet (Topology.Rng.int rng (Internet.num_routers inet)))
+                .Internet.raddr
+          | 1 ->
+              (Internet.endhost inet
+                 (Topology.Rng.int rng (Array.length inet.Internet.endhosts)))
+                .Internet.haddr
+          | 2 -> Addressing.anycast_address (Addressing.anycast_global ~group:8)
+          | _ -> Ipv4.of_string "9.9.9.9" (* unrouted *)
+        in
+        (entry, dst))
+  in
+  match Fib.agrees_with_decide fib env ~samples with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_fib_sizes_sane () =
+  let env, fib = Lazy.force fib_env in
+  let inet = env.Forward.inet in
+  for r = 0 to Internet.num_routers inet - 1 do
+    let d = (Internet.router inet r).Internet.rdomain in
+    let dom = Internet.domain inet d in
+    (* at least: every in-domain router and endhost, plus the external
+       prefixes the domain's RIB carries *)
+    let minimum =
+      Array.length dom.Internet.router_ids
+      + Array.length dom.Internet.endhost_ids
+    in
+    check Alcotest.bool "enough entries" true (Fib.size fib ~router:r >= minimum)
+  done;
+  check Alcotest.bool "total is the per-router sum" true
+    (Fib.total_entries fib
+    = List.fold_left ( + ) 0
+        (List.init (Internet.num_routers inet) (fun r -> Fib.size fib ~router:r)))
+
+let test_fib_forward_delivers () =
+  let env, fib = Lazy.force fib_env in
+  let inet = env.Forward.inet in
+  let dst = (Internet.endhost inet 40).Internet.haddr in
+  let p = Netcore.Packet.make_data ~src:Ipv4.any ~dst "x" in
+  let trace = Fib.forward fib env p ~entry:0 in
+  match trace.Forward.outcome with
+  | Forward.Endhost_accepted 40 -> ()
+  | _ -> Alcotest.fail "fib forwarding failed to deliver"
+
+(* ------------------------------------------------------------------ *)
+(* Bgpdyn                                                              *)
+
+module Bgpdyn = Simcore.Bgpdyn
+
+let test_bgpdyn_matches_synchronous () =
+  let inet = Internet.build Internet.default_params in
+  let dyn = Bgpdyn.create inet in
+  let engine = Engine.create () in
+  Bgpdyn.originate_all_domain_prefixes dyn engine;
+  ignore (Engine.run engine);
+  (match Bgpdyn.agrees_with_synchronous dyn with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let s = Bgpdyn.stats dyn in
+  check Alcotest.bool "updates flowed" true (s.Bgpdyn.updates > 0);
+  check Alcotest.bool "every domain changed at least once" true
+    (s.Bgpdyn.best_changes >= Internet.num_domains inet)
+
+let test_bgpdyn_matches_synchronous_random_seeds () =
+  List.iter
+    (fun seed ->
+      let params = { Internet.default_params with Internet.seed } in
+      let inet = Internet.build params in
+      let dyn = Bgpdyn.create ~mrai:1.0 inet in
+      let engine = Engine.create () in
+      Bgpdyn.originate_all_domain_prefixes dyn engine;
+      ignore (Engine.run engine);
+      match Bgpdyn.agrees_with_synchronous dyn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    [ 7L; 1234L; 777L ]
+
+let test_bgpdyn_incremental_origination () =
+  let inet = Internet.build Internet.default_params in
+  let dyn = Bgpdyn.create inet in
+  let engine = Engine.create () in
+  Bgpdyn.originate_all_domain_prefixes dyn engine;
+  ignore (Engine.run engine);
+  (* a new anycast prefix appears later and still reaches everyone *)
+  let g = Addressing.anycast_global ~group:8 in
+  Bgpdyn.originate dyn engine ~domain:5 g;
+  ignore (Engine.run engine);
+  for d = 0 to Internet.num_domains inet - 1 do
+    match Bgpdyn.best_path dyn ~domain:d g with
+    | Some path ->
+        check Alcotest.bool "terminates at the origin" true
+          (List.nth path (List.length path - 1) = 5)
+    | None -> Alcotest.fail (Printf.sprintf "domain %d missing anycast route" d)
+  done;
+  match Bgpdyn.agrees_with_synchronous dyn with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_bgpdyn_mrai_tradeoff () =
+  (* larger MRAI coalesces updates: fewer messages, later quiescence *)
+  let run mrai =
+    let inet = Internet.build Internet.default_params in
+    let dyn = Bgpdyn.create ~mrai inet in
+    let engine = Engine.create () in
+    Bgpdyn.originate_all_domain_prefixes dyn engine;
+    ignore (Engine.run engine);
+    Bgpdyn.stats dyn
+  in
+  let fast = run 0.01 and slow = run 5.0 in
+  check Alcotest.bool "mrai reduces update count" true
+    (slow.Bgpdyn.updates <= fast.Bgpdyn.updates);
+  check Alcotest.bool "mrai delays quiescence" true
+    (slow.Bgpdyn.last_change >= fast.Bgpdyn.last_change)
+
+let () =
+  Alcotest.run "simcore"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "fifo at equal time" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "rejects bad input" `Quick test_engine_rejects;
+          qcheck prop_engine_time_order;
+        ] );
+      ( "forward",
+        [
+          Alcotest.test_case "router to router" `Quick test_forward_router_to_router;
+          Alcotest.test_case "endhost delivery" `Quick test_forward_endhost_delivery;
+          Alcotest.test_case "trace walks real edges" `Quick
+            test_forward_trace_walks_edges;
+          Alcotest.test_case "ttl expiry" `Quick test_forward_ttl_expiry;
+          Alcotest.test_case "no route" `Quick test_forward_no_route;
+          Alcotest.test_case "intra+inter anycast" `Quick test_forward_anycast_intra;
+          qcheck prop_forward_trace_shape;
+          qcheck prop_forward_universal_reachability;
+        ] );
+      ( "mixed-igp",
+        [
+          Alcotest.test_case "universal reachability" `Quick
+            test_mixed_igp_universal_reachability;
+          Alcotest.test_case "anycast in a DV domain" `Quick
+            test_mixed_igp_anycast_in_dv_domain;
+        ] );
+      ( "lsproto",
+        [
+          Alcotest.test_case "LSDBs synchronize" `Quick test_lsproto_synchronizes;
+          Alcotest.test_case "views match linkstate" `Quick
+            test_lsproto_views_match_linkstate;
+          Alcotest.test_case "flood cost bounded" `Quick test_lsproto_flood_cost_bounded;
+          Alcotest.test_case "anycast propagates" `Quick test_lsproto_anycast_propagates;
+          Alcotest.test_case "convergence latency" `Quick
+            test_lsproto_convergence_latency;
+          Alcotest.test_case "link failure re-converges" `Quick
+            test_lsproto_link_failure_reconverges;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "agrees with decide" `Quick test_fib_agrees_with_decide;
+          Alcotest.test_case "sizes sane" `Quick test_fib_sizes_sane;
+          Alcotest.test_case "forwarding delivers" `Quick test_fib_forward_delivers;
+        ] );
+      ( "bgpdyn",
+        [
+          Alcotest.test_case "matches synchronous engine" `Quick
+            test_bgpdyn_matches_synchronous;
+          Alcotest.test_case "matches across seeds" `Quick
+            test_bgpdyn_matches_synchronous_random_seeds;
+          Alcotest.test_case "incremental origination" `Quick
+            test_bgpdyn_incremental_origination;
+          Alcotest.test_case "MRAI trade-off" `Quick test_bgpdyn_mrai_tradeoff;
+        ] );
+    ]

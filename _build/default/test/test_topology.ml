@@ -1,0 +1,371 @@
+(* Tests for the graph/RNG/internet-generation substrate. *)
+
+module Rng = Topology.Rng
+module Graph = Topology.Graph
+module Relationship = Topology.Relationship
+module Internet = Topology.Internet
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 7L in
+  let s = Rng.split r in
+  (* drawing from the split stream must not change the parent's future *)
+  let r2 = Rng.create 7L in
+  let _ = Rng.split r2 in
+  ignore (Rng.int s 100);
+  check Alcotest.int "parent unaffected" (Rng.int r2 1000000) (Rng.int r 1000000)
+
+let test_rng_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    check Alcotest.bool "int_in range" true (v >= -5 && v <= 5)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r 2.5 in
+    check Alcotest.bool "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 9L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  check Alcotest.bool "same multiset" true (sorted = Array.init 50 Fun.id)
+
+let test_rng_sample () =
+  let r = Rng.create 9L in
+  let s = Rng.sample r 5 [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  check Alcotest.int "size" 5 (List.length s);
+  check Alcotest.int "distinct" 5 (List.length (List.sort_uniq Int.compare s));
+  check Alcotest.int "oversample" 3 (List.length (Rng.sample r 99 [ 1; 2; 3 ]))
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 5L in
+  let n = 20000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential r 3.0 in
+    check Alcotest.bool "non-negative" true (x >= 0.0);
+    total := !total +. x
+  done;
+  let mean = !total /. float_of_int n in
+  check Alcotest.bool "sample mean near 3" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_rng_zipf_head_heavy () =
+  let r = Rng.create 5L in
+  let hits = Array.make 11 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.zipf r ~n:10 ~s:1.0 in
+    hits.(k) <- hits.(k) + 1
+  done;
+  check Alcotest.bool "rank 1 dominates rank 10" true (hits.(1) > 3 * hits.(10))
+
+let prop_rng_zipf_in_range =
+  QCheck.Test.make ~name:"zipf stays in range" ~count:200
+    QCheck.(pair (int_bound 1000) (int_bound 30))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let r = Rng.create (Int64.of_int seed) in
+      let k = Rng.zipf r ~n ~s:1.1 in
+      k >= 1 && k <= n)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+
+let test_graph_edges () =
+  let g = Graph.create ~n:4 in
+  Graph.add_edge g 0 1 2.0;
+  Graph.add_edge g 1 2 3.0;
+  check Alcotest.bool "undirected" true (Graph.has_edge g 1 0);
+  check Alcotest.(option (float 0.0)) "weight" (Some 2.0) (Graph.edge_weight g 0 1);
+  check Alcotest.int "edge count" 2 (Graph.edge_count g);
+  Graph.add_edge g 0 1 5.0;
+  check Alcotest.int "replace keeps count" 2 (Graph.edge_count g);
+  check Alcotest.(option (float 0.0)) "replaced" (Some 5.0) (Graph.edge_weight g 0 1);
+  Graph.remove_edge g 0 1;
+  check Alcotest.bool "removed" false (Graph.has_edge g 0 1);
+  check Alcotest.int "count after remove" 1 (Graph.edge_count g)
+
+let test_graph_rejects () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 0 0 1.0);
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Graph.add_edge: non-positive weight") (fun () ->
+      Graph.add_edge g 0 1 0.0);
+  Alcotest.check_raises "range" (Invalid_argument "Graph.add_edge: node out of range")
+    (fun () -> Graph.add_edge g 0 5 1.0)
+
+let test_graph_components () =
+  let g = Graph.create ~n:6 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 1.0;
+  Graph.add_edge g 3 4 1.0;
+  let comps = Graph.components g in
+  check Alcotest.int "three components" 3 (List.length comps);
+  check Alcotest.bool "not connected" false (Graph.is_connected g);
+  Graph.add_edge g 2 3 1.0;
+  Graph.add_edge g 4 5 1.0;
+  check Alcotest.bool "now connected" true (Graph.is_connected g)
+
+let test_graph_copy_isolated () =
+  let g = Graph.create ~n:3 in
+  Graph.add_edge g 0 1 1.0;
+  let g' = Graph.copy g in
+  Graph.add_edge g' 1 2 1.0;
+  check Alcotest.bool "copy independent" false (Graph.has_edge g 1 2);
+  check Alcotest.bool "copy has it" true (Graph.has_edge g' 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Relationship                                                        *)
+
+let test_relationship_invert () =
+  check Alcotest.bool "c/p" true
+    (Relationship.invert Relationship.Customer = Relationship.Provider);
+  check Alcotest.bool "peer" true
+    (Relationship.invert Relationship.Peer = Relationship.Peer)
+
+let test_relationship_gao_rexford () =
+  let open Relationship in
+  (* customer routes are exported to everyone *)
+  List.iter
+    (fun to_ ->
+      check Alcotest.bool "customer route exported" true
+        (export_allowed ~learned_from:Customer ~to_))
+    [ Customer; Peer; Provider ];
+  (* peer/provider routes go only to customers *)
+  List.iter
+    (fun learned_from ->
+      check Alcotest.bool "to customer ok" true
+        (export_allowed ~learned_from ~to_:Customer);
+      check Alcotest.bool "to peer blocked" false
+        (export_allowed ~learned_from ~to_:Peer);
+      check Alcotest.bool "to provider blocked" false
+        (export_allowed ~learned_from ~to_:Provider))
+    [ Peer; Provider ];
+  check Alcotest.bool "preference order" true
+    (local_preference Customer > local_preference Peer
+    && local_preference Peer > local_preference Provider)
+
+(* ------------------------------------------------------------------ *)
+(* Internet                                                            *)
+
+let test_build_invariants () =
+  let t = Internet.build Internet.default_params in
+  (match Internet.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "domain count"
+    (Internet.default_params.Internet.transit_domains
+    * (1 + Internet.default_params.Internet.stubs_per_transit))
+    (Internet.num_domains t)
+
+let prop_build_invariants_any_seed =
+  QCheck.Test.make ~name:"build invariants hold for any seed" ~count:25
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let params =
+        { Internet.default_params with Internet.seed = Int64.of_int seed }
+      in
+      Internet.check_invariants (Internet.build params) = Ok ())
+
+let prop_build_styles =
+  QCheck.Test.make ~name:"all intra styles produce connected domains" ~count:10
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      List.for_all
+        (fun style ->
+          let params =
+            {
+              Internet.default_params with
+              Internet.seed = Int64.of_int seed;
+              intra_style = style;
+            }
+          in
+          Internet.check_invariants (Internet.build params) = Ok ())
+        [
+          Internet.Ring_chords 2;
+          Internet.Waxman (0.9, 0.3);
+          Internet.Erdos_renyi 0.15;
+        ])
+
+let test_build_relationships () =
+  let t = Internet.build Internet.default_params in
+  let nt = Internet.default_params.Internet.transit_domains in
+  (* every stub sees its transit as Provider *)
+  let stub = nt in
+  (match Internet.relationship t ~of_:stub ~to_:0 with
+  | Some Relationship.Provider -> ()
+  | _ -> Alcotest.fail "stub should see transit 0 as provider");
+  (* transit core is a full peer mesh *)
+  for i = 0 to nt - 1 do
+    for j = 0 to nt - 1 do
+      if i <> j then
+        match Internet.relationship t ~of_:i ~to_:j with
+        | Some Relationship.Peer -> ()
+        | _ -> Alcotest.fail "transit pair should peer"
+    done
+  done
+
+let test_build_custom () =
+  let spec r e tr = { Internet.routers = r; endhosts = e; transit = tr } in
+  let t =
+    Internet.build_custom
+      [| spec 3 1 true; spec 2 1 false |]
+      [ { Internet.a = 1; b = 0; rel_of_b = Relationship.Provider } ]
+  in
+  (match Internet.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "domains" 2 (Internet.num_domains t);
+  check Alcotest.int "routers" 5 (Internet.num_routers t);
+  (match Internet.relationship t ~of_:1 ~to_:0 with
+  | Some Relationship.Provider -> ()
+  | _ -> Alcotest.fail "custom relationship");
+  (match Internet.relationship t ~of_:0 ~to_:1 with
+  | Some Relationship.Customer -> ()
+  | _ -> Alcotest.fail "custom relationship inverse")
+
+let prop_build_ba_invariants =
+  QCheck.Test.make ~name:"preferential-attachment build invariants" ~count:10
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let params =
+        {
+          Internet.default_ba_params with
+          Internet.ba_seed = Int64.of_int seed;
+        }
+      in
+      Internet.check_invariants (Internet.build_ba params) = Ok ())
+
+let test_build_ba_structure () =
+  let t = Internet.build_ba Internet.default_ba_params in
+  check Alcotest.int "domain count" Internet.default_ba_params.Internet.ba_domains
+    (Internet.num_domains t);
+  (* the seed clique peers fully *)
+  let k = Internet.default_ba_params.Internet.ba_seed_clique in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then
+        match Internet.relationship t ~of_:i ~to_:j with
+        | Some Relationship.Peer -> ()
+        | _ -> Alcotest.fail "core clique must peer"
+    done
+  done;
+  (* every non-core domain has at least one provider *)
+  for d = k to Internet.num_domains t - 1 do
+    let has_provider =
+      List.exists
+        (fun (_, rel) -> rel = Relationship.Provider)
+        (Internet.neighbor_domains t d)
+    in
+    check Alcotest.bool "edge domain has a provider" true has_provider
+  done;
+  (* heavy tail: the busiest domain has far more links than the median *)
+  let degs =
+    List.init (Internet.num_domains t) (fun d ->
+        List.length (Internet.neighbor_domains t d))
+  in
+  let sorted = List.sort compare degs in
+  let median = List.nth sorted (List.length sorted / 2) in
+  let top = List.nth sorted (List.length sorted - 1) in
+  check Alcotest.bool "heavy-tailed degrees" true (top >= 2 * median)
+
+let test_accessors () =
+  let t = Internet.small_example () in
+  let r0 = Internet.router t 0 in
+  check Alcotest.(option int) "router by addr" (Some 0)
+    (Option.map
+       (fun (r : Internet.router) -> r.Internet.rid)
+       (Internet.router_of_addr t r0.Internet.raddr));
+  let h0 = Internet.endhost t 0 in
+  check Alcotest.(option int) "endhost by addr" (Some 0)
+    (Option.map
+       (fun (h : Internet.endhost) -> h.Internet.hid)
+       (Internet.endhost_of_addr t h0.Internet.haddr));
+  check Alcotest.(option int) "domain of addr" (Some h0.Internet.hdomain)
+    (Internet.domain_of_addr t h0.Internet.haddr);
+  let borders = Internet.border_routers t 0 in
+  check Alcotest.bool "has border routers" true (borders <> []);
+  List.iter
+    (fun b ->
+      check Alcotest.int "border in domain" 0 (Internet.router t b).Internet.rdomain)
+    borders
+
+let test_interlinks_between_orientation () =
+  let t = Internet.small_example () in
+  match t.Internet.interlinks with
+  | [] -> Alcotest.fail "no interlinks"
+  | l :: _ ->
+      let a = l.Internet.a_domain and b = l.Internet.b_domain in
+      let fwd = Internet.interlinks_between t a b in
+      let bwd = Internet.interlinks_between t b a in
+      check Alcotest.bool "both orientations seen" true (fwd <> [] && bwd <> []);
+      List.iter
+        (fun il ->
+          check Alcotest.int "normalised" a il.Internet.a_domain;
+          check Alcotest.int "normalised b" b il.Internet.b_domain)
+        fwd;
+      (* relationship flips with orientation *)
+      let rel_fwd = (List.hd fwd).Internet.rel in
+      let rel_bwd = (List.hd bwd).Internet.rel in
+      check Alcotest.bool "inverted" true (Relationship.invert rel_fwd = rel_bwd)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf head heavy" `Quick test_rng_zipf_head_heavy;
+          qcheck prop_rng_zipf_in_range;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "edges" `Quick test_graph_edges;
+          Alcotest.test_case "rejects bad input" `Quick test_graph_rejects;
+          Alcotest.test_case "components" `Quick test_graph_components;
+          Alcotest.test_case "copy isolation" `Quick test_graph_copy_isolated;
+        ] );
+      ( "relationship",
+        [
+          Alcotest.test_case "invert" `Quick test_relationship_invert;
+          Alcotest.test_case "gao-rexford rules" `Quick test_relationship_gao_rexford;
+        ] );
+      ( "internet",
+        [
+          Alcotest.test_case "build invariants" `Quick test_build_invariants;
+          Alcotest.test_case "relationships" `Quick test_build_relationships;
+          Alcotest.test_case "custom build" `Quick test_build_custom;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "interlink orientation" `Quick
+            test_interlinks_between_orientation;
+          Alcotest.test_case "preferential-attachment structure" `Quick
+            test_build_ba_structure;
+          qcheck prop_build_invariants_any_seed;
+          qcheck prop_build_styles;
+          qcheck prop_build_ba_invariants;
+        ] );
+    ]
