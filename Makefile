@@ -1,0 +1,19 @@
+.PHONY: build test lint explain bench report
+
+build:        ## build everything (zero warnings expected)
+	dune build @all
+
+test:         ## ten alcotest suites + the lint pass
+	dune runtest
+
+lint:         ## evolvelint: layering, determinism, interfaces, experiments
+	dune build @lint
+
+explain:      ## print every lint rule's rationale and provenance
+	dune exec tools/lint/main.exe -- --explain all
+
+bench:        ## all figures, experiments E1-E28, microbenchmarks
+	dune exec bench/main.exe
+
+report:       ## regenerate RESULTS.md
+	dune exec bin/evolvenet.exe -- report -o RESULTS.md

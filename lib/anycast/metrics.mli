@@ -3,7 +3,7 @@
     "Stretch" compares the path an anycast packet actually takes with
     the best path to {e any} group member reachable by ordinary unicast
     forwarding — both measured on the policy-routed data plane, since
-    the paper's notion of "closest" is "the network's measure of
+    the paper's notion of "closest" (§3.2) is "the network's measure of
     routing distance". *)
 
 val unicast_metric : Simcore.Forward.env -> endhost:int -> router:int -> float option

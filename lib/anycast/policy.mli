@@ -1,6 +1,6 @@
 (** Per-domain willingness to carry anycast prefixes.
 
-    Option 1 of the paper requires non-participant ISPs to "propagate a
+    Option 1 of the paper (§3.2) requires non-participant ISPs to "propagate a
     small number of non-aggregatable anycast addresses in [their]
     inter-domain routing protocol" — a policy change, not a mechanism
     change. This table models that policy knob per (domain, prefix);

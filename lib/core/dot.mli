@@ -1,6 +1,8 @@
 (** GraphViz (DOT) export of internets and vN-Bones.
 
-    Handy for inspecting generated topologies and deployments:
+    Handy for inspecting generated topologies and deployments — in
+    particular for eyeballing §3.3.1's claim that the vN-Bone "should
+    evolve to be congruent with the underlying physical topology":
 
     {v
     dune exec bin/evolvenet.exe -- dot internet > net.dot

@@ -420,7 +420,9 @@ type e21_row = {
   bgp_rounds : int;
   mean_stretch21 : float;
   delivery21 : float;
-  build_seconds : float;
+  total_rib : int;
+      (** summed per-domain RIB entries — a deterministic cost measure
+          (wall-clock timing lives in bench/, never in experiment rows) *)
 }
 
 val e21_size_scaling : ?transit_counts:int list -> unit -> e21_row list

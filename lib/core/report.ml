@@ -283,7 +283,7 @@ let experiment_section buf =
           (E.e20_anycast_resilience ())));
   add "E21 — size scaling"
     (table
-       [ "domains"; "routers"; "BGP rounds"; "stretch"; "delivery" ]
+       [ "domains"; "routers"; "BGP rounds"; "stretch"; "delivery"; "total RIB" ]
        (List.map
           (fun (r : E.e21_row) ->
             [
@@ -292,6 +292,7 @@ let experiment_section buf =
               Table.fi r.E.bgp_rounds;
               Table.ff r.E.mean_stretch21;
               Table.fpct r.E.delivery21;
+              Table.fi r.E.total_rib;
             ])
           (E.e21_size_scaling ())));
   add "E22 — compiled FIB sizes"

@@ -1,8 +1,9 @@
 (** One-shot results report.
 
-    Runs every figure scenario and experiment and renders a single
-    markdown document — the "regenerate all the numbers" button behind
-    EXPERIMENTS.md. Deterministic: two runs produce identical text. *)
+    Runs every figure scenario (the paper's §3.2 figures) and
+    experiment and renders a single markdown document — the
+    "regenerate all the numbers" button behind EXPERIMENTS.md.
+    Deterministic: two runs produce identical text. *)
 
 val generate : unit -> string
 (** The full report as markdown. Takes a few seconds (it runs all of

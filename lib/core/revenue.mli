@@ -1,4 +1,4 @@
-(** The revenue-flow assumption (A4), made measurable.
+(** The paper's revenue-flow assumption (§2, A4), made measurable.
 
     The paper posits that an ISP offering IPvN attracts traffic from
     non-offering ISPs and thereby gains settlement revenue. We measure

@@ -1,4 +1,4 @@
-(** The paper's four figures as executable scenarios.
+(** The paper's four figures (§3.2) as executable scenarios.
 
     Each function builds the figure's topology with
     {!Topology.Internet.build_custom}, drives the deployment exactly as

@@ -1,8 +1,8 @@
 (** One-call orchestration of an IPvN deployment.
 
-    Bundles the whole stack — internet, IGPs, BGP, anycast policy and
-    service — and keeps the vN-Bone consistent with the deployment
-    state. This is the entry point downstream users start from (see
+    Bundles the whole §3 deployment stack — internet, IGPs, BGP,
+    anycast policy (§3.2) and service — and keeps the vN-Bone (§3.3)
+    consistent with the deployment state. This is the entry point downstream users start from (see
     [examples/quickstart.ml]). *)
 
 type t

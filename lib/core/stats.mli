@@ -1,4 +1,6 @@
-(** Small-sample statistics for multi-seed experiment runs. *)
+(** Small-sample statistics for multi-seed experiment runs — the 95%
+    confidence intervals behind E13's replication of the §3.2 figures
+    across independent internets. *)
 
 type summary = {
   n : int;

@@ -1,4 +1,5 @@
-(** Plain-text table rendering for experiment output. *)
+(** Plain-text table rendering for experiment output (the tables that
+    generalize the paper's §3.2 figures; see EXPERIMENTS.md). *)
 
 val render : header:string list -> rows:string list list -> string
 (** Columns are padded to their widest cell; a rule separates the

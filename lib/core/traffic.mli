@@ -1,6 +1,6 @@
 (** Traffic workload generation.
 
-    The paper's revenue argument (A4) is about {e attracted traffic},
+    The paper's revenue argument (§2, A4) is about {e attracted traffic},
     which only means something under a non-uniform workload: big
     domains source and sink more flows. The gravity model draws flow
     endpoints with probability proportional to the product of the

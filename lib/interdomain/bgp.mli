@@ -1,4 +1,6 @@
-(** Inter-domain path-vector routing (BGP) with Gao–Rexford policies.
+(** Inter-domain path-vector routing (BGP) with Gao–Rexford policies —
+    the unmodified protocol that, per §3.2, carries the new
+    generation's anycast prefix as a policy matter.
 
     Domains originate prefixes and exchange per-prefix routes with
     their neighbors under the standard policy discipline: prefer

@@ -2,7 +2,7 @@
 
     Every domain (ISP/AS) owns a /16; routers and endhosts get fixed
     addresses inside it. Anycast addresses come in the paper's two
-    flavours:
+    §3.2 flavours:
 
     - {!anycast_global}: a non-aggregatable /24 from a dedicated range,
       as in inter-domain Option 1;

@@ -2,7 +2,8 @@
 
     Addresses are 32-bit unsigned values. In the reproduction they play
     the role of the paper's ubiquitous IPv(N-1) addresses: the substrate
-    over which anycast redirection and vN-Bone tunnels run. *)
+    over which anycast redirection (§3.2) and vN-Bone tunnels (§3.3)
+    run. *)
 
 type t
 (** A 32-bit IPv4 address. Values are totally ordered and hashable. *)

@@ -1,9 +1,9 @@
 (** Addresses for a next-generation IP ("IPvN").
 
     The paper deliberately places no constraint on IPvN addressing
-    beyond what universal access forces: an endhost whose access
+    beyond what universal access (§2.1) forces: an endhost whose access
     provider has not deployed IPvN must be able to assign itself a
-    temporary address. Following the paper (and RFC 3056), a
+    temporary address (§3.3.2). Following the paper (and RFC 3056), a
     self-address uses one flag bit and embeds the host's unique
     IPv(N-1) — here IPv4 — address in the remaining bits.
 

@@ -2,7 +2,9 @@
 
     A persistent binary trie from {!Prefix} keys to arbitrary values,
     with longest-match lookup — the core forwarding-table structure for
-    both the IPv4 substrate and the anycast routing experiments. *)
+    both the IPv4 substrate and the anycast routing experiments, where
+    §3.2's non-aggregatable anycast prefixes sit alongside ordinary
+    unicast routes. *)
 
 type 'a t
 (** A table mapping prefixes to values of type ['a]. Persistent:

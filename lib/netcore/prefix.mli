@@ -1,7 +1,7 @@
 (** CIDR prefixes over {!Ipv4} addresses.
 
     A prefix is a network address plus a mask length. The paper's
-    Option 1 inter-domain anycast revolves around "non-aggregatable"
+    Option 1 inter-domain anycast (§3.2) revolves around "non-aggregatable"
     prefixes (longer than the /22 commonly accepted for global
     propagation); {!is_globally_routable} encodes that policy line. *)
 

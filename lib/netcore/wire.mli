@@ -1,7 +1,8 @@
 (** Binary wire format for packets.
 
     A compact, versioned encoding of {!Packet.t} — what would actually
-    cross a link. Layout (all integers big-endian):
+    cross a link, including the IPvN-in-IPv4 encapsulation of §3.3.2's
+    tunnels. Layout (all integers big-endian):
 
     {v
     byte 0      : format version (1)

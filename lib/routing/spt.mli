@@ -1,7 +1,8 @@
 (** Shortest-path trees (Dijkstra) over {!Topology.Graph}.
 
-    Used for link-state route computation, for "ground truth" distances
-    in the anycast-stretch experiments, and for vN-Bone congruence. *)
+    Used for link-state route computation (§3.2), for "ground truth"
+    distances in the anycast-stretch experiments, and for vN-Bone
+    congruence (§3.3.1). *)
 
 type t = {
   src : int;

@@ -149,6 +149,7 @@ and flush t engine d (s : session) =
     Hashtbl.fold
       (fun (peer, p) () acc -> if peer = s.peer then p :: acc else acc)
       t.touched.(d) []
+    |> List.sort Prefix.compare
   in
   List.iter (fun p -> Hashtbl.remove t.touched.(d) (s.peer, p)) mine;
   List.iter

@@ -1,4 +1,5 @@
-(** Asynchronous BGP dynamics with MRAI timers.
+(** Asynchronous BGP dynamics with MRAI timers — how §3.2's anycast
+    prefix actually propagates between domains.
 
     {!Interdomain.Bgp} computes the stable routing state by synchronous
     iteration; this module runs the protocol the way real BGP runs:

@@ -1,7 +1,7 @@
 (** A minimal discrete-event simulation engine.
 
-    Used by the dynamic experiments (protocol convergence after
-    membership changes, staged deployment, adoption dynamics); the
+    Used by the dynamic experiments (§3.2 protocol convergence after
+    membership changes, staged deployment, §2.1 adoption dynamics); the
     forwarding plane itself is synchronous and lives in {!Forward}. *)
 
 type t

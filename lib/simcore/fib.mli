@@ -3,7 +3,8 @@
     {!Forward.forward} decides each hop by consulting the IGP, the
     anycast groups and BGP on the fly; this module materializes the
     same decisions into one longest-prefix-match table per router —
-    the FIB a line card would hold. Two uses:
+    the FIB a line card would hold, i.e. the data-plane side of §3.2's
+    routing-state scalability question. Two uses:
 
     - {e state accounting}: FIB sizes per router class are the
       data-plane side of the paper's routing-state concern (E22);

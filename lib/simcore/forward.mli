@@ -3,7 +3,8 @@
     Hop-by-hop forwarding over the router graph, driven by three route
     sources in priority order, mirroring a real FIB:
 
-    + intra-domain anycast routes (the paper's redirection primitive),
+    + intra-domain anycast routes (the paper's §3.2 redirection
+      primitive),
     + the domain's own unicast routes (routers and endhosts of the
       local /16),
     + inter-domain (BGP) routes, resolved through the chosen egress

@@ -44,6 +44,7 @@ let degree g v =
 let neighbors g v =
   check_node g v "Graph.neighbors";
   Hashtbl.fold (fun u w acc -> (u, w) :: acc) g.adj.(v) []
+  |> List.sort compare
 
 let iter_neighbors g v f =
   check_node g v "Graph.iter_neighbors";
@@ -57,7 +58,7 @@ let edges g =
     (fun u tbl ->
       Hashtbl.iter (fun v w -> if u < v then acc := (u, v, w) :: !acc) tbl)
     g.adj;
-  !acc
+  List.sort compare !acc
 
 let copy g =
   { adj = Array.map Hashtbl.copy g.adj; edge_count = g.edge_count }

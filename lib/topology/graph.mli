@@ -1,8 +1,8 @@
 (** Undirected weighted graphs over integer nodes.
 
     The router-level internet, each domain's internal topology, the
-    AS-level domain graph and every vN-Bone are all instances of this
-    structure. *)
+    AS-level domain graph and every vN-Bone (§3.3.1) are all instances
+    of this structure. *)
 
 type t
 

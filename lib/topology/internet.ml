@@ -73,6 +73,7 @@ let neighbor_domains t d =
         Hashtbl.replace seen l.a_domain (Relationship.invert l.rel))
     t.interlinks;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) seen []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let border_routers t d =
   let seen = Hashtbl.create 8 in
@@ -81,7 +82,7 @@ let border_routers t d =
       if l.a_domain = d then Hashtbl.replace seen l.a_router ()
       else if l.b_domain = d then Hashtbl.replace seen l.b_router ())
     t.interlinks;
-  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort Int.compare
 
 let interlinks_between t a b =
   List.filter_map
@@ -196,7 +197,7 @@ let intra_edges rng style n =
           add !anchor v;
           anchor := v)
         rest);
-  Hashtbl.fold (fun e () acc -> e :: acc) edges []
+  Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare
 
 let build p =
   if p.transit_domains <= 0 then invalid_arg "Internet.build: no transit domains";

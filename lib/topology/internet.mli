@@ -3,7 +3,8 @@
     A router-level graph partitioned into domains (ISPs/ASes) that are
     linked by inter-domain edges carrying Gao–Rexford relationships,
     plus endhosts attached to access routers. This is the substrate on
-    which the paper's anycast redirection and vN-Bones are deployed. *)
+    which the paper's anycast redirection (§3.2) and vN-Bones (§3.3)
+    are deployed. *)
 
 type router = {
   rid : int;  (** global router id = node in {!graph} *)

@@ -1,4 +1,6 @@
-(** Inter-domain business relationships (Gao–Rexford model).
+(** Inter-domain business relationships (Gao–Rexford model) — the
+    policy substrate over which §3.2's anycast prefixes propagate and
+    §2's adoption incentives are computed.
 
     The value names the role the {e remote} domain plays for the local
     one: if domain [a] buys transit from [b], then seen from [a] the

@@ -1,8 +1,11 @@
 (** Deterministic pseudo-random numbers (splitmix64).
 
     Every experiment in the repository is seeded, so runs are exactly
-    reproducible; [split] derives independent streams so that adding a
-    random draw in one component does not perturb another. *)
+    reproducible (DESIGN.md Section 7, testing strategy); [split]
+    derives independent streams so that adding a random draw in one
+    component does not perturb another. This is the only module allowed
+    to be a randomness source — evolvelint rejects [Random.*] anywhere
+    else. *)
 
 type t
 (** A mutable generator state. *)

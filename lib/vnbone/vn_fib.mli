@@ -1,7 +1,7 @@
 (** Compiled IPvN forwarding tables for vN-Bone members.
 
-    The IPvN analogue of {!Simcore.Fib}: each member's BGPvN routes
-    ({!Bgpvn}) are materialized into a table keyed by destination, and
+    The IPvN analogue of {!Simcore.Fib}: each member's BGPvN (§3.3.2)
+    routes ({!Bgpvn}) are materialized into a table keyed by destination, and
     vN packets can be forwarded hop by hop across tunnels using only
     local tables — the way member routers would actually move IPvN
     traffic. The test-suite proves hop-by-hop forwarding reaches the

@@ -104,6 +104,28 @@ let test_e3_all_strategies_deliver () =
         r.E.journey_delivery)
     (Lazy.force e3)
 
+(* E4 is the same sweep as E3 at 15% deployment (Fig 4 generalized) *)
+
+let e4 =
+  lazy (E.e3_egress_comparison ~params:small_params ~deploy_fraction:0.15 ~pairs:60 ())
+
+let test_e4_all_strategies_deliver () =
+  List.iter
+    (fun (r : E.strategy_row) ->
+      check (Alcotest.float 1e-9) ("delivery " ^ r.E.strategy_name) 1.0
+        r.E.journey_delivery)
+    (Lazy.force e4)
+
+let test_e4_exit_early_never_uses_vnbone () =
+  match
+    List.find_opt
+      (fun (r : E.strategy_row) -> r.E.strategy_name = "exit-early")
+      (Lazy.force e4)
+  with
+  | None -> Alcotest.fail "missing strategy exit-early"
+  | Some r ->
+      check (Alcotest.float 1e-9) "zero vN fraction" 0.0 r.E.mean_vn_fraction
+
 (* --- E5 ------------------------------------------------------------ *)
 
 let e5 = lazy (E.e5_state_scaling ~params:small_params ())
@@ -296,6 +318,30 @@ let test_e12_state_between_options () =
       end)
     rows
 
+(* --- E13 ----------------------------------------------------------- *)
+
+let e13 = lazy (E.e13_seed_stability ~seeds:[ 101L; 202L ] ~pairs:20 ())
+
+let test_e13_counts_seeds () =
+  let rows = Lazy.force e13 in
+  check Alcotest.bool "has strategy rows" true (rows <> []);
+  List.iter
+    (fun (r : E.e13_row) ->
+      check Alcotest.int ("seeds: " ^ r.E.strategy13) 2 r.E.seeds13)
+    rows
+
+let test_e13_delivery_certain_across_seeds () =
+  (* universal access holds on every seed, so the delivery CI collapses *)
+  List.iter
+    (fun (r : E.e13_row) ->
+      check (Alcotest.float 1e-9)
+        ("delivery mean: " ^ r.E.strategy13)
+        1.0 r.E.delivery_ci.Evolve.Stats.mean;
+      check (Alcotest.float 1e-9)
+        ("delivery ci95: " ^ r.E.strategy13)
+        0.0 r.E.delivery_ci.Evolve.Stats.ci95)
+    (Lazy.force e13)
+
 (* --- E14 ----------------------------------------------------------- *)
 
 let e14 =
@@ -333,6 +379,28 @@ let test_e15_gated_collapses_above_share () =
   let rows = Lazy.force e15 in
   let high = List.nth rows (List.length rows - 1) in
   check Alcotest.bool "gated collapses at high floor" true (high.E.gated_final < 0.2)
+
+(* --- E16 ----------------------------------------------------------- *)
+
+let e16 = lazy (E.e16_revenue_gravity ~params:small_params ~deployers:2 ~flows:40 ())
+
+let test_e16_both_pickers_present () =
+  let rows = Lazy.force e16 in
+  check Alcotest.int "two pickers" 2 (List.length rows);
+  List.iter
+    (fun (r : E.e16_row) ->
+      check Alcotest.bool ("pop share sane: " ^ r.E.picker) true
+        (r.E.pop_share > 0.0 && r.E.pop_share <= 1.0);
+      check Alcotest.bool ("traffic share sane: " ^ r.E.picker) true
+        (r.E.traffic_share >= 0.0 && r.E.traffic_share <= 1.0))
+    rows
+
+let test_e16_larger_deployers_attract_no_less () =
+  match Lazy.force e16 with
+  | [ largest; smallest ] ->
+      check Alcotest.bool "largest stubs hold >= population share" true
+        (largest.E.pop_share >= smallest.E.pop_share -. 1e-9)
+  | _ -> Alcotest.fail "expected exactly the two picker rows"
 
 (* --- E17 ----------------------------------------------------------- *)
 
@@ -396,6 +464,30 @@ let test_e21_behaviour_stable_across_sizes () =
         (r.E.mean_stretch21 >= 1.0 -. 1e-9 && r.E.mean_stretch21 < 2.0);
       check Alcotest.bool "bgp rounds bounded" true (r.E.bgp_rounds < 20))
     rows
+
+(* --- E22 ----------------------------------------------------------- *)
+
+let e22 = lazy (E.e22_fib_scaling ~params:small_params ~max_generations:3 ())
+
+let test_e22_option1_fib_grows () =
+  let rows = Lazy.force e22 in
+  check Alcotest.int "three generations" 3 (List.length rows);
+  let rec nondecreasing = function
+    | (a : E.e22_row) :: (b :: _ as rest) ->
+        a.E.opt1_mean_fib <= b.E.opt1_mean_fib +. 1e-9 && nondecreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "opt1 mean FIB grows with generations" true
+    (nondecreasing rows)
+
+let test_e22_max_bounds_mean () =
+  List.iter
+    (fun (r : E.e22_row) ->
+      check Alcotest.bool "opt1 max >= mean" true
+        (float_of_int r.E.opt1_max_fib >= r.E.opt1_mean_fib -. 1e-9);
+      check Alcotest.bool "opt2 max >= mean" true
+        (float_of_int r.E.opt2_max_fib >= r.E.opt2_mean_fib -. 1e-9))
+    (Lazy.force e22)
 
 (* --- E23 ----------------------------------------------------------- *)
 
@@ -515,6 +607,12 @@ let () =
             test_e3_bgp_aware_uses_vnbone_more;
           Alcotest.test_case "delivery" `Quick test_e3_all_strategies_deliver;
         ] );
+      ( "e4",
+        [
+          Alcotest.test_case "delivery at 15%" `Quick test_e4_all_strategies_deliver;
+          Alcotest.test_case "exit-early off the vN-Bone" `Quick
+            test_e4_exit_early_never_uses_vnbone;
+        ] );
       ( "e5",
         [
           Alcotest.test_case "option1 grows" `Quick test_e5_option1_state_grows_linearly;
@@ -554,6 +652,12 @@ let () =
           Alcotest.test_case "state between options" `Quick
             test_e12_state_between_options;
         ] );
+      ( "e13",
+        [
+          Alcotest.test_case "seed count recorded" `Quick test_e13_counts_seeds;
+          Alcotest.test_case "delivery CI collapses" `Quick
+            test_e13_delivery_certain_across_seeds;
+        ] );
       ( "e14",
         [
           Alcotest.test_case "alpha monotone" `Quick test_e14_alpha_monotone;
@@ -565,6 +669,13 @@ let () =
           Alcotest.test_case "UA dominates" `Quick test_e15_ua_dominates_everywhere;
           Alcotest.test_case "gated collapses" `Quick
             test_e15_gated_collapses_above_share;
+        ] );
+      ( "e16",
+        [
+          Alcotest.test_case "both pickers present" `Quick
+            test_e16_both_pickers_present;
+          Alcotest.test_case "largest >= smallest pop share" `Quick
+            test_e16_larger_deployers_attract_no_less;
         ] );
       ( "e17",
         [
@@ -584,6 +695,11 @@ let () =
         [
           Alcotest.test_case "stable across sizes" `Quick
             test_e21_behaviour_stable_across_sizes;
+        ] );
+      ( "e22",
+        [
+          Alcotest.test_case "opt1 FIB grows" `Quick test_e22_option1_fib_grows;
+          Alcotest.test_case "max bounds mean" `Quick test_e22_max_bounds_mean;
         ] );
       ( "e23",
         [

@@ -1,0 +1,272 @@
+(* evolvelint's own tests: each rule family must fire on a violating
+   fixture (with a file:line diagnostic) and stay silent on the clean
+   tree. Fixtures are parsed from strings — the checks are pure. *)
+
+module L = Lintcore.Lint
+
+let check = Alcotest.check
+let empty = L.Allowlist.empty
+let has_rule rule diags = List.exists (fun (d : L.diag) -> d.L.rule = rule) diags
+
+let count_rule rule diags =
+  List.length (List.filter (fun (d : L.diag) -> d.L.rule = rule) diags)
+
+(* --- layering ------------------------------------------------------- *)
+
+let test_layering_upward_edge () =
+  let dune_src =
+    "(library\n (name routing)\n (libraries netcore topology simcore fmt))\n"
+  in
+  let diags = L.check_layering ~dune_files:[ ("lib/routing/dune", dune_src) ] in
+  check Alcotest.int "one violation" 1 (count_rule "layering" diags);
+  let d = List.find (fun (d : L.diag) -> d.L.rule = "layering") diags in
+  check Alcotest.string "file" "lib/routing/dune" d.L.file;
+  check Alcotest.int "line of the offending dep" 3 d.L.line
+
+let test_layering_sideways_edge () =
+  (* anycast and vnbone are ordered: vnbone may use anycast, never the
+     reverse *)
+  let dune_src = "(library (name anycast) (libraries vnbone))" in
+  let diags = L.check_layering ~dune_files:[ ("lib/anycast/dune", dune_src) ] in
+  check Alcotest.bool "sideways/upward dep flagged" true
+    (has_rule "layering" diags)
+
+let test_layering_clean () =
+  let dune_src =
+    "(library\n (name routing)\n (libraries netcore topology fmt))\n"
+  in
+  check Alcotest.int "no violation" 0
+    (List.length (L.check_layering ~dune_files:[ ("lib/routing/dune", dune_src) ]))
+
+let test_layering_unknown_library () =
+  let dune_src = "(library (name mystery) (libraries fmt))" in
+  let diags = L.check_layering ~dune_files:[ ("lib/mystery/dune", dune_src) ] in
+  check Alcotest.bool "unknown lib/ library flagged" true
+    (has_rule "layering" diags)
+
+(* --- determinism ---------------------------------------------------- *)
+
+let det ?(allow = empty) ?(path = "lib/core/fixture.ml") src =
+  L.check_determinism ~allow ~path src
+
+let test_random_direct () =
+  let diags = det "let f () = Random.int 3\n" in
+  check Alcotest.int "flagged" 1 (count_rule "random-direct" diags);
+  let d = List.hd diags in
+  check Alcotest.int "line" 1 d.L.line
+
+let test_random_allowed_in_rng () =
+  let diags = det ~path:"lib/topology/rng.ml" "let f () = Random.int 3\n" in
+  check Alcotest.int "rng.ml may use Random" 0
+    (count_rule "random-direct" diags)
+
+let test_forbidden_calls () =
+  let src =
+    "let a () = Sys.time ()\n\
+     let b () = Unix.gettimeofday ()\n\
+     let c () = Hashtbl.randomize ()\n\
+     let d () = Random.self_init ()\n"
+  in
+  check Alcotest.int "all four flagged" 4 (count_rule "forbidden-call" (det src))
+
+let test_self_init_forbidden_even_in_rng () =
+  let diags = det ~path:"lib/topology/rng.ml" "let f () = Random.self_init ()\n" in
+  check Alcotest.int "self_init flagged in rng.ml too" 1
+    (count_rule "forbidden-call" diags)
+
+let test_hashtbl_fold_unsorted () =
+  let diags = det "let groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t []\n" in
+  check Alcotest.int "escaping fold flagged" 1 (count_rule "hashtbl-order" diags)
+
+let test_hashtbl_fold_piped_into_sort () =
+  let src =
+    "let groups t =\n\
+    \  Hashtbl.fold (fun g _ acc -> g :: acc) t []\n\
+    \  |> List.sort compare\n"
+  in
+  check Alcotest.int "sorted fold passes" 0 (count_rule "hashtbl-order" (det src))
+
+let test_hashtbl_fold_inside_sort_application () =
+  let src =
+    "let groups t = List.sort_uniq compare (Hashtbl.fold (fun g _ a -> g :: a) t [])\n"
+  in
+  check Alcotest.int "sort-wrapped fold passes" 0
+    (count_rule "hashtbl-order" (det src))
+
+let test_hashtbl_iter_flagged () =
+  let diags = det "let sum t r = Hashtbl.iter (fun _ v -> r := !r + v) t\n" in
+  check Alcotest.int "iter flagged" 1 (count_rule "hashtbl-order" diags)
+
+let test_hashtbl_allowlist () =
+  let allow =
+    L.Allowlist.parse ~path:"allowlist"
+      "hashtbl-order lib/core/fixture.ml:groups  # verified: set semantics\n"
+  in
+  let diags =
+    det ~allow "let groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t []\n"
+  in
+  check Alcotest.int "allowlisted site passes" 0
+    (count_rule "hashtbl-order" diags);
+  check Alcotest.int "entry is not stale" 0 (List.length (L.Allowlist.stale allow))
+
+let test_allowlist_stale_entry () =
+  let allow =
+    L.Allowlist.parse ~path:"allowlist" "hashtbl-order lib/gone.ml:nothing\n"
+  in
+  ignore (det ~allow "let f x = x\n");
+  check Alcotest.int "unused entry reported" 1
+    (count_rule "stale-allowlist" (L.Allowlist.stale allow))
+
+let test_parse_error () =
+  check Alcotest.bool "garbage reported" true
+    (has_rule "parse-error" (det "let let let\n"))
+
+(* --- interface hygiene ---------------------------------------------- *)
+
+let test_missing_mli () =
+  let diags = L.check_missing_mli ~ml:[ "lib/x/a.ml"; "lib/x/b.ml" ] ~mli:[ "lib/x/a.mli" ] in
+  check Alcotest.int "one missing interface" 1 (count_rule "missing-mli" diags);
+  check Alcotest.string "names the module" "lib/x/b.ml"
+    (List.hd diags).L.file
+
+let test_mli_without_paper_ref () =
+  let diags =
+    L.check_mli_doc ~path:"lib/x/a.mli" "(** A module doing things. *)\nval f : int -> int\n"
+  in
+  check Alcotest.int "flagged" 1 (count_rule "mli-doc-ref" diags)
+
+let test_mli_with_section_sign () =
+  let diags =
+    L.check_mli_doc ~path:"lib/x/a.mli"
+      "(** Implements the paper's \xC2\xA73.2 anycast options. *)\nval f : int -> int\n"
+  in
+  check Alcotest.int "\xC2\xA7 reference passes" 0 (List.length diags)
+
+let test_mli_with_section_word () =
+  let diags =
+    L.check_mli_doc ~path:"lib/x/a.mli"
+      "val f : int -> int\n(** See Section 3 of the paper. *)\n"
+  in
+  check Alcotest.int "'Section' reference passes" 0 (List.length diags)
+
+(* --- experiment completeness ---------------------------------------- *)
+
+(* e1 has all seven artifacts; e2 is missing cli, bench, report, docs
+   and test. *)
+let fixture_sources =
+  {
+    L.experiments_ml =
+      ( "lib/core/experiments.ml",
+        "type e1_row = { x : int }\n\
+         let e1_sweep () = []\n\
+         let print_e1 _ = ()\n\
+         type e2_row = { y : int }\n\
+         let e2_sweep () = []\n\
+         let print_e2 _ = ()\n" );
+    L.bin_ml =
+      ("bin/evolvenet.ml", "let run = function \"e1\" -> () | _ -> ()\n");
+    L.bench_ml = ("bench/main.ml", "let () = print_e1 []\n");
+    L.report_ml = ("lib/core/report.ml", "let s = \"E1 \xE2\x80\x94 sweep\"\n");
+    L.test_ml = ("test/test_experiments.ml", "let suites = [ (\"e1\", []) ]\n");
+    L.experiments_md = ("EXPERIMENTS.md", "## E1 \xE2\x80\x94 the sweep\n");
+  }
+
+let test_experiment_completeness () =
+  let diags = L.check_experiments ~allow:empty fixture_sources in
+  let mentions n =
+    List.length
+      (List.filter
+         (fun (d : L.diag) ->
+           d.L.rule = "experiment-artifacts"
+           &&
+           let pre = Printf.sprintf "e%d is missing" n in
+           String.length d.L.msg >= String.length pre
+           && String.sub d.L.msg 0 (String.length pre) = pre)
+         diags)
+  in
+  check Alcotest.int "e1 complete" 0 (mentions 1);
+  check Alcotest.int "e2 missing five artifacts" 5 (mentions 2)
+
+let test_experiment_allowlist () =
+  let allow =
+    L.Allowlist.parse ~path:"allowlist"
+      "experiment-artifacts lib/core/experiments.ml:e2.cli\n\
+       experiment-artifacts lib/core/experiments.ml:e2.bench\n\
+       experiment-artifacts lib/core/experiments.ml:e2.report\n\
+       experiment-artifacts lib/core/experiments.ml:e2.docs\n\
+       experiment-artifacts lib/core/experiments.ml:e2.test\n"
+  in
+  let diags = L.check_experiments ~allow fixture_sources in
+  check Alcotest.int "all exemptions honoured" 0
+    (count_rule "experiment-artifacts" diags)
+
+(* --- the real tree -------------------------------------------------- *)
+
+(* Under `dune runtest` the cwd is _build/default/test and the declared
+   deps place the sources one level up; under a bare `dune exec` from
+   the repo root they are right here. *)
+let repo_root =
+  if Sys.file_exists "../tools/lint/allowlist" then ".."
+  else if Sys.file_exists "tools/lint/allowlist" then "."
+  else Alcotest.fail "cannot locate the repo root (tools/lint/allowlist)"
+
+let test_clean_tree_passes () =
+  let allow =
+    L.Allowlist.load (Filename.concat repo_root "tools/lint/allowlist")
+  in
+  let diags = L.run ~root:repo_root ~allow in
+  check
+    Alcotest.(list string)
+    "evolvelint is clean on the committed tree" []
+    (List.map L.to_string diags)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "layering",
+        [
+          Alcotest.test_case "upward edge fires" `Quick test_layering_upward_edge;
+          Alcotest.test_case "sideways edge fires" `Quick
+            test_layering_sideways_edge;
+          Alcotest.test_case "clean graph passes" `Quick test_layering_clean;
+          Alcotest.test_case "unknown library fires" `Quick
+            test_layering_unknown_library;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "stray Random.int fires" `Quick test_random_direct;
+          Alcotest.test_case "rng.ml exemption" `Quick test_random_allowed_in_rng;
+          Alcotest.test_case "wall-clock calls fire" `Quick test_forbidden_calls;
+          Alcotest.test_case "self_init fires everywhere" `Quick
+            test_self_init_forbidden_even_in_rng;
+          Alcotest.test_case "unsorted fold fires" `Quick
+            test_hashtbl_fold_unsorted;
+          Alcotest.test_case "fold |> sort passes" `Quick
+            test_hashtbl_fold_piped_into_sort;
+          Alcotest.test_case "sort (fold ...) passes" `Quick
+            test_hashtbl_fold_inside_sort_application;
+          Alcotest.test_case "iter fires" `Quick test_hashtbl_iter_flagged;
+          Alcotest.test_case "allowlist exempts" `Quick test_hashtbl_allowlist;
+          Alcotest.test_case "stale allowlist entry fires" `Quick
+            test_allowlist_stale_entry;
+          Alcotest.test_case "parse error reported" `Quick test_parse_error;
+        ] );
+      ( "interfaces",
+        [
+          Alcotest.test_case "missing .mli fires" `Quick test_missing_mli;
+          Alcotest.test_case "no paper ref fires" `Quick
+            test_mli_without_paper_ref;
+          Alcotest.test_case "\xC2\xA7 ref passes" `Quick test_mli_with_section_sign;
+          Alcotest.test_case "'Section' ref passes" `Quick
+            test_mli_with_section_word;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "incomplete experiment fires per artifact" `Quick
+            test_experiment_completeness;
+          Alcotest.test_case "allowlist exempts artifacts" `Quick
+            test_experiment_allowlist;
+        ] );
+      ( "whole-tree",
+        [ Alcotest.test_case "clean tree passes" `Quick test_clean_tree_passes ] );
+    ]

@@ -1,0 +1,842 @@
+(* evolvelint: repo-invariant static analysis.
+
+   Parses every .ml/.mli under lib/, bin/, bench/ and test/ into
+   Parsetree (compiler-libs) and walks it, plus a tiny dune-file reader
+   for the library graph. Four rule families, each with file:line
+   diagnostics; see [rules] for the rationale of each. *)
+
+type diag = { file : string; line : int; col : int; rule : string; msg : string }
+
+let diag ?(line = 1) ?(col = 0) ~file ~rule msg = { file; line; col; rule; msg }
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+
+let compare_diag a b =
+  compare (a.file, a.line, a.col, a.rule, a.msg) (b.file, b.line, b.col, b.rule, b.msg)
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry (id, rationale) — printed by `--explain`.             *)
+
+let layer_order =
+  [| "netcore"; "topology"; "routing"; "interdomain"; "simcore"; "anycast";
+     "vnbone"; "evolve" |]
+
+let layer_order_str = String.concat " < " (Array.to_list layer_order)
+
+let rules =
+  [
+    ( "layering",
+      "The (libraries ...) dependency DAG under lib/ must respect the strict \
+       bottom-up order " ^ layer_order_str ^ ". No upward or sideways edge is \
+       allowed: modules needing the event engine live in simcore, not \
+       routing. Provenance: CLAUDE.md conventions; the paper's layering \
+       argument (new IPvN generations ride on what exists, \u{00A7}3.2) only \
+       holds if the substrate itself stays acyclic." );
+    ( "random-direct",
+      "No Random.* outside lib/topology/rng.ml. All randomness flows through \
+       Topology.Rng with explicit seeds so every experiment is replayable. \
+       Provenance: CLAUDE.md conventions; DESIGN.md \u{00A7}7 (determinism: \
+       Report.generate is compared for equality in tests)." );
+    ( "forbidden-call",
+      "Random.self_init, Sys.time, Unix.gettimeofday, Unix.time and \
+       Hashtbl.randomize are forbidden everywhere in lib/: they inject \
+       wall-clock or process state into results and break replayable \
+       experiments. Provenance: CLAUDE.md determinism convention." );
+    ( "hashtbl-order",
+      "A Hashtbl.fold/Hashtbl.iter whose result escapes without passing \
+       through List.sort / List.sort_uniq is flagged: hash-bucket order is \
+       an implementation detail, and routing or report output must not \
+       depend on it. Verified-safe sites (order-insensitive consumers) are \
+       recorded in tools/lint/allowlist as `hashtbl-order file.ml:binding`. \
+       Provenance: CLAUDE.md determinism convention; DESIGN.md \u{00A7}7." );
+    ( "missing-mli",
+      "Every public module under lib/ must have an .mli: the interface is \
+       where the paper mapping and the API contract live. Provenance: \
+       CLAUDE.md conventions." );
+    ( "mli-doc-ref",
+      "Every .mli under lib/ must carry at least one doc comment tying it \
+       to the paper section it implements (a \u{00A7} reference or the word \
+       'Section'). Provenance: CLAUDE.md conventions ('doc comments tying \
+       it to the paper section it implements')." );
+    ( "experiment-artifacts",
+      "Every experiment eN defined in lib/core/experiments.ml must ship all \
+       seven artifacts: a typed row record (eN_row), a print_eN, a CLI hook \
+       in bin/evolvenet.ml, a bench hook in bench/main.ml, a Report \
+       section (\"EN — ...\"), an EXPERIMENTS.md entry (\"## EN\") and a \
+       shape-asserting suite (\"eN\") in test/test_experiments.ml. \
+       Provenance: CLAUDE.md seven-artifact rule." );
+    ( "parse-error",
+      "Every .ml/.mli in lib/, bin/, bench/ and test/ and every lib/*/dune \
+       must parse; the other rules are only as good as the parse." );
+    ( "stale-allowlist",
+      "An allowlist entry that no longer matches any flagged site must be \
+       deleted, so the allowlist stays an accurate record of verified-safe \
+       sites rather than a blanket waiver." );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Small string helpers                                                *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* [has_word s w]: [w] occurs in [s] with a non-alphanumeric character
+   before it and no digit directly after ("E4" matches "E4 —" but
+   neither "E40" nor "PE4"). *)
+let has_word s w =
+  let n = String.length s and m = String.length w in
+  let rec go i =
+    if i + m > n then false
+    else if
+      String.sub s i m = w
+      && (i = 0 || not (is_alnum s.[i - 1]))
+      && (i + m = n || not (is_digit s.[i + m]))
+    then true
+    else go (i + 1)
+  in
+  m > 0 && go 0
+
+let split_lines s = String.split_on_char '\n' s
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+
+module Allowlist = struct
+  type entry = { e_rule : string; e_key : string; e_line : int; mutable used : bool }
+  type t = { path : string; entries : entry list }
+
+  let empty = { path = "<builtin-empty>"; entries = [] }
+
+  (* One entry per line: `RULE FILE:KEY`; `#` starts a comment. *)
+  let parse ~path contents =
+    let entries =
+      List.concat
+        (List.mapi
+           (fun i line ->
+             let line =
+               match String.index_opt line '#' with
+               | Some j -> String.sub line 0 j
+               | None -> line
+             in
+             let line = String.trim line in
+             if line = "" then []
+             else
+               match String.index_opt line ' ' with
+               | None -> []
+               | Some j ->
+                   let rule = String.sub line 0 j in
+                   let key =
+                     String.trim
+                       (String.sub line (j + 1) (String.length line - j - 1))
+                   in
+                   [ { e_rule = rule; e_key = key; e_line = i + 1; used = false } ])
+           (split_lines contents))
+    in
+    { path; entries }
+
+  let load path = parse ~path (read_file path)
+
+  let mem t ~rule ~key =
+    match
+      List.find_opt (fun e -> e.e_rule = rule && e.e_key = key) t.entries
+    with
+    | Some e ->
+        e.used <- true;
+        true
+    | None -> false
+
+  let stale t =
+    List.filter_map
+      (fun e ->
+        if e.used then None
+        else
+          Some
+            (diag ~file:t.path ~line:e.e_line ~rule:"stale-allowlist"
+               (Printf.sprintf
+                  "entry `%s %s` matched no flagged site; delete it" e.e_rule
+                  e.e_key)))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Parsing helpers (compiler-libs)                                     *)
+
+let parse_lexbuf ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  lexbuf
+
+let parse_error_diag ~file exn =
+  diag ~file ~rule:"parse-error"
+    (Printf.sprintf "does not parse: %s" (Printexc.to_string exn))
+
+let parse_impl ~filename src =
+  try Ok (Parse.implementation (parse_lexbuf ~filename src))
+  with exn -> Error (parse_error_diag ~file:filename exn)
+
+let parse_intf ~filename src =
+  try Ok (Parse.interface (parse_lexbuf ~filename src))
+  with exn -> Error (parse_error_diag ~file:filename exn)
+
+let flatten_lident l = try Longident.flatten l with _ -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | p -> p
+
+let expr_ident (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match strip_stdlib (flatten_lident txt) with [] -> None | p -> Some p)
+  | _ -> None
+
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* Rule family 2: determinism                                          *)
+
+let sort_fns = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+(* head identifier of an expression, looking through application *)
+let head_ident (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_apply (f, _) -> expr_ident f | _ -> expr_ident e
+
+let is_sort_expr e =
+  match head_ident e with
+  | Some [ "List"; f ] -> List.mem f sort_fns
+  | _ -> false
+
+let forbidden_idents =
+  [
+    ([ "Random"; "self_init" ], "seeds from process state");
+    ([ "Sys"; "time" ], "wall-clock/CPU time");
+    ([ "Unix"; "gettimeofday" ], "wall-clock time");
+    ([ "Unix"; "time" ], "wall-clock time");
+    ([ "Hashtbl"; "randomize" ], "randomizes bucket order");
+  ]
+
+(* Determinism walk over one lib/ source file. [path] is the
+   repo-relative path, used both in diagnostics and for the
+   lib/topology/rng.ml exemption. *)
+let check_determinism ~allow ~path src =
+  match parse_impl ~filename:path src with
+  | Error d -> [ d ]
+  | Ok structure ->
+      let diags = ref [] in
+      let add ~loc ~rule msg =
+        let line, col = loc_pos loc in
+        diags := diag ~file:path ~line ~col ~rule msg :: !diags
+      in
+      let is_rng_module =
+        path = "lib/topology/rng.ml"
+        || Filename.basename path = "rng.ml"
+           && contains_sub path "topology"
+      in
+      (* Locations of fold/iter applications already piped through a
+         List.sort — marked top-down before the child is visited. *)
+      let sorted : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let mark (e : Parsetree.expression) =
+        Hashtbl.replace sorted (loc_pos e.pexp_loc) ()
+      in
+      let current_binding = ref None in
+      let open Ast_iterator in
+      let iter =
+        {
+          default_iterator with
+          value_binding =
+            (fun it vb ->
+              match (!current_binding, vb.pvb_pat.ppat_desc) with
+              | None, Ppat_var { txt; _ } ->
+                  current_binding := Some txt;
+                  default_iterator.value_binding it vb;
+                  current_binding := None
+              | _ -> default_iterator.value_binding it vb);
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_apply (f, args) -> (
+                  (* establish sorted contexts for children *)
+                  (if is_sort_expr e then
+                     List.iter (fun (_, a) -> mark a) args);
+                  (match (expr_ident f, args) with
+                  | Some [ "|>" ], [ (_, l); (_, r) ] when is_sort_expr r ->
+                      mark l
+                  | Some [ "@@" ], [ (_, l); (_, r) ] when is_sort_expr l ->
+                      mark r
+                  | _ -> ());
+                  match expr_ident f with
+                  | Some [ "Hashtbl"; ("fold" | "iter") as fn ] ->
+                      if not (Hashtbl.mem sorted (loc_pos e.pexp_loc)) then begin
+                        let binding =
+                          Option.value !current_binding ~default:"<toplevel>"
+                        in
+                        let key = path ^ ":" ^ binding in
+                        if not (Allowlist.mem allow ~rule:"hashtbl-order" ~key)
+                        then
+                          add ~loc:f.pexp_loc ~rule:"hashtbl-order"
+                            (Printf.sprintf
+                               "Hashtbl.%s result escapes `%s` without a \
+                                List.sort/List.sort_uniq; sort it or add \
+                                `hashtbl-order %s` to tools/lint/allowlist \
+                                with a justification"
+                               fn binding key)
+                      end
+                  | _ -> ())
+              | Pexp_ident { txt; loc } -> (
+                  let p = strip_stdlib (flatten_lident txt) in
+                  (match List.assoc_opt p forbidden_idents with
+                  | Some why ->
+                      add ~loc ~rule:"forbidden-call"
+                        (Printf.sprintf "%s is forbidden in lib/ (%s)"
+                           (String.concat "." p) why)
+                  | None -> ());
+                  match p with
+                  | "Random" :: rest
+                    when (not is_rng_module) && rest <> [ "self_init" ] ->
+                      add ~loc ~rule:"random-direct"
+                        (Printf.sprintf
+                           "direct %s use; all randomness must flow through \
+                            Topology.Rng with an explicit seed"
+                           (String.concat "." p))
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.expr it e);
+        }
+      in
+      iter.structure iter structure;
+      List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Rule family 1: layering (dune-file reader)                          *)
+
+type sexp = Atom of string * int | SList of sexp list * int
+
+let parse_sexps ~path src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek () = src.[!pos] in
+  let advance () =
+    if peek () = '\n' then incr line;
+    incr pos
+  in
+  let rec skip_ws () =
+    if !pos < n then
+      match peek () with
+      | ' ' | '\t' | '\r' | '\n' ->
+          advance ();
+          skip_ws ()
+      | ';' ->
+          while !pos < n && peek () <> '\n' do
+            advance ()
+          done;
+          skip_ws ()
+      | _ -> ()
+  in
+  let rec parse_one () =
+    let l0 = !line in
+    match peek () with
+    | '(' ->
+        advance ();
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          if !pos >= n then failwith (path ^ ": unbalanced parenthesis")
+          else if peek () = ')' then advance ()
+          else begin
+            items := parse_one () :: !items;
+            loop ()
+          end
+        in
+        loop ();
+        SList (List.rev !items, l0)
+    | '"' ->
+        advance ();
+        let b = Buffer.create 16 in
+        let rec str () =
+          if !pos >= n then failwith (path ^ ": unterminated string")
+          else
+            match peek () with
+            | '"' -> advance ()
+            | '\\' ->
+                advance ();
+                if !pos < n then begin
+                  Buffer.add_char b (peek ());
+                  advance ()
+                end;
+                str ()
+            | c ->
+                Buffer.add_char b c;
+                advance ();
+                str ()
+        in
+        str ();
+        Atom (Buffer.contents b, l0)
+    | _ ->
+        let b = Buffer.create 16 in
+        let rec atom () =
+          if !pos < n then
+            match peek () with
+            | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' -> ()
+            | c ->
+                Buffer.add_char b c;
+                advance ();
+                atom ()
+        in
+        atom ();
+        Atom (Buffer.contents b, l0)
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else top (parse_one () :: acc)
+  in
+  top []
+
+let rank name =
+  let r = ref None in
+  Array.iteri (fun i x -> if x = name then r := Some i) layer_order;
+  !r
+
+let stanza_field fields key =
+  List.find_map
+    (function
+      | SList (Atom (k, _) :: rest, _) when k = key -> Some rest | _ -> None)
+    fields
+
+(* [dune_files] is a list of (repo-relative path, contents). Only
+   library stanzas are inspected; stanzas outside lib/ may depend on
+   anything. *)
+let check_layering ~dune_files =
+  List.concat_map
+    (fun (path, src) ->
+      match parse_sexps ~path src with
+      | exception Failure msg -> [ diag ~file:path ~rule:"parse-error" msg ]
+      | sexps ->
+          List.concat_map
+            (function
+              | SList (Atom ("library", _) :: fields, stanza_line) -> (
+                  let name =
+                    match stanza_field fields "name" with
+                    | Some (Atom (n, l) :: _) -> Some (n, l)
+                    | _ -> None
+                  in
+                  let deps =
+                    match stanza_field fields "libraries" with
+                    | Some atoms ->
+                        List.filter_map
+                          (function Atom (a, l) -> Some (a, l) | _ -> None)
+                          atoms
+                    | None -> []
+                  in
+                  match name with
+                  | None ->
+                      [
+                        diag ~file:path ~line:stanza_line ~rule:"layering"
+                          "library stanza without a (name ...)";
+                      ]
+                  | Some (n, nl) -> (
+                      match rank n with
+                      | None ->
+                          if
+                            String.length path >= 4
+                            && String.sub path 0 4 = "lib/"
+                          then
+                            [
+                              diag ~file:path ~line:nl ~rule:"layering"
+                                (Printf.sprintf
+                                   "library '%s' is not in the layering \
+                                    order (%s); add it at the right level \
+                                    in tools/lint/lint.ml"
+                                   n layer_order_str);
+                            ]
+                          else []
+                      | Some r ->
+                          List.filter_map
+                            (fun (d, dl) ->
+                              match rank d with
+                              | Some rd when rd >= r ->
+                                  Some
+                                    (diag ~file:path ~line:dl ~rule:"layering"
+                                       (Printf.sprintf
+                                          "'%s' must not depend on '%s': the \
+                                           order is %s"
+                                          n d layer_order_str))
+                              | _ -> None)
+                            deps))
+              | _ -> [])
+            sexps)
+    dune_files
+
+(* ------------------------------------------------------------------ *)
+(* Rule family 3: interface hygiene                                    *)
+
+let check_missing_mli ~ml ~mli =
+  List.filter_map
+    (fun f ->
+      if Filename.check_suffix f ".ml" then
+        let want = f ^ "i" in
+        if List.mem want mli then None
+        else
+          Some
+            (diag ~file:f ~rule:"missing-mli"
+               (Printf.sprintf "public module without an interface: add %s"
+                  want))
+      else None)
+    ml
+
+let check_mli_doc ~path src =
+  match parse_intf ~filename:path src with
+  | Error d -> [ d ]
+  | Ok signature ->
+      let found = ref false in
+      let open Ast_iterator in
+      let iter =
+        {
+          default_iterator with
+          attribute =
+            (fun it a ->
+              (match a.attr_name.txt with
+              | "ocaml.doc" | "ocaml.text" -> (
+                  match a.attr_payload with
+                  | PStr
+                      [
+                        {
+                          pstr_desc =
+                            Pstr_eval
+                              ( {
+                                  pexp_desc =
+                                    Pexp_constant (Pconst_string (s, _, _));
+                                  _;
+                                },
+                                _ );
+                          _;
+                        };
+                      ] ->
+                      if contains_sub s "\xC2\xA7" || contains_sub s "Section"
+                      then found := true
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.attribute it a);
+        }
+      in
+      iter.signature iter signature;
+      if !found then []
+      else
+        [
+          diag ~file:path ~rule:"mli-doc-ref"
+            "no doc comment ties this interface to a paper section (add a \
+             \u{00A7}N.N or 'Section N' reference)";
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Rule family 4: experiment completeness                              *)
+
+type exp_sources = {
+  experiments_ml : string * string;
+  bin_ml : string * string;
+  bench_ml : string * string;
+  report_ml : string * string;
+  test_ml : string * string;
+  experiments_md : string * string;
+}
+
+(* "e<digits>_<rest>" -> Some digits *)
+let exp_num_of_name name =
+  let n = String.length name in
+  if n < 2 || name.[0] <> 'e' then None
+  else
+    let rec digits i = if i < n && is_digit name.[i] then digits (i + 1) else i in
+    let stop = digits 1 in
+    if stop = 1 || stop >= n || name.[stop] <> '_' then None
+    else int_of_string_opt (String.sub name 1 (stop - 1))
+
+let prefixed_num ~prefix name =
+  let pl = String.length prefix in
+  if
+    String.length name > pl
+    && String.sub name 0 pl = prefix
+    && String.for_all is_digit
+         (String.sub name pl (String.length name - pl))
+  then int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+(* All string constants in expressions and patterns, plus every
+   referenced identifier's flattened path. *)
+let scan_impl structure =
+  let strings = Hashtbl.create 64 in
+  let idents = Hashtbl.create 64 in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_constant (Pconst_string (s, _, _)) ->
+              Hashtbl.replace strings s ()
+          | Pexp_ident { txt; _ } ->
+              List.iter
+                (fun c -> Hashtbl.replace idents c ())
+                (flatten_lident txt)
+          | _ -> ());
+          default_iterator.expr it e);
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_constant (Pconst_string (s, _, _)) ->
+              Hashtbl.replace strings s ()
+          | _ -> ());
+          default_iterator.pat it p);
+    }
+  in
+  iter.structure iter structure;
+  (strings, idents)
+
+let check_experiments ~allow sources =
+  let exp_path, exp_src = sources.experiments_ml in
+  match parse_impl ~filename:exp_path exp_src with
+  | Error d -> [ d ]
+  | Ok structure ->
+      (* inventory of experiments.ml: row types, value bindings *)
+      let row_types = Hashtbl.create 32 in
+      let values = Hashtbl.create 64 in
+      let exp_line : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let note_line n line =
+        if not (Hashtbl.mem exp_line n) then Hashtbl.replace exp_line n line
+      in
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_type (_, decls) ->
+              List.iter
+                (fun (d : Parsetree.type_declaration) ->
+                  Hashtbl.replace row_types d.ptype_name.txt ())
+                decls
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun (vb : Parsetree.value_binding) ->
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt; _ } ->
+                      Hashtbl.replace values txt ();
+                      let line = fst (loc_pos vb.pvb_loc) in
+                      (match exp_num_of_name txt with
+                      | Some n -> note_line n line
+                      | None -> (
+                          match prefixed_num ~prefix:"print_e" txt with
+                          | Some n -> note_line n line
+                          | None -> ()))
+                  | _ -> ())
+                vbs
+          | _ -> ())
+        structure;
+      let ids =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun n _ acc -> n :: acc) exp_line [])
+      in
+      let scan (path, src) =
+        match parse_impl ~filename:path src with
+        | Error d -> Error d
+        | Ok s -> Ok (scan_impl s)
+      in
+      let parse_diags = ref [] in
+      let scan_opt src =
+        match scan src with
+        | Error d ->
+            parse_diags := d :: !parse_diags;
+            None
+        | Ok x -> Some x
+      in
+      let bin = scan_opt sources.bin_ml in
+      let bench = scan_opt sources.bench_ml in
+      let report = scan_opt sources.report_ml in
+      let test = scan_opt sources.test_ml in
+      let md_lines = split_lines (snd sources.experiments_md) in
+      let has_string scanned s =
+        match scanned with
+        | None -> true (* parse error already reported; don't cascade *)
+        | Some (strings, _) -> Hashtbl.mem strings s
+      in
+      let string_with_word scanned w =
+        match scanned with
+        | None -> true
+        | Some (strings, _) ->
+            Hashtbl.fold
+              (fun s () acc -> acc || has_word s w)
+              strings false
+      in
+      let has_ident scanned i =
+        match scanned with
+        | None -> true
+        | Some (_, idents) -> Hashtbl.mem idents i
+      in
+      let md_has_entry n =
+        List.exists
+          (fun line ->
+            String.length line >= 3
+            && String.sub line 0 3 = "## "
+            && has_word line (Printf.sprintf "E%d" n))
+          md_lines
+      in
+      let missing =
+        List.concat_map
+          (fun n ->
+            let checks =
+              [
+                ( "row",
+                  Hashtbl.mem row_types (Printf.sprintf "e%d_row" n),
+                  Printf.sprintf "no `e%d_row` record type in %s" n exp_path );
+                ( "print",
+                  Hashtbl.mem values (Printf.sprintf "print_e%d" n),
+                  Printf.sprintf "no `print_e%d` in %s" n exp_path );
+                ( "cli",
+                  has_string bin (Printf.sprintf "e%d" n),
+                  Printf.sprintf "no \"e%d\" CLI hook in %s" n
+                    (fst sources.bin_ml) );
+                ( "bench",
+                  has_ident bench (Printf.sprintf "print_e%d" n),
+                  Printf.sprintf "no print_e%d bench hook in %s" n
+                    (fst sources.bench_ml) );
+                ( "report",
+                  string_with_word report (Printf.sprintf "E%d" n),
+                  Printf.sprintf "no \"E%d — ...\" section in %s" n
+                    (fst sources.report_ml) );
+                ( "docs",
+                  md_has_entry n,
+                  Printf.sprintf "no \"## E%d\" entry in %s" n
+                    (fst sources.experiments_md) );
+                ( "test",
+                  has_string test (Printf.sprintf "e%d" n),
+                  Printf.sprintf "no \"e%d\" shape-test suite in %s" n
+                    (fst sources.test_ml) );
+              ]
+            in
+            List.filter_map
+              (fun (artifact, ok, msg) ->
+                if ok then None
+                else
+                  let key =
+                    Printf.sprintf "%s:e%d.%s" exp_path n artifact
+                  in
+                  if Allowlist.mem allow ~rule:"experiment-artifacts" ~key
+                  then None
+                  else
+                    Some
+                      (diag ~file:exp_path
+                         ~line:(Option.value (Hashtbl.find_opt exp_line n)
+                                  ~default:1)
+                         ~rule:"experiment-artifacts"
+                         (Printf.sprintf
+                            "e%d is missing its %s artifact: %s (allowlist \
+                             key `experiment-artifacts %s`)"
+                            n artifact msg key)))
+              checks)
+          ids
+      in
+      List.rev !parse_diags @ missing
+
+(* ------------------------------------------------------------------ *)
+(* Driver: walk the tree                                               *)
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+(* repo-relative recursive file listing, sorted for determinism *)
+let rec walk root rel =
+  let abs = Filename.concat root rel in
+  if not (is_dir abs) then if Sys.file_exists abs then [ rel ] else []
+  else
+    Sys.readdir abs |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun name ->
+           if name = "_build" || name = ".git" then []
+           else walk root (rel ^ "/" ^ name))
+
+let files_with_suffix root dir suffix =
+  List.filter (fun f -> Filename.check_suffix f suffix) (walk root dir)
+
+let run ~root ~allow =
+  let read rel = read_file (Filename.concat root rel) in
+  let diags = ref [] in
+  let add ds = diags := ds @ !diags in
+  (* 1. layering over lib/*/dune *)
+  let lib_dunes =
+    if is_dir (Filename.concat root "lib") then
+      Sys.readdir (Filename.concat root "lib")
+      |> Array.to_list |> List.sort compare
+      |> List.filter_map (fun d ->
+             let rel = "lib/" ^ d ^ "/dune" in
+             if Sys.file_exists (Filename.concat root rel) then
+               Some (rel, read rel)
+             else None)
+    else []
+  in
+  add (check_layering ~dune_files:lib_dunes);
+  (* 2. determinism over lib/ implementations *)
+  let lib_ml = files_with_suffix root "lib" ".ml" in
+  let lib_mli = files_with_suffix root "lib" ".mli" in
+  List.iter (fun f -> add (check_determinism ~allow ~path:f (read f))) lib_ml;
+  (* 3. interface hygiene *)
+  add (check_missing_mli ~ml:lib_ml ~mli:lib_mli);
+  List.iter (fun f -> add (check_mli_doc ~path:f (read f))) lib_mli;
+  (* parse-check everything else we claim to cover *)
+  List.iter
+    (fun dir ->
+      List.iter
+        (fun f ->
+          if Filename.check_suffix f ".ml" then
+            match parse_impl ~filename:f (read f) with
+            | Error d -> add [ d ]
+            | Ok _ -> ()
+          else if Filename.check_suffix f ".mli" then
+            match parse_intf ~filename:f (read f) with
+            | Error d -> add [ d ]
+            | Ok _ -> ())
+        (walk root dir))
+    [ "bin"; "bench"; "test" ];
+  (* 4. experiment completeness *)
+  let source rel =
+    if Sys.file_exists (Filename.concat root rel) then Some (rel, read rel)
+    else begin
+      add
+        [
+          diag ~file:rel ~rule:"experiment-artifacts"
+            "required file is missing";
+        ];
+      None
+    end
+  in
+  (match
+     ( source "lib/core/experiments.ml",
+       source "bin/evolvenet.ml",
+       source "bench/main.ml",
+       source "lib/core/report.ml",
+       source "test/test_experiments.ml",
+       source "EXPERIMENTS.md" )
+   with
+  | Some experiments_ml, Some bin_ml, Some bench_ml, Some report_ml,
+    Some test_ml, Some experiments_md ->
+      add
+        (check_experiments ~allow
+           {
+             experiments_ml;
+             bin_ml;
+             bench_ml;
+             report_ml;
+             test_ml;
+             experiments_md;
+           })
+  | _ -> ());
+  add (Allowlist.stale allow);
+  List.sort_uniq compare_diag !diags

@@ -1,0 +1,77 @@
+(** evolvelint: repo-invariant static analysis.
+
+    Turns the CLAUDE.md conventions — the structural discipline the
+    paper's evolvability argument rests on (\u{00A7}3.2: new generations
+    layer on what exists without breaking invariants) — into machine
+    checks over the Parsetree of every source file plus the dune
+    library graph. Four rule families: layering, determinism,
+    interface hygiene, experiment completeness. *)
+
+type diag = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** rule identifier; see {!rules} *)
+  msg : string;
+}
+
+val to_string : diag -> string
+(** [file:line:col: [rule] msg] — the diagnostic format. *)
+
+val compare_diag : diag -> diag -> int
+
+val rules : (string * string) list
+(** Every rule id with its rationale and provenance (paper section or
+    CLAUDE.md convention); what [--explain] prints. *)
+
+val layer_order : string array
+(** The strict bottom-up library order the layering rule enforces. *)
+
+(** Verified-safe sites exempted from a rule. One entry per line:
+    [RULE FILE:KEY] ([#] starts a comment). For [hashtbl-order] the key
+    is the enclosing top-level binding; for [experiment-artifacts] it
+    is [eN.artifact]. *)
+module Allowlist : sig
+  type t
+
+  val empty : t
+  val parse : path:string -> string -> t
+  val load : string -> t
+
+  val stale : t -> diag list
+  (** Entries that matched nothing — each one is itself a violation,
+      so the allowlist cannot silently rot. Call after the checks. *)
+end
+
+val check_layering : dune_files:(string * string) list -> diag list
+(** [(path, contents)] pairs of dune files. Library stanzas must only
+    depend on strictly lower layers of {!layer_order}. *)
+
+val check_determinism :
+  allow:Allowlist.t -> path:string -> string -> diag list
+(** Walk one lib/ implementation: no [Random.*] outside
+    lib/topology/rng.ml, no wall-clock calls, no [Hashtbl.randomize],
+    and no [Hashtbl.fold]/[iter] escaping unsorted (allowlist-gated). *)
+
+val check_missing_mli : ml:string list -> mli:string list -> diag list
+
+val check_mli_doc : path:string -> string -> diag list
+(** The interface must carry a doc comment referencing a paper section
+    (a \u{00A7} sign or the word "Section"). *)
+
+type exp_sources = {
+  experiments_ml : string * string;
+  bin_ml : string * string;
+  bench_ml : string * string;
+  report_ml : string * string;
+  test_ml : string * string;
+  experiments_md : string * string;
+}
+
+val check_experiments : allow:Allowlist.t -> exp_sources -> diag list
+(** The seven-artifact rule: every [eN] in experiments.ml has a row
+    record, [print_eN], CLI hook, bench hook, Report section,
+    EXPERIMENTS.md entry and shape-test suite. *)
+
+val run : root:string -> allow:Allowlist.t -> diag list
+(** All four families over a repo checkout; sorted, deduplicated. *)

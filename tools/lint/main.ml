@@ -1,0 +1,57 @@
+(* evolvelint CLI.
+
+   evolvelint [--root DIR] [--allowlist FILE]   run all checks
+   evolvelint --explain RULE|all                print a rule's rationale *)
+
+module Lint = Lintcore.Lint
+
+let usage = "evolvelint [--root DIR] [--allowlist FILE] [--explain RULE|all]"
+
+let () =
+  let root = ref "." in
+  let allowlist = ref "" in
+  let explain = ref "" in
+  Arg.parse
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default .)");
+      ( "--allowlist",
+        Arg.Set_string allowlist,
+        "FILE allowlist of verified-safe sites (default \
+         ROOT/tools/lint/allowlist)" );
+      ( "--explain",
+        Arg.Set_string explain,
+        "RULE print the rule's rationale and provenance ('all' for every \
+         rule)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    usage;
+  if !explain <> "" then begin
+    let print_rule (id, text) = Printf.printf "%-20s %s\n\n" id text in
+    if !explain = "all" then List.iter print_rule Lint.rules
+    else
+      match List.assoc_opt !explain Lint.rules with
+      | Some text -> print_rule (!explain, text)
+      | None ->
+          Printf.eprintf "unknown rule '%s'; known rules: %s\n" !explain
+            (String.concat ", " (List.map fst Lint.rules));
+          exit 2
+  end
+  else begin
+    let allow_path =
+      if !allowlist <> "" then !allowlist
+      else Filename.concat !root "tools/lint/allowlist"
+    in
+    let allow =
+      if Sys.file_exists allow_path then Lint.Allowlist.load allow_path
+      else Lint.Allowlist.empty
+    in
+    let diags = Lint.run ~root:!root ~allow in
+    List.iter (fun d -> print_endline (Lint.to_string d)) diags;
+    match diags with
+    | [] ->
+        print_endline "evolvelint: OK (layering, determinism, interfaces, \
+                       experiment artifacts)"
+    | _ ->
+        Printf.printf "evolvelint: %d violation(s)\n" (List.length diags);
+        exit 1
+  end
