@@ -1,4 +1,4 @@
-.PHONY: build test lint explain bench report
+.PHONY: build test lint explain bench bench-json report
 
 build:        ## build everything (zero warnings expected)
 	dune build @all
@@ -12,8 +12,11 @@ lint:         ## evolvelint: layering, determinism, interfaces, experiments
 explain:      ## print every lint rule's rationale and provenance
 	dune exec tools/lint/main.exe -- --explain all
 
-bench:        ## all figures, experiments E1-E28, microbenchmarks
+bench:        ## all figures, experiments E1-E30, microbenchmarks
 	dune exec bench/main.exe
+
+bench-json:   ## data-plane throughput numbers -> BENCH_dataplane.json
+	dune exec bench/main.exe -- --json
 
 report:       ## regenerate RESULTS.md
 	dune exec bin/evolvenet.exe -- report -o RESULTS.md

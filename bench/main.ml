@@ -21,6 +21,10 @@ module Prefix = Netcore.Prefix
 module Ipv4 = Netcore.Ipv4
 module Spt = Routing.Spt
 module Bgp = Interdomain.Bgp
+module Fib = Simcore.Fib
+module Pump = Dataplane.Pump
+module Workload = Dataplane.Workload
+module Flowcache = Dataplane.Flowcache
 
 let section title =
   print_newline ();
@@ -39,7 +43,7 @@ let figures () =
   Format.printf "%a@." Scenario.pp_fig4 (Scenario.fig4 ())
 
 let experiments () =
-  section "Experiments (E1-E28)";
+  section "Experiments (E1-E30)";
   E.print_e1 (E.e1_deployment_sweep ());
   E.print_e2 (E.e2_default_route_sweep ());
   E.print_e3 (E.e3_egress_comparison ());
@@ -67,7 +71,9 @@ let experiments () =
   E.print_e25 (E.e25_coalition_sweep ());
   E.print_e26 (E.e26_encapsulation_overhead ());
   E.print_e27 (E.e27_mixed_igp ());
-  E.print_e28 (E.e28_path_hunting ())
+  E.print_e28 (E.e28_path_hunting ());
+  E.print_e29 (E.e29_dataplane_cost ());
+  E.print_e30 (E.e30_churn_traffic ())
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -179,22 +185,80 @@ let bench_bgp_async_boot () =
          Simcore.Bgpdyn.originate_all_domain_prefixes dyn engine;
          ignore (Simcore.Engine.run engine)))
 
-let run_benchmarks () =
-  section "Microbenchmarks (Bechamel)";
-  let tests =
-    [
-      bench_lpm_lookup ();
-      bench_dijkstra ();
-      bench_bgp_convergence ();
-      bench_anycast_resolution ();
-      bench_fabric_build ();
-      bench_journey ();
-      bench_internet_build ();
-      bench_bgpvn ();
-      bench_lsa_flood ();
-      bench_bgp_async_boot ();
-    ]
-  in
+(* --- data-plane traffic engine ------------------------------------- *)
+
+(* The E21 "large internet" (12 transits x 6 stubs): big enough that an
+   uncached longest-prefix walk visibly costs more than a direct-mapped
+   cache hit. *)
+let dataplane_fixture =
+  lazy
+    (let params =
+       {
+         Internet.default_params with
+         Internet.transit_domains = 12;
+         stubs_per_transit = 6;
+       }
+     in
+     let inet = Internet.build params in
+     let env = Forward.make_env inet in
+     let pump = Pump.create ~cache_slots:4096 env in
+     let uncached = Pump.create ~use_cache:false env in
+     let fib = Fib.compile env in
+     let wl =
+       Workload.create ~packets_per_flow:16 inet
+         (Workload.Gravity { zipf_s = 1.2 })
+         ~seed:7L
+     in
+     let flows = Array.of_list (Workload.batch wl ~count:256) in
+     (inet, pump, uncached, fib, flows))
+
+let flow_dst inet (flows : Workload.flow array) i =
+  let n = Array.length flows in
+  (Internet.endhost inet flows.(i land (n - 1)).Workload.dst).Internet.haddr
+
+let bench_fib_lookup_uncached () =
+  let inet, _, _, fib, flows = Lazy.force dataplane_fixture in
+  let table = Fib.table fib ~router:0 in
+  let i = ref 0 in
+  Test.make ~name:"fib lookup, lpm (large internet)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Lpm.lookup_value (flow_dst inet flows !i) table)))
+
+let bench_fib_lookup_cached () =
+  let inet, _, _, fib, flows = Lazy.force dataplane_fixture in
+  let table = Fib.table fib ~router:0 in
+  let cache = Flowcache.create ~slots:4096 in
+  let i = ref 0 in
+  Test.make ~name:"fib lookup, flow cache (large internet)"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Flowcache.find cache (flow_dst inet flows !i)
+              ~compute:(fun a -> Lpm.lookup_value a table))))
+
+let bench_pump_send pump name =
+  let inet, _, _, _, flows = Lazy.force dataplane_fixture in
+  ignore inet;
+  let n = Array.length flows in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr i;
+         let f = flows.(!i land (n - 1)) in
+         ignore
+           (Pump.send_data pump ~src:f.Workload.src ~dst:f.Workload.dst
+              ~payload:"x")))
+
+let bench_pump_cached () =
+  let _, pump, _, _, _ = Lazy.force dataplane_fixture in
+  bench_pump_send pump "pump send, flow cache (large internet)"
+
+let bench_pump_uncached () =
+  let _, _, uncached, _, _ = Lazy.force dataplane_fixture in
+  bench_pump_send uncached "pump send, lpm only (large internet)"
+
+let measure_tests tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -202,29 +266,119 @@ let run_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
   in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          (name, ns) :: acc)
+        analyzed []
+      |> List.rev)
+    tests
+
+let run_benchmarks () =
+  section "Microbenchmarks (Bechamel)";
   let rows =
-    List.concat_map
-      (fun test ->
-        let results = Benchmark.all cfg [ instance ] test in
-        let analyzed = Analyze.all ols instance results in
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let ns =
-              match Analyze.OLS.estimates ols_result with
-              | Some (x :: _) -> x
-              | _ -> nan
-            in
-            (name, ns) :: acc)
-          analyzed []
-        |> List.rev)
-      tests
+    measure_tests
+      [
+        bench_lpm_lookup ();
+        bench_dijkstra ();
+        bench_bgp_convergence ();
+        bench_anycast_resolution ();
+        bench_fabric_build ();
+        bench_journey ();
+        bench_internet_build ();
+        bench_bgpvn ();
+        bench_lsa_flood ();
+        bench_bgp_async_boot ();
+        bench_fib_lookup_uncached ();
+        bench_fib_lookup_cached ();
+        bench_pump_uncached ();
+        bench_pump_cached ();
+      ]
   in
   Evolve.Table.print ~title:"core operation costs"
     ~header:[ "operation"; "ns/run" ]
     ~rows:
       (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows)
 
+(* --- machine-readable bench output (--json) ------------------------- *)
+
+(* The Bechamel harness above carries a few microseconds of per-run
+   overhead (visible on every row of the table), which is fine for the
+   relative-cost display but swamps the ~30-200 ns lookup operations
+   whose ratio the JSON exists to record. For those we time a plain
+   calibrated loop instead. *)
+let time_ns ~warmup ~iters f =
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let write_bench_json path =
+  let inet, pump, uncached, fib, flows = Lazy.force dataplane_fixture in
+  let table = Fib.table fib ~router:0 in
+  let n = Array.length flows in
+  let dsts = Array.map (fun f -> (Internet.endhost inet f.Workload.dst).Internet.haddr) flows in
+  let cache = Flowcache.create ~slots:4096 in
+  let i = ref 0 in
+  let next_dst () =
+    incr i;
+    dsts.(!i land (n - 1))
+  in
+  let ns_lpm =
+    time_ns ~warmup:10_000 ~iters:200_000 (fun () ->
+        Lpm.lookup_value (next_dst ()) table)
+  in
+  let ns_cached =
+    time_ns ~warmup:10_000 ~iters:200_000 (fun () ->
+        Flowcache.find cache (next_dst ())
+          ~compute:(fun a -> Lpm.lookup_value a table))
+  in
+  let send p () =
+    incr i;
+    let f = flows.(!i land (n - 1)) in
+    Pump.send_data p ~src:f.Workload.src ~dst:f.Workload.dst ~payload:"x"
+  in
+  let ns_send_lpm = time_ns ~warmup:1_000 ~iters:20_000 (send uncached) in
+  let ns_send = time_ns ~warmup:1_000 ~iters:20_000 (send pump) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"topology\": \"e21-large-internet (12 transits x 6 stubs)\",\n\
+      \  \"packets_per_sec\": %.0f,\n\
+      \  \"cache_hit_rate\": %.4f,\n\
+      \  \"ns_per_lookup_uncached\": %.1f,\n\
+      \  \"ns_per_lookup_cached\": %.1f,\n\
+      \  \"lookup_speedup\": %.2f,\n\
+      \  \"ns_per_packet_uncached\": %.1f,\n\
+      \  \"ns_per_packet_cached\": %.1f\n\
+       }\n"
+      (1e9 /. ns_send) (Pump.cache_hit_rate pump) ns_lpm ns_cached
+      (ns_lpm /. ns_cached) ns_send_lpm ns_send
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.printf "wrote %s\n%s" path json
+
 let () =
-  figures ();
-  experiments ();
-  run_benchmarks ()
+  if Array.exists (fun a -> a = "--json") Sys.argv then
+    write_bench_json "BENCH_dataplane.json"
+  else begin
+    figures ();
+    experiments ();
+    run_benchmarks ()
+  end

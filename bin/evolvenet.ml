@@ -57,7 +57,9 @@ let run_exp name seed transit stubs =
   | "e26" -> E.print_e26 (E.e26_encapsulation_overhead ~params ())
   | "e27" -> E.print_e27 (E.e27_mixed_igp ~params ())
   | "e28" -> E.print_e28 (E.e28_path_hunting ~params ())
-  | other -> Printf.eprintf "no such experiment: %s (e1-e28)\n" other
+  | "e29" -> E.print_e29 (E.e29_dataplane_cost ~params ())
+  | "e30" -> E.print_e30 (E.e30_churn_traffic ~params ())
+  | other -> Printf.eprintf "no such experiment: %s (e1-e30)\n" other
 
 let default_seed = Int64.to_int Topology.Internet.default_params.Topology.Internet.seed
 let default_transit = Topology.Internet.default_params.Topology.Internet.transit_domains
@@ -67,7 +69,7 @@ let run_all () =
   List.iter run_fig [ 1; 2; 3; 4 ];
   List.iter
     (fun e -> run_exp e default_seed default_transit default_stubs)
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28" ]
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30" ]
 
 let run_demo () =
   let module Setup = Evolve.Setup in
@@ -215,7 +217,7 @@ let exp_cmd =
     Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
            ~doc:"Stub domains per transit.")
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e28)")
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e30)")
     Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
 
 let run_report path =

@@ -11,6 +11,8 @@ module Linkstate = Routing.Linkstate
 module Distvec = Routing.Distvec
 module Prefix = Netcore.Prefix
 module Addressing = Netcore.Addressing
+module Pump = Dataplane.Pump
+module Workload = Dataplane.Workload
 
 let all_endhosts (inet : Internet.t) =
   List.init (Array.length inet.Internet.endhosts) Fun.id
@@ -1985,5 +1987,274 @@ let print_e28 rows =
              Table.fi r.withdraw_updates;
              Table.fi r.withdraw_churn;
              Table.ff r.hunt_ratio;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E29                                                                 *)
+
+type e29_row = {
+  option29 : string;
+  fraction29 : float;
+  delivery29 : float;
+  mean_stretch29 : float;  (** data-plane hops, evolved / native *)
+  p99_stretch29 : float;
+  byte_overhead29 : float;  (** evolved wire bytes / native - 1 *)
+  cache_hit29 : float;  (** flow-cache hit rate over the sweep point *)
+}
+
+let e29_dataplane_cost ?(params = Internet.default_params)
+    ?(fractions = [ 0.0; 0.15; 0.3; 0.6; 1.0 ]) ?(flows = 40) () =
+  let strategies =
+    [
+      ("option1", Service.Option1);
+      ("option2", Service.Option2 { default_domain = 0 });
+    ]
+  in
+  List.concat_map
+    (fun (option29, strategy) ->
+      let inet = Internet.build params in
+      let setup = Setup.of_internet inet ~version:8 ~strategy in
+      let num = Internet.num_domains inet in
+      let rng = Rng.create (Int64.add params.Internet.seed 163L) in
+      let order =
+        let a = Array.init num Fun.id in
+        Rng.shuffle rng a;
+        (* Option 2's default domain anchors the deployment: enroll it
+           first so the carved prefix has a member behind it *)
+        (match strategy with
+        | Service.Option2 { default_domain } ->
+            let i = ref 0 in
+            Array.iteri (fun j d -> if d = default_domain then i := j) a;
+            let tmp = a.(0) in
+            a.(0) <- a.(!i);
+            a.(!i) <- tmp
+        | Service.Option1 | Service.Gia _ -> ());
+        a
+      in
+      let wl =
+        Workload.create inet
+          (Workload.Gravity { zipf_s = 1.2 })
+          ~seed:(Int64.add params.Internet.seed 167L)
+      in
+      let sample = Workload.batch wl ~count:flows in
+      let deployed = ref 0 in
+      List.map
+        (fun fraction29 ->
+          let target =
+            min num (int_of_float (ceil (fraction29 *. float_of_int num)))
+          in
+          while !deployed < target do
+            Setup.deploy setup ~domain:order.(!deployed);
+            incr deployed
+          done;
+          let pump = Pump.create (Setup.env setup) in
+          let vrouter = Setup.router setup in
+          let n_del = ref 0 in
+          let stretches = ref [] in
+          let native_bytes = ref 0 and evolved_bytes = ref 0 in
+          List.iter
+            (fun (f : Workload.flow) ->
+              let payload = String.make f.Workload.bytes_per_packet 'x' in
+              let nat =
+                Pump.send_data pump ~src:f.Workload.src ~dst:f.Workload.dst
+                  ~payload
+              in
+              let nat_hops = Forward.hop_count nat in
+              let nat_len =
+                let hs = Internet.endhost inet f.Workload.src
+                and hd = Internet.endhost inet f.Workload.dst in
+                Netcore.Wire.wire_length
+                  (Netcore.Packet.make_data ~src:hs.Internet.haddr
+                     ~dst:hd.Internet.haddr payload)
+              in
+              let d =
+                Pump.send_vn pump vrouter ~strategy:Router.Bgp_aware
+                  ~src:f.Workload.src ~dst:f.Workload.dst ~payload
+              in
+              if Pump.vn_delivered d then begin
+                incr n_del;
+                if Forward.delivered nat && nat_hops > 0 then
+                  stretches :=
+                    (float_of_int d.Pump.vn_hops /. float_of_int nat_hops)
+                    :: !stretches;
+                native_bytes := !native_bytes + (nat_hops * nat_len);
+                evolved_bytes := !evolved_bytes + d.Pump.vn_bytes
+              end)
+            sample;
+          {
+            option29;
+            fraction29;
+            delivery29 = float_of_int !n_del /. float_of_int flows;
+            mean_stretch29 =
+              (if !stretches = [] then 0.0 else Metrics.mean !stretches);
+            p99_stretch29 =
+              (if !stretches = [] then 0.0
+               else Metrics.percentile 0.99 !stretches);
+            byte_overhead29 =
+              (if !native_bytes = 0 then 0.0
+               else
+                 float_of_int !evolved_bytes /. float_of_int !native_bytes
+                 -. 1.0);
+            cache_hit29 = Pump.cache_hit_rate pump;
+          })
+        fractions)
+    strategies
+
+let print_e29 rows =
+  Table.print
+    ~title:
+      "E29: the data-plane cost of evolution (batched flows over compiled FIBs)"
+    ~header:
+      [
+        "option";
+        "fraction";
+        "delivery";
+        "mean stretch";
+        "p99 stretch";
+        "byte overhead";
+        "cache hits";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.option29;
+             Table.ff r.fraction29;
+             Table.fpct r.delivery29;
+             Table.ff r.mean_stretch29;
+             Table.ff r.p99_stretch29;
+             Table.fpct r.byte_overhead29;
+             Table.fpct r.cache_hit29;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E30                                                                 *)
+
+type e30_row = {
+  tick30 : int;
+  phase30 : string;  (** steady | converging | recovered *)
+  fresh30 : float;  (** fraction of routers on the current snapshot *)
+  ok30 : float;  (** probes accepted by a current member *)
+  stale30 : float;  (** probes accepted by an ex-member (stale FIB) *)
+  lost30 : float;  (** dropped: no route / stuck *)
+  looped30 : float;  (** TTL expiry: transient forwarding loops *)
+}
+
+let e30_churn_traffic ?(params = Internet.default_params) ?(deploy_domains = 4)
+    ?(probes = 40) ?(ticks = 9) ?(churn_tick = 3) ?(window = 4) () =
+  let inet = Internet.build params in
+  let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+  let rng = Rng.create (Int64.add params.Internet.seed 173L) in
+  let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+  List.iter (fun d -> Setup.deploy setup ~domain:d) doms;
+  let env = Setup.env setup in
+  let service = Setup.service setup in
+  let addr = Service.address service in
+  let probe_hosts = Rng.sample rng probes (all_endhosts inet) in
+  (* the victim: the deployed domain serving the most probe clients,
+     so the stale window is visible *)
+  let counts = Array.make (Internet.num_domains inet) 0 in
+  List.iter
+    (fun h ->
+      match Service.ingress_for_endhost service ~endhost:h with
+      | Some r ->
+          let d = (Internet.router inet r).Internet.rdomain in
+          counts.(d) <- counts.(d) + 1
+      | None -> ())
+    probe_hosts;
+  let victim =
+    List.fold_left
+      (fun best d -> if counts.(d) > counts.(best) then d else best)
+      (List.hd doms) (List.tl doms)
+  in
+  let pump = Pump.create env in
+  let n_routers = Internet.num_routers inet in
+  let refresh_order =
+    let a = Array.init n_routers Fun.id in
+    Rng.shuffle rng a;
+    a
+  in
+  let refreshed = ref 0 in
+  let churned = ref false in
+  let rows = ref [] in
+  let engine = Simcore.Engine.create () in
+  let tick i _ =
+    (* line cards pick up the new snapshot in batches across the window *)
+    if !churned && !refreshed < n_routers then begin
+      let batch_size = (n_routers + window - 1) / window in
+      let upto = min n_routers (!refreshed + batch_size) in
+      let batch =
+        Array.to_list (Array.sub refresh_order !refreshed (upto - !refreshed))
+      in
+      Pump.refresh ~routers:batch pump;
+      refreshed := upto
+    end;
+    let members = Service.members service in
+    let ok = ref 0 and stale = ref 0 and lost = ref 0 and looped = ref 0 in
+    List.iter
+      (fun h ->
+        let hh = Internet.endhost inet h in
+        let p =
+          Netcore.Packet.make_data ~src:hh.Internet.haddr ~dst:addr "probe"
+        in
+        let tr = Pump.inject pump p ~entry:hh.Internet.access_router in
+        match tr.Forward.outcome with
+        | Forward.Router_accepted r ->
+            if List.mem r members then incr ok else incr stale
+        | Forward.Endhost_accepted _ -> incr stale
+        | Forward.Dropped Forward.Ttl_expired -> incr looped
+        | Forward.Dropped _ -> incr lost)
+      probe_hosts;
+    let total = float_of_int (List.length probe_hosts) in
+    let frac c = float_of_int !c /. total in
+    rows :=
+      {
+        tick30 = i;
+        phase30 =
+          (if not !churned then "steady"
+           else if !refreshed < n_routers then "converging"
+           else "recovered");
+        fresh30 =
+          (if !churned then float_of_int !refreshed /. float_of_int n_routers
+           else 1.0);
+        ok30 = frac ok;
+        stale30 = frac stale;
+        lost30 = frac lost;
+        looped30 = frac looped;
+      }
+      :: !rows
+  in
+  for i = 1 to ticks do
+    Simcore.Engine.schedule_at engine ~time:(float_of_int i) (tick i)
+  done;
+  (* the membership change lands between two traffic ticks *)
+  Simcore.Engine.schedule_at engine
+    ~time:(float_of_int churn_tick +. 0.5)
+    (fun _ ->
+      Setup.undeploy setup ~domain:victim;
+      churned := true);
+  ignore (Simcore.Engine.run engine);
+  List.rev !rows
+
+let print_e30 rows =
+  Table.print
+    ~title:
+      "E30: traffic during churn — stale FIB snapshots across a membership \
+       change"
+    ~header:
+      [ "tick"; "phase"; "fresh FIBs"; "ok"; "stale"; "lost"; "looped" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.tick30;
+             r.phase30;
+             Table.fpct r.fresh30;
+             Table.fpct r.ok30;
+             Table.fpct r.stale30;
+             Table.fpct r.lost30;
+             Table.fpct r.looped30;
            ])
          rows)

@@ -580,3 +580,62 @@ val e28_path_hunting :
   ?params:Topology.Internet.params -> ?mrais:float list -> unit -> e28_row list
 
 val print_e28 : e28_row list -> unit
+
+(** {1 E29 — the data-plane cost of evolution}
+
+    The architectural bill measured where it is paid: gravity-model
+    flow batches pushed through compiled FIB snapshots with per-router
+    flow caches ({!Dataplane.Pump}), native IPv4 vs the encapsulated
+    IPvN journey, as deployment sweeps 0 to 100% under Option 1 and
+    Option 2. Delivery, hop stretch (mean and p99) and wire-byte
+    overhead all converge toward native as deployment completes. *)
+
+type e29_row = {
+  option29 : string;
+  fraction29 : float;
+  delivery29 : float;
+  mean_stretch29 : float;
+  p99_stretch29 : float;
+  byte_overhead29 : float;
+  cache_hit29 : float;
+}
+
+val e29_dataplane_cost :
+  ?params:Topology.Internet.params ->
+  ?fractions:float list ->
+  ?flows:int ->
+  unit ->
+  e29_row list
+
+val print_e29 : e29_row list -> unit
+
+(** {1 E30 — traffic during churn}
+
+    FIB snapshots are not updated atomically: after a vN-Bone
+    membership change the control plane moves on while line cards
+    refresh in batches across a convergence window. Anycast probes
+    injected every engine tick show the transient — packets still
+    accepted by the ex-member (stale), dropped, or caught in
+    mixed-table loops until every router runs the new snapshot. *)
+
+type e30_row = {
+  tick30 : int;
+  phase30 : string;
+  fresh30 : float;
+  ok30 : float;
+  stale30 : float;
+  lost30 : float;
+  looped30 : float;
+}
+
+val e30_churn_traffic :
+  ?params:Topology.Internet.params ->
+  ?deploy_domains:int ->
+  ?probes:int ->
+  ?ticks:int ->
+  ?churn_tick:int ->
+  ?window:int ->
+  unit ->
+  e30_row list
+
+val print_e30 : e30_row list -> unit

@@ -383,7 +383,45 @@ let experiment_section buf =
               Table.fi r.E.withdraw_churn;
               Table.ff r.E.hunt_ratio;
             ])
-          (E.e28_path_hunting ())))
+          (E.e28_path_hunting ())));
+  add "E29 — the data-plane cost of evolution"
+    (table
+       [
+         "option";
+         "fraction";
+         "delivery";
+         "mean stretch";
+         "p99 stretch";
+         "byte overhead";
+         "cache hits";
+       ]
+       (List.map
+          (fun (r : E.e29_row) ->
+            [
+              r.E.option29;
+              Table.ff r.E.fraction29;
+              Table.fpct r.E.delivery29;
+              Table.ff r.E.mean_stretch29;
+              Table.ff r.E.p99_stretch29;
+              Table.fpct r.E.byte_overhead29;
+              Table.fpct r.E.cache_hit29;
+            ])
+          (E.e29_dataplane_cost ())));
+  add "E30 — traffic during churn"
+    (table
+       [ "tick"; "phase"; "fresh FIBs"; "ok"; "stale"; "lost"; "looped" ]
+       (List.map
+          (fun (r : E.e30_row) ->
+            [
+              Table.fi r.E.tick30;
+              r.E.phase30;
+              Table.fpct r.E.fresh30;
+              Table.fpct r.E.ok30;
+              Table.fpct r.E.stale30;
+              Table.fpct r.E.lost30;
+              Table.fpct r.E.looped30;
+            ])
+          (E.e30_churn_traffic ())))
 
 let generate () =
   let buf = Buffer.create 16384 in

@@ -1,0 +1,69 @@
+module Ipv4 = Netcore.Ipv4
+
+type 'a t = {
+  slots : (Ipv4.t * 'a) option array;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; occupied : int }
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Flowcache.create: slots must be positive";
+  let rec pow2 k = if k >= slots then k else pow2 (k * 2) in
+  let n = pow2 1 in
+  { slots = Array.make n None; mask = n - 1; hits = 0; misses = 0; evictions = 0 }
+
+let capacity t = Array.length t.slots
+
+(* Fibonacci (multiplicative) hashing before masking: endhost addresses
+   are domain-/16-aligned with tiny host parts, so raw low bits would
+   map every destination in the internet onto a handful of slots. *)
+let slot_of t addr =
+  let h = Ipv4.to_int addr * 0x9E3779B1 in
+  (h lsr 15) land t.mask
+
+let lookup t addr =
+  match t.slots.(slot_of t addr) with
+  | Some (a, v) when Ipv4.equal a addr ->
+      t.hits <- t.hits + 1;
+      Some v
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t addr v =
+  let i = slot_of t addr in
+  (match t.slots.(i) with
+  | Some (a, _) when not (Ipv4.equal a addr) -> t.evictions <- t.evictions + 1
+  | Some _ | None -> ());
+  t.slots.(i) <- Some (addr, v)
+
+let find t addr ~compute =
+  match lookup t addr with
+  | Some _ as hit -> hit
+  | None -> (
+      match compute addr with
+      | Some v as r ->
+          insert t addr v;
+          r
+      | None -> None)
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let stats t =
+  let occupied =
+    Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.slots
+  in
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; occupied }
+
+let hit_rate (t : _ t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats (t : _ t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

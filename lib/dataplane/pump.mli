@@ -1,0 +1,90 @@
+(** The data-plane traffic engine: batched packets over compiled FIB
+    snapshots.
+
+    Everything below this module decides {e one} packet at a time
+    against the live control plane; the pump is the line-card view the
+    ROADMAP's "heavy traffic" goal needs. It holds one compiled
+    {!Simcore.Fib} table per router (a snapshot — §3.2's data-plane
+    state), fronts each with a {!Flowcache}, performs real {!Wire}
+    encode at injection / header peeks per hop / decode-and-decap at
+    delivery (the IPvN-in-IPv4 encapsulation of §3.3.2), and records
+    every event into a {!Telemetry}.
+
+    Tables are snapshots: after a deployment or routing change the
+    control plane moves on but the pump keeps forwarding on stale
+    tables until {!refresh} — exactly the convergence window experiment
+    E30 measures. The pump must agree with the {!Simcore.Forward}
+    oracle whenever its snapshot is current (asserted, cache on and
+    off, by the test-suite). *)
+
+type t
+
+val create : ?use_cache:bool -> ?cache_slots:int -> Simcore.Forward.env -> t
+(** Compile a FIB snapshot of the env's current control plane and
+    stand up per-router flow caches ([use_cache] default true,
+    [cache_slots] default 256) and telemetry. *)
+
+val env : t -> Simcore.Forward.env
+val telemetry : t -> Telemetry.t
+
+val cached : t -> bool
+(** Whether flow caches are enabled. *)
+
+val cache_hit_rate : t -> float
+(** Aggregate flow-cache hit rate since creation. *)
+
+val refresh : ?routers:int list -> t -> unit
+(** Recompile the FIB from the env's current control-plane state and
+    install it at the given routers (default: all), invalidating their
+    flow caches. Partial refresh leaves the rest forwarding on the old
+    snapshot — the mixed-table state of a convergence window. *)
+
+val inject : t -> Netcore.Packet.t -> entry:int -> Simcore.Forward.trace
+(** Push one packet hop by hop from router [entry] over the installed
+    tables: encode once, peek the destination from the header bytes at
+    each hop, look up through the flow cache, decode/decapsulate on
+    delivery. Returns the same trace shape as {!Simcore.Forward.forward}. *)
+
+val send_data : t -> src:int -> dst:int -> payload:string -> Simcore.Forward.trace
+(** Native IPv4 endhost-to-endhost send (the access link is not a
+    router hop, as in {!Simcore.Forward.send_from_endhost}). *)
+
+val run_flow : t -> Workload.flow -> unit
+(** Send all of a flow's packets natively, for the telemetry. *)
+
+val run_batch : t -> Workload.flow list -> unit
+
+(** {2 IPvN journeys} — the §3.3.2 universal-access data path
+    (access anycast leg, vN-Bone tunnel legs, IPv(N-1) exit leg),
+    with every underlay leg forwarded by {!inject} instead of the
+    control-plane oracle {!Vnbone.Transport.send} uses. *)
+
+type vn_outcome =
+  | Vn_delivered
+  | Vn_no_ingress  (** anycast redirection failed *)
+  | Vn_unreachable  (** no egress or no vN-Bone path *)
+  | Vn_exit_failed
+  | Vn_vttl_expired
+
+val vn_outcome_to_string : vn_outcome -> string
+
+type vn_delivery = {
+  traces : Simcore.Forward.trace list;
+      (** access, tunnel and exit underlay traces, in order *)
+  vn_outcome : vn_outcome;
+  vn_hops : int;  (** underlay transmissions over all legs *)
+  vn_bytes : int;  (** wire bytes crossing links (bytes x transmissions) *)
+}
+
+val send_vn :
+  t ->
+  Vnbone.Router.t ->
+  strategy:Vnbone.Router.strategy ->
+  src:int ->
+  dst:int ->
+  payload:string ->
+  vn_delivery
+(** End-to-end IPvN send between endhost ids over the pump's tables.
+    The router must be built over the same env as the pump. *)
+
+val vn_delivered : vn_delivery -> bool

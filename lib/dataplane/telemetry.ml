@@ -1,0 +1,124 @@
+type cls = Native | Encap
+
+let cls_to_string = function Native -> "native" | Encap -> "encap"
+
+type counters = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable encap_bytes : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable ttl_expired : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let fresh () =
+  {
+    packets = 0;
+    bytes = 0;
+    encap_bytes = 0;
+    delivered = 0;
+    dropped = 0;
+    ttl_expired = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+type t = { per_router : counters array; per_class : counters array }
+
+let create ~routers =
+  {
+    per_router = Array.init routers (fun _ -> fresh ());
+    per_class = Array.init 2 (fun _ -> fresh ());
+  }
+
+let num_routers t = Array.length t.per_router
+let cls_index = function Native -> 0 | Encap -> 1
+let router t r = t.per_router.(r)
+let cls t c = t.per_class.(cls_index c)
+
+let record_hop t ~router ~cls:c ~bytes ~encap_bytes =
+  let bump (x : counters) =
+    x.packets <- x.packets + 1;
+    x.bytes <- x.bytes + bytes;
+    x.encap_bytes <- x.encap_bytes + encap_bytes
+  in
+  bump t.per_router.(router);
+  bump (cls t c)
+
+let record_delivered t ~router ~cls:c =
+  t.per_router.(router).delivered <- t.per_router.(router).delivered + 1;
+  (cls t c).delivered <- (cls t c).delivered + 1
+
+let record_drop t ~router ~cls:c =
+  t.per_router.(router).dropped <- t.per_router.(router).dropped + 1;
+  (cls t c).dropped <- (cls t c).dropped + 1
+
+let record_ttl_expired t ~router ~cls:c =
+  t.per_router.(router).ttl_expired <- t.per_router.(router).ttl_expired + 1;
+  (cls t c).ttl_expired <- (cls t c).ttl_expired + 1
+
+let record_cache t ~router ~cls:c ~hit =
+  let bump (x : counters) =
+    if hit then x.cache_hits <- x.cache_hits + 1
+    else x.cache_misses <- x.cache_misses + 1
+  in
+  bump t.per_router.(router);
+  bump (cls t c)
+
+let add_into (dst : counters) (src : counters) =
+  dst.packets <- dst.packets + src.packets;
+  dst.bytes <- dst.bytes + src.bytes;
+  dst.encap_bytes <- dst.encap_bytes + src.encap_bytes;
+  dst.delivered <- dst.delivered + src.delivered;
+  dst.dropped <- dst.dropped + src.dropped;
+  dst.ttl_expired <- dst.ttl_expired + src.ttl_expired;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.cache_misses <- dst.cache_misses + src.cache_misses
+
+let merge a b =
+  if num_routers a <> num_routers b then
+    invalid_arg "Telemetry.merge: router counts differ";
+  let m = create ~routers:(num_routers a) in
+  Array.iteri
+    (fun i c ->
+      add_into m.per_router.(i) c;
+      add_into m.per_router.(i) b.per_router.(i))
+    a.per_router;
+  Array.iteri
+    (fun i c ->
+      add_into m.per_class.(i) c;
+      add_into m.per_class.(i) b.per_class.(i))
+    a.per_class;
+  m
+
+let total t =
+  let acc = fresh () in
+  Array.iter (add_into acc) t.per_router;
+  acc
+
+let cache_hit_rate t =
+  let acc = total t in
+  let lookups = acc.cache_hits + acc.cache_misses in
+  if lookups = 0 then 0.0
+  else float_of_int acc.cache_hits /. float_of_int lookups
+
+let pp fmt t =
+  let line name (c : counters) =
+    Format.fprintf fmt
+      "  %-8s %8d pkts  %10d B  %8d encap B  %6d dlv  %4d drop  %4d ttl@."
+      name c.packets c.bytes c.encap_bytes c.delivered c.dropped c.ttl_expired
+  in
+  Format.fprintf fmt "telemetry (%d routers):@." (num_routers t);
+  line "native" (cls t Native);
+  line "encap" (cls t Encap);
+  let busiest = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if !busiest < 0 || c.packets > t.per_router.(!busiest).packets then
+        busiest := i)
+    t.per_router;
+  if !busiest >= 0 && t.per_router.(!busiest).packets > 0 then
+    Format.fprintf fmt "  busiest router: %d (%d pkts, %.1f%% cache hits)@."
+      !busiest t.per_router.(!busiest).packets (100.0 *. cache_hit_rate t)

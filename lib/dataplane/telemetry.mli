@@ -1,0 +1,63 @@
+(** Per-hop data-plane telemetry.
+
+    What the paper's data-plane questions (§3.2 state and stretch,
+    §3.3.2 encapsulation overhead) cost in packets and bytes, counted
+    the way a router's interface counters would: every field is an
+    event count, incremented once per event at the router where it
+    happened and once in the packet's class ([Native] IPv4 data vs
+    [Encap]sulated IPvN). A packet crossing [k] routers therefore
+    contributes [k] to [packets]; terminal events (delivery, drop,
+    TTL expiry) count once. Telemetries from separate runs merge by
+    summation, so per-batch counters can be aggregated. *)
+
+type cls = Native | Encap  (** traffic class of a packet *)
+
+val cls_to_string : cls -> string
+
+type counters = {
+  mutable packets : int;  (** per-hop handlings *)
+  mutable bytes : int;  (** wire bytes handled *)
+  mutable encap_bytes : int;  (** encapsulation-overhead bytes handled *)
+  mutable delivered : int;
+  mutable dropped : int;  (** No_route + Stuck drops *)
+  mutable ttl_expired : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type t
+
+val create : routers:int -> t
+(** All-zero counters for an internet with [routers] routers. *)
+
+val num_routers : t -> int
+
+val router : t -> int -> counters
+(** One router's counters (live view — fields mutate as events are
+    recorded). *)
+
+val cls : t -> cls -> counters
+(** One traffic class's counters. *)
+
+val total : t -> counters
+(** Fresh sum over all routers. *)
+
+val cache_hit_rate : t -> float
+(** [cache_hits / (cache_hits + cache_misses)] over all routers; 0
+    before any lookup. *)
+
+(** {2 Recording} — called by the traffic engine, one event each. *)
+
+val record_hop : t -> router:int -> cls:cls -> bytes:int -> encap_bytes:int -> unit
+val record_delivered : t -> router:int -> cls:cls -> unit
+val record_drop : t -> router:int -> cls:cls -> unit
+val record_ttl_expired : t -> router:int -> cls:cls -> unit
+val record_cache : t -> router:int -> cls:cls -> hit:bool -> unit
+
+val merge : t -> t -> t
+(** Field-wise sum; inputs are unchanged.
+    @raise Invalid_argument when router counts differ. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact human-readable summary (per-class lines + busiest
+    router). *)

@@ -141,6 +141,30 @@ let decode s =
     Ok { Packet.src; dst; ttl; payload }
   with Malformed m -> Error m
 
+(* --- header peeks -------------------------------------------------- *)
+
+let header_bytes = 11
+
+let u32_at s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let peek_ok s = String.length s >= header_bytes && Char.code s.[0] = format_version
+
+let peek_dst s = if peek_ok s then Some (Ipv4.of_int (u32_at s 6)) else None
+let peek_src s = if peek_ok s then Some (Ipv4.of_int (u32_at s 2)) else None
+let peek_ttl s = if peek_ok s then Some (Char.code s.[10]) else None
+
+let peek_kind s =
+  if not (peek_ok s) then None
+  else
+    match Char.code s.[1] with
+    | 0 -> Some `Data
+    | 1 -> Some `Encap
+    | _ -> None
+
 let wire_length (p : Packet.t) =
   let ipvn_len a = match Ipvn.embedded_ipv4 a with Some _ -> 5 | None -> 9 in
   let header = 1 + 1 + 4 + 4 + 1 in

@@ -32,3 +32,25 @@ val decode : string -> (Packet.t, string) result
 
 val wire_length : Packet.t -> int
 (** Encoded size in bytes, without encoding. *)
+
+(** {2 Header peeks}
+
+    A forwarding element only needs the fixed 11-byte header to make
+    its per-hop decision (§3.3.2: tunnel transit routers treat the
+    IPvN payload as opaque bytes). These peeks read single header
+    fields straight out of the encoded string without allocating or
+    parsing the payload — the data-plane hot path. Each returns
+    [None] when the string is shorter than the fixed header or not
+    format version 1. *)
+
+val peek_dst : string -> Ipv4.t option
+(** IPv4 destination (bytes 6-9) of an encoded packet. *)
+
+val peek_src : string -> Ipv4.t option
+(** IPv4 source (bytes 2-5) of an encoded packet. *)
+
+val peek_ttl : string -> int option
+(** TTL (byte 10) of an encoded packet. *)
+
+val peek_kind : string -> [ `Data | `Encap ] option
+(** Payload kind (byte 1): plain data or encapsulated IPvN. *)

@@ -75,6 +75,15 @@ let compile (env : Forward.env) =
   { tables }
 
 let lookup t ~router addr = Lpm.lookup_value addr t.tables.(router)
+let table t ~router = t.tables.(router)
+
+let action_equal a b =
+  match (a, b) with
+  | Local, Local -> true
+  | Attached x, Attached y -> x = y
+  | Next_hop x, Next_hop y -> x = y
+  | (Local | Attached _ | Next_hop _), _ -> false
+
 let size t ~router = Lpm.cardinal t.tables.(router)
 
 let total_entries t =

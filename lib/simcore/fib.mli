@@ -30,6 +30,14 @@ val compile : Forward.env -> t
 val lookup : t -> router:int -> Netcore.Ipv4.t -> action option
 (** The compiled forwarding decision; [None] = drop (no route). *)
 
+val table : t -> router:int -> action Netcore.Lpm.t
+(** One router's compiled table — the line-card view a data-plane
+    engine forwards against (and caches in front of). *)
+
+val action_equal : action -> action -> bool
+(** Structural equality on forwarding actions; the hook cache layers
+    and agreement tests use to compare compiled decisions. *)
+
 val size : t -> router:int -> int
 (** Number of FIB entries at one router. *)
 

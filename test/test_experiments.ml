@@ -582,6 +582,71 @@ let test_e28_withdraw_churns_more () =
         (r.E.announce_updates > 0 && r.E.withdraw_updates > 0)
   | _ -> Alcotest.fail "expected one row"
 
+(* --- E29 ----------------------------------------------------------- *)
+
+let test_e29_stretch_falls_with_deployment () =
+  let rows =
+    E.e29_dataplane_cost ~params:small_params ~fractions:[ 0.0; 0.3; 1.0 ]
+      ~flows:25 ()
+  in
+  check Alcotest.int "two options x three fractions" 6 (List.length rows);
+  let opt1 = List.filter (fun r -> r.E.option29 = "option1") rows in
+  let opt2 = List.filter (fun r -> r.E.option29 = "option2") rows in
+  match (opt1, opt2) with
+  | [ z1; m1; f1 ], [ z2; m2; f2 ] ->
+      check (Alcotest.float 1e-9) "no delivery before deployment" 0.0
+        z1.E.delivery29;
+      check (Alcotest.float 1e-9) "option2 zero likewise" 0.0 z2.E.delivery29;
+      List.iter
+        (fun r ->
+          check (Alcotest.float 1e-9) "full delivery once deployed" 1.0
+            r.E.delivery29)
+        [ m1; f1; m2; f2 ];
+      check (Alcotest.float 1e-6) "option1 native at full deployment" 1.0
+        f1.E.mean_stretch29;
+      check (Alcotest.float 1e-6) "option2 native at full deployment" 1.0
+        f2.E.mean_stretch29;
+      check Alcotest.bool "stretch falls as deployment grows (opt1)" true
+        (f1.E.mean_stretch29 <= m1.E.mean_stretch29 +. 1e-9);
+      check Alcotest.bool "option2 default routes cut mid-deploy stretch" true
+        (m2.E.mean_stretch29 <= m1.E.mean_stretch29 +. 1e-9);
+      check Alcotest.bool "encap costs bytes mid-deployment" true
+        (m1.E.byte_overhead29 > 0.0);
+      check Alcotest.bool "p99 bounds mean" true
+        (m1.E.p99_stretch29 >= m1.E.mean_stretch29 -. 1e-9);
+      check Alcotest.bool "flow cache sees repeats" true (f1.E.cache_hit29 > 0.0)
+  | _ -> Alcotest.fail "expected three rows per option"
+
+(* --- E30 ----------------------------------------------------------- *)
+
+let test_e30_churn_disrupts_then_recovers () =
+  let rows =
+    E.e30_churn_traffic ~params:small_params ~probes:20 ~ticks:7 ~churn_tick:2
+      ~window:3 ()
+  in
+  check Alcotest.int "one row per tick" 7 (List.length rows);
+  let first = List.hd rows in
+  let last = List.nth rows (List.length rows - 1) in
+  check Alcotest.string "starts steady" "steady" first.E.phase30;
+  check (Alcotest.float 1e-9) "steady state delivers" 1.0 first.E.ok30;
+  check (Alcotest.float 1e-9) "steady FIBs all fresh" 1.0 first.E.fresh30;
+  check Alcotest.string "ends recovered" "recovered" last.E.phase30;
+  check (Alcotest.float 1e-9) "recovered FIBs all fresh" 1.0 last.E.fresh30;
+  check (Alcotest.float 1e-9) "recovered delivery" 1.0 last.E.ok30;
+  let converging = List.filter (fun r -> r.E.phase30 = "converging") rows in
+  check Alcotest.bool "convergence window exists" true (converging <> []);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "partial refresh during convergence" true
+        (r.E.fresh30 < 1.0);
+      check (Alcotest.float 1e-9) "probe accounting sums to one" 1.0
+        (r.E.ok30 +. r.E.stale30 +. r.E.lost30 +. r.E.looped30))
+    converging;
+  check Alcotest.bool "stale snapshots misdeliver or loop traffic" true
+    (List.exists
+       (fun r -> r.E.stale30 +. r.E.lost30 +. r.E.looped30 > 0.0)
+       converging)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -726,5 +791,15 @@ let () =
         [
           Alcotest.test_case "withdraw churns more" `Quick
             test_e28_withdraw_churns_more;
+        ] );
+      ( "e29",
+        [
+          Alcotest.test_case "stretch falls with deployment" `Quick
+            test_e29_stretch_falls_with_deployment;
+        ] );
+      ( "e30",
+        [
+          Alcotest.test_case "churn disrupts then recovers" `Quick
+            test_e30_churn_disrupts_then_recovers;
         ] );
     ]

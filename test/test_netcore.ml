@@ -154,6 +154,46 @@ let prop_lpm_remove =
                  || Lpm.find_exact p t' = Lpm.find_exact p t)
                table)
 
+(* Random interleaved add/remove/lookup sequences, checked op by op
+   against a naive assoc-list model — exercises trie restructuring
+   paths (branch collapse on remove, re-split on add) that the
+   single-shot of_list properties above never reach. *)
+
+type lpm_op = Op_add of Prefix.t * int | Op_remove of Prefix.t | Op_probe of Ipv4.t
+
+let arbitrary_op_sequence =
+  let gen_prefix =
+    QCheck.Gen.(
+      pair (int_bound 0xFFFF) (int_bound 32)
+      >|= fun (v, len) -> Prefix.make (Ipv4.of_int (v * 65521)) len)
+  in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map2 (fun p v -> Op_add (p, v)) gen_prefix (int_bound 1000));
+          (1, map (fun p -> Op_remove p) gen_prefix);
+          (2, map (fun n -> Op_probe (Ipv4.of_int (n * 12347))) (int_bound 0xFFFFFF));
+        ])
+  in
+  QCheck.make QCheck.Gen.(list_size (int_bound 60) gen_op)
+
+let prop_lpm_sequence =
+  QCheck.Test.make ~name:"add/remove/lookup sequence = naive model" ~count:200
+    arbitrary_op_sequence (fun ops ->
+      let step (t, model, ok) op =
+        if not ok then (t, model, false)
+        else
+          match op with
+          | Op_add (p, v) -> (Lpm.add p v t, (p, v) :: List.remove_assoc p model, ok)
+          | Op_remove p -> (Lpm.remove p t, List.remove_assoc p model, ok)
+          | Op_probe addr -> (t, model, Lpm.lookup addr t = naive_lookup addr model)
+      in
+      let t, model, ok = List.fold_left step (Lpm.empty, [], true) ops in
+      ok
+      && Lpm.cardinal t = List.length model
+      && List.for_all (fun (p, v) -> Lpm.find_exact p t = Some v) model)
+
 let test_lpm_longest_wins () =
   let t =
     Lpm.of_list
@@ -466,6 +506,7 @@ let () =
             test_lpm_fold_reconstructs_prefixes;
           qcheck prop_lpm_matches_naive;
           qcheck prop_lpm_remove;
+          qcheck prop_lpm_sequence;
         ] );
       ( "ipvn",
         [

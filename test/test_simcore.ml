@@ -68,6 +68,49 @@ let test_engine_rejects () =
     (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
       Engine.schedule_at e ~time:1.0 (fun _ -> ()))
 
+let test_engine_schedule_at_now () =
+  (* ~time:(now t) is the boundary case of "not before now": legal, and
+     the callback fires without advancing the clock. *)
+  let e = Engine.create () in
+  Engine.schedule e ~delay:2.0 (fun _ -> ());
+  ignore (Engine.run e);
+  let fired_at = ref nan in
+  Engine.schedule_at e ~time:(Engine.now e) (fun e -> fired_at := Engine.now e);
+  check Alcotest.int "one event ran" 1 (Engine.run e);
+  check (Alcotest.float 1e-9) "fired at the current instant" 2.0 !fired_at;
+  check (Alcotest.float 1e-9) "clock did not advance" 2.0 (Engine.now e)
+
+let test_engine_fifo_across_until () =
+  (* Equal-time FIFO must survive a partial drain: events co-scheduled
+     at t=2 but split by run ~until:1 still fire in scheduling order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun _ -> log := "first" :: !log);
+  Engine.schedule e ~delay:1.0 (fun _ -> log := "early" :: !log);
+  Engine.schedule e ~delay:2.0 (fun _ -> log := "second" :: !log);
+  check Alcotest.int "partial drain stops at until" 1 (Engine.run ~until:1.0 e);
+  Engine.schedule e ~delay:1.0 (fun _ -> log := "third" :: !log);
+  ignore (Engine.run e);
+  check
+    (Alcotest.list Alcotest.string)
+    "FIFO order preserved across the drain boundary"
+    [ "early"; "first"; "second"; "third" ]
+    (List.rev !log)
+
+let test_engine_pending_after_partial_drain () =
+  let e = Engine.create () in
+  for i = 1 to 6 do
+    Engine.schedule e ~delay:(float_of_int i) (fun _ -> ())
+  done;
+  check Alcotest.int "all queued" 6 (Engine.pending e);
+  ignore (Engine.run ~until:3.0 e);
+  check Alcotest.int "later events remain" 3 (Engine.pending e);
+  check (Alcotest.float 1e-9) "clock at last executed event" 3.0 (Engine.now e);
+  ignore (Engine.run ~until:3.5 e);
+  check Alcotest.int "nothing in (3, 3.5]" 3 (Engine.pending e);
+  ignore (Engine.run e);
+  check Alcotest.int "drained" 0 (Engine.pending e)
+
 let prop_engine_time_order =
   QCheck.Test.make ~name:"random schedules execute in time order" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_bound 1000))
@@ -544,6 +587,11 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "rejects bad input" `Quick test_engine_rejects;
+          Alcotest.test_case "schedule_at now" `Quick test_engine_schedule_at_now;
+          Alcotest.test_case "fifo across until" `Quick
+            test_engine_fifo_across_until;
+          Alcotest.test_case "pending after partial drain" `Quick
+            test_engine_pending_after_partial_drain;
           qcheck prop_engine_time_order;
         ] );
       ( "forward",

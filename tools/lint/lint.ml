@@ -20,7 +20,7 @@ let compare_diag a b =
 
 let layer_order =
   [| "netcore"; "topology"; "routing"; "interdomain"; "simcore"; "anycast";
-     "vnbone"; "evolve" |]
+     "vnbone"; "dataplane"; "evolve" |]
 
 let layer_order_str = String.concat " < " (Array.to_list layer_order)
 
