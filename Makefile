@@ -1,4 +1,4 @@
-.PHONY: build test lint explain bench bench-json report
+.PHONY: build test lint lint-json lint-sarif explain catalog bench bench-json report
 
 build:        ## build everything (zero warnings expected)
 	dune build @all
@@ -6,11 +6,22 @@ build:        ## build everything (zero warnings expected)
 test:         ## ten alcotest suites + the lint pass
 	dune runtest
 
-lint:         ## evolvelint: layering, determinism, interfaces, experiments
+lint:         ## evolvelint: untyped + typed passes over the whole tree
 	dune build @lint
+
+lint-json:    ## machine-readable findings -> LINT.json
+	dune exec tools/lint/main.exe -- --root . --format json > LINT.json || true
+	@python3 -m json.tool LINT.json > /dev/null && echo "LINT.json valid"
+
+lint-sarif:   ## SARIF 2.1.0 findings -> lint.sarif (CI uploads this)
+	dune exec tools/lint/main.exe -- --root . --format sarif > lint.sarif || true
+	@python3 -m json.tool lint.sarif > /dev/null && echo "lint.sarif valid"
 
 explain:      ## print every lint rule's rationale and provenance
 	dune exec tools/lint/main.exe -- --explain all
+
+catalog:      ## regenerate doc/LINT.md from the rule registry
+	dune exec tools/lint/main.exe -- --catalog > doc/LINT.md
 
 bench:        ## all figures, experiments E1-E30, microbenchmarks
 	dune exec bench/main.exe

@@ -48,7 +48,7 @@ let stretch service ~endhost =
       match best_member service ~endhost with
       | None -> None
       | Some (_, best) ->
-          if best = 0.0 then Some 1.0 else Some (got /. best))
+          if Float.equal best 0.0 then Some 1.0 else Some (got /. best))
 
 let all_endhosts service =
   let inet = (Service.env service).Forward.inet in

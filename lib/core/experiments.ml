@@ -2087,10 +2087,11 @@ let e29_dataplane_cost ?(params = Internet.default_params)
             fraction29;
             delivery29 = float_of_int !n_del /. float_of_int flows;
             mean_stretch29 =
-              (if !stretches = [] then 0.0 else Metrics.mean !stretches);
+              (match !stretches with [] -> 0.0 | s -> Metrics.mean s);
             p99_stretch29 =
-              (if !stretches = [] then 0.0
-               else Metrics.percentile 0.99 !stretches);
+              (match !stretches with
+              | [] -> 0.0
+              | s -> Metrics.percentile 0.99 s);
             byte_overhead29 =
               (if !native_bytes = 0 then 0.0
                else

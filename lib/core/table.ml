@@ -30,8 +30,8 @@ let print ~title ~header ~rows =
 
 let ff x =
   if Float.is_nan x then "-"
-  else if x = infinity then "inf"
-  else if x = neg_infinity then "-inf"
+  else if Float.equal x infinity then "inf"
+  else if Float.equal x neg_infinity then "-inf"
   else Printf.sprintf "%.2f" x
 
 let fi = string_of_int

@@ -16,6 +16,10 @@ type model =
 type t
 
 val create : Topology.Internet.t -> model -> seed:int64 -> t
+(** Build the workload model over an internet's endhosts.
+
+    @raise Invalid_argument when the internet has no endhosts at all
+    (the gravity weights would not normalize). *)
 
 val population : t -> int -> float
 (** Normalized population weight of a domain (sums to 1). *)

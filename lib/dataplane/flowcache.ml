@@ -1,7 +1,12 @@
 module Ipv4 = Netcore.Ipv4
 
+(* Split key/value arrays rather than one [(key * value) option array]:
+   [values.(i)] holds the [Some v] that [lookup] returns, so a cache hit
+   allocates nothing — the option cell was paid for once, at [insert].
+   [keys.(i)] is meaningful only where [values.(i)] is [Some _]. *)
 type 'a t = {
-  slots : (Ipv4.t * 'a) option array;
+  keys : Ipv4.t array;
+  values : 'a option array;
   mask : int;
   mutable hits : int;
   mutable misses : int;
@@ -14,9 +19,16 @@ let create ~slots =
   if slots <= 0 then invalid_arg "Flowcache.create: slots must be positive";
   let rec pow2 k = if k >= slots then k else pow2 (k * 2) in
   let n = pow2 1 in
-  { slots = Array.make n None; mask = n - 1; hits = 0; misses = 0; evictions = 0 }
+  {
+    keys = Array.make n (Ipv4.of_int 0);
+    values = Array.make n None;
+    mask = n - 1;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
 
-let capacity t = Array.length t.slots
+let capacity t = Array.length t.values
 
 (* Fibonacci (multiplicative) hashing before masking: endhost addresses
    are domain-/16-aligned with tiny host parts, so raw low bits would
@@ -26,20 +38,23 @@ let slot_of t addr =
   (h lsr 15) land t.mask
 
 let lookup t addr =
-  match t.slots.(slot_of t addr) with
-  | Some (a, v) when Ipv4.equal a addr ->
+  let i = slot_of t addr in
+  match t.values.(i) with
+  | Some _ as hit when Ipv4.equal t.keys.(i) addr ->
       t.hits <- t.hits + 1;
-      Some v
+      hit
   | Some _ | None ->
       t.misses <- t.misses + 1;
       None
 
 let insert t addr v =
   let i = slot_of t addr in
-  (match t.slots.(i) with
-  | Some (a, _) when not (Ipv4.equal a addr) -> t.evictions <- t.evictions + 1
+  (match t.values.(i) with
+  | Some _ when not (Ipv4.equal t.keys.(i) addr) ->
+      t.evictions <- t.evictions + 1
   | Some _ | None -> ());
-  t.slots.(i) <- Some (addr, v)
+  t.keys.(i) <- addr;
+  t.values.(i) <- Some v
 
 let find t addr ~compute =
   match lookup t addr with
@@ -51,11 +66,13 @@ let find t addr ~compute =
           r
       | None -> None)
 
-let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+let clear t = Array.fill t.values 0 (Array.length t.values) None
 
 let stats t =
   let occupied =
-    Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.slots
+    Array.fold_left
+      (fun n s -> match s with None -> n | Some _ -> n + 1)
+      0 t.values
   in
   { hits = t.hits; misses = t.misses; evictions = t.evictions; occupied }
 

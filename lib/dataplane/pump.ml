@@ -31,7 +31,7 @@ let create ?(use_cache = true) ?(cache_slots = 256) (env : Forward.env) =
 
 let env t = t.env
 let telemetry t = t.telemetry
-let cached t = t.caches <> None
+let cached t = Option.is_some t.caches
 let cache_hit_rate t = Telemetry.cache_hit_rate t.telemetry
 
 let install t fib r =
@@ -62,47 +62,59 @@ let lookup_action t ~router ~cls dst =
               r
           | None -> None))
 
+(* Delivery/drop bookkeeping shared by every exit from the hop loop.
+   Top level — not nested in [inject] — so the loop below stays
+   capture-free (hot-path-alloc). *)
+let finish_trace tel ~router:r ~cls ~wire acc outcome =
+  (match outcome with
+  | Forward.Router_accepted _ | Forward.Endhost_accepted _ ->
+      (* delivery decodes (and decapsulates) the wire bytes *)
+      (match Wire.decode wire with
+      | Ok p -> ignore (Packet.decapsulate p)
+      | Error _ -> ());
+      Telemetry.record_delivered tel ~router:r ~cls
+  | Forward.Dropped Forward.Ttl_expired ->
+      Telemetry.record_ttl_expired tel ~router:r ~cls
+  | Forward.Dropped _ -> Telemetry.record_drop tel ~router:r ~cls);
+  { Forward.hops = List.rev acc; outcome }
+
+(* The per-packet hop loop. All state threads through arguments, so
+   the recursion is a static closure; the one cons per hop is the
+   trace the function exists to build (allowlisted). *)
+let rec hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes r ttl acc =
+  let acc = r :: acc in
+  Telemetry.record_hop tel ~router:r ~cls ~bytes:len ~encap_bytes;
+  match lookup_action t ~router:r ~cls dst with
+  | None -> finish_trace tel ~router:r ~cls ~wire acc (Forward.Dropped Forward.No_route)
+  | Some Fib.Local -> finish_trace tel ~router:r ~cls ~wire acc (Forward.Router_accepted r)
+  | Some (Fib.Attached h) ->
+      finish_trace tel ~router:r ~cls ~wire acc (Forward.Endhost_accepted h)
+  | Some (Fib.Next_hop nh) ->
+      if ttl <= 1 then
+        finish_trace tel ~router:r ~cls ~wire acc
+          (Forward.Dropped Forward.Ttl_expired)
+      else if nh = r then
+        finish_trace tel ~router:r ~cls ~wire acc (Forward.Dropped Forward.Stuck)
+      else hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes nh (ttl - 1) acc
+
 let inject t packet ~entry =
   let wire = Wire.encode packet in
   let len = String.length wire in
-  let cls, encap_bytes =
+  let cls =
     match packet.Packet.payload with
-    | Packet.Data _ -> (Telemetry.Native, 0)
-    | Packet.Encap vn ->
-        (* bytes beyond a native packet carrying the same body *)
-        (Telemetry.Encap, len - (13 + String.length vn.Packet.body))
+    | Packet.Data _ -> Telemetry.Native
+    | Packet.Encap _ -> Telemetry.Encap
+  in
+  (* bytes beyond a native packet carrying the same body *)
+  let encap_bytes =
+    match packet.Packet.payload with
+    | Packet.Data _ -> 0
+    | Packet.Encap vn -> len - (13 + String.length vn.Packet.body)
   in
   (* the hot path reads the destination straight from the header bytes *)
-  let dst =
-    match Wire.peek_dst wire with Some d -> d | None -> packet.Packet.dst
-  in
-  let tel = t.telemetry in
-  let rec go r ttl acc =
-    let acc = r :: acc in
-    Telemetry.record_hop tel ~router:r ~cls ~bytes:len ~encap_bytes;
-    let finish outcome =
-      (match outcome with
-      | Forward.Router_accepted _ | Forward.Endhost_accepted _ ->
-          (* delivery decodes (and decapsulates) the wire bytes *)
-          (match Wire.decode wire with
-          | Ok p -> ignore (Packet.decapsulate p)
-          | Error _ -> ());
-          Telemetry.record_delivered tel ~router:r ~cls
-      | Forward.Dropped Forward.Ttl_expired ->
-          Telemetry.record_ttl_expired tel ~router:r ~cls
-      | Forward.Dropped _ -> Telemetry.record_drop tel ~router:r ~cls);
-      { Forward.hops = List.rev acc; outcome }
-    in
-    match lookup_action t ~router:r ~cls dst with
-    | None -> finish (Forward.Dropped Forward.No_route)
-    | Some Fib.Local -> finish (Forward.Router_accepted r)
-    | Some (Fib.Attached h) -> finish (Forward.Endhost_accepted h)
-    | Some (Fib.Next_hop nh) ->
-        if ttl <= 1 then finish (Forward.Dropped Forward.Ttl_expired)
-        else if nh = r then finish (Forward.Dropped Forward.Stuck)
-        else go nh (ttl - 1) acc
-  in
-  go entry packet.Packet.ttl []
+  let dst = Wire.peek_dst_or wire ~default:packet.Packet.dst in
+  hop_loop t t.telemetry ~cls ~dst ~wire ~len ~encap_bytes entry
+    packet.Packet.ttl []
 
 let send_data t ~src ~dst ~payload =
   let inet = t.env.Forward.inet in
@@ -224,4 +236,5 @@ let send_vn t router ~strategy ~src ~dst ~payload =
                   | Forward.Dropped _ ->
                       finish traces Vn_exit_failed))))
 
-let vn_delivered d = d.vn_outcome = Vn_delivered
+let vn_delivered d =
+  match d.vn_outcome with Vn_delivered -> true | _ -> false

@@ -38,14 +38,17 @@ let cls_index = function Native -> 0 | Encap -> 1
 let router t r = t.per_router.(r)
 let cls t c = t.per_class.(cls_index c)
 
+(* The bump helpers live at top level with the amounts as arguments:
+   a nested [let bump x = ...] capturing them would heap-allocate a
+   closure on every recorded hop (hot-path-alloc). *)
+let bump_hop (x : counters) ~bytes ~encap_bytes =
+  x.packets <- x.packets + 1;
+  x.bytes <- x.bytes + bytes;
+  x.encap_bytes <- x.encap_bytes + encap_bytes
+
 let record_hop t ~router ~cls:c ~bytes ~encap_bytes =
-  let bump (x : counters) =
-    x.packets <- x.packets + 1;
-    x.bytes <- x.bytes + bytes;
-    x.encap_bytes <- x.encap_bytes + encap_bytes
-  in
-  bump t.per_router.(router);
-  bump (cls t c)
+  bump_hop t.per_router.(router) ~bytes ~encap_bytes;
+  bump_hop (cls t c) ~bytes ~encap_bytes
 
 let record_delivered t ~router ~cls:c =
   t.per_router.(router).delivered <- t.per_router.(router).delivered + 1;
@@ -59,13 +62,13 @@ let record_ttl_expired t ~router ~cls:c =
   t.per_router.(router).ttl_expired <- t.per_router.(router).ttl_expired + 1;
   (cls t c).ttl_expired <- (cls t c).ttl_expired + 1
 
+let bump_cache (x : counters) ~hit =
+  if hit then x.cache_hits <- x.cache_hits + 1
+  else x.cache_misses <- x.cache_misses + 1
+
 let record_cache t ~router ~cls:c ~hit =
-  let bump (x : counters) =
-    if hit then x.cache_hits <- x.cache_hits + 1
-    else x.cache_misses <- x.cache_misses + 1
-  in
-  bump t.per_router.(router);
-  bump (cls t c)
+  bump_cache t.per_router.(router) ~hit;
+  bump_cache (cls t c) ~hit
 
 let add_into (dst : counters) (src : counters) =
   dst.packets <- dst.packets + src.packets;

@@ -45,7 +45,10 @@ let originate t ~domain prefix =
     t.origins <- (domain, prefix) :: t.origins
 
 let withdraw_origin t ~domain prefix =
-  t.origins <- List.filter (fun o -> o <> (domain, prefix)) t.origins
+  t.origins <-
+    List.filter
+      (fun (d, p) -> not (d = domain && Prefix.equal p prefix))
+      t.origins
 
 let originate_limited t ~domain ~radius prefix =
   if radius < 0 then invalid_arg "Bgp.originate_limited: negative radius";
@@ -55,7 +58,9 @@ let originate_limited t ~domain ~radius prefix =
 
 let withdraw_limited t ~domain prefix =
   t.limited_origins <-
-    List.filter (fun (d, p, _) -> not (d = domain && p = prefix)) t.limited_origins
+    List.filter
+      (fun (d, p, _) -> not (d = domain && Prefix.equal p prefix))
+      t.limited_origins
 
 let originate_all_domain_prefixes t =
   for d = 0 to Internet.num_domains t.inet - 1 do
@@ -72,7 +77,10 @@ let advertise_scoped t ~from_ ~to_ prefix =
     t.scoped <- (from_, to_, prefix) :: t.scoped
 
 let withdraw_scoped t ~from_ ~to_ prefix =
-  t.scoped <- List.filter (fun s -> s <> (from_, to_, prefix)) t.scoped
+  t.scoped <-
+    List.filter
+      (fun (f, d, p) -> not (f = from_ && d = to_ && Prefix.equal p prefix))
+      t.scoped
 
 (* Deterministic total preference order; [a] better than [b] when
    [better a b] is true. *)
@@ -84,7 +92,8 @@ let better a b =
     else a.as_path < b.as_path (* lexicographic: lower neighbor ids win *)
 
 let route_eq a b =
-  a.prefix = b.prefix && a.as_path = b.as_path && a.pref = b.pref
+  Prefix.equal a.prefix b.prefix
+  && a.as_path = b.as_path && a.pref = b.pref
   && a.no_export = b.no_export && a.scope = b.scope
 
 (* The role of the route at its owner, for export decisions: recovered

@@ -33,19 +33,19 @@ let provider ~version ~domain ~host =
 
 let is_self t = Int64.logand t.value self_flag <> 0L
 
-let embedded_ipv4 t =
-  if is_self t then
-    Some (Ipv4.of_int (Int64.to_int (Int64.logand t.value 0xFFFF_FFFFL)))
-  else None
+(* Raw field accessors for the wire encoder's per-packet path: total on
+   the bit layout, no option cell. [raw_ipv4] is meaningful only when
+   [is_self]; [raw_domain]/[raw_host] only when not. *)
+let raw_ipv4 t = Ipv4.of_int (Int64.to_int (Int64.logand t.value 0xFFFF_FFFFL))
 
-let domain t =
-  if is_self t then None
-  else
-    Some (Int64.to_int (Int64.logand (Int64.shift_right_logical t.value 31) 0xF_FFFFL))
+let raw_domain t =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical t.value 31) 0xF_FFFFL)
 
-let host t =
-  if is_self t then None
-  else Some (Int64.to_int (Int64.logand t.value 0x7FFF_FFFFL))
+let raw_host t = Int64.to_int (Int64.logand t.value 0x7FFF_FFFFL)
+
+let embedded_ipv4 t = if is_self t then Some (raw_ipv4 t) else None
+let domain t = if is_self t then None else Some (raw_domain t)
+let host t = if is_self t then None else Some (raw_host t)
 
 let compare a b =
   match Int.compare a.version b.version with

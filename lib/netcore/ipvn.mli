@@ -43,6 +43,18 @@ val domain : t -> int option
 val host : t -> int option
 (** For a provider-assigned address, the host index within its domain. *)
 
+val raw_ipv4 : t -> Ipv4.t
+(** Allocation-free companion of {!embedded_ipv4} for the wire
+    encoder's per-packet path; meaningful only when {!is_self}. *)
+
+val raw_domain : t -> int
+(** Allocation-free companion of {!domain}; meaningful only when the
+    address is provider-assigned (not {!is_self}). *)
+
+val raw_host : t -> int
+(** Allocation-free companion of {!host}; meaningful only when the
+    address is provider-assigned (not {!is_self}). *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int

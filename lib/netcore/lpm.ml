@@ -68,7 +68,20 @@ let lookup addr t =
   in
   go 0 t None
 
-let lookup_value addr t = Option.map snd (lookup addr t)
+(* The per-packet lookup: unlike [lookup] it never builds a prefix, and
+   it returns the [Some] stored in the matching node, so a hit allocates
+   nothing. The address threads through as an argument to keep the loop
+   capture-free (hot-path-alloc). *)
+let rec lookup_value_bits addr depth t best =
+  match t with
+  | Leaf -> best
+  | Node n ->
+      let best = match n.value with Some _ as v -> v | None -> best in
+      if depth = 32 then best
+      else if Ipv4.bit addr depth then lookup_value_bits addr (depth + 1) n.one best
+      else lookup_value_bits addr (depth + 1) n.zero best
+
+let lookup_value addr t = lookup_value_bits addr 0 t None
 
 let fold f t acc =
   (* [path] is the address bits accumulated so far (as an int shifted to

@@ -20,18 +20,19 @@ let put_body buf body =
   put_u16 buf (String.length body);
   Buffer.add_string buf body
 
+(* Uses the raw accessors, not the option-returning ones: encode runs
+   once per injected packet, and the self/provider split is total on
+   the bit layout, so nothing needs an option here (hot-path-alloc). *)
 let put_ipvn buf a =
-  match Ipvn.embedded_ipv4 a with
-  | Some v4 ->
-      put_u8 buf 0;
-      put_ipv4 buf v4
-  | None -> (
-      match (Ipvn.domain a, Ipvn.host a) with
-      | Some d, Some h ->
-          put_u8 buf 1;
-          put_u32 buf d;
-          put_u32 buf h
-      | _ -> assert false (* an address is self or provider by construction *))
+  if Ipvn.is_self a then begin
+    put_u8 buf 0;
+    put_ipv4 buf (Ipvn.raw_ipv4 a)
+  end
+  else begin
+    put_u8 buf 1;
+    put_u32 buf (Ipvn.raw_domain a);
+    put_u32 buf (Ipvn.raw_host a)
+  end
 
 let check_ttl ttl =
   if ttl < 0 || ttl > 255 then invalid_arg "Wire.encode: TTL out of [0, 255]"
@@ -154,6 +155,11 @@ let u32_at s off =
 let peek_ok s = String.length s >= header_bytes && Char.code s.[0] = format_version
 
 let peek_dst s = if peek_ok s then Some (Ipv4.of_int (u32_at s 6)) else None
+
+(* Allocation-free variant for the per-packet path: the caller supplies
+   the fallback instead of matching on an option (hot-path-alloc). *)
+let peek_dst_or s ~default =
+  if peek_ok s then Ipv4.of_int (u32_at s 6) else default
 let peek_src s = if peek_ok s then Some (Ipv4.of_int (u32_at s 2)) else None
 let peek_ttl s = if peek_ok s then Some (Char.code s.[10]) else None
 
@@ -166,7 +172,7 @@ let peek_kind s =
     | _ -> None
 
 let wire_length (p : Packet.t) =
-  let ipvn_len a = match Ipvn.embedded_ipv4 a with Some _ -> 5 | None -> 9 in
+  let ipvn_len a = if Ipvn.is_self a then 5 else 9 in
   let header = 1 + 1 + 4 + 4 + 1 in
   match p.Packet.payload with
   | Packet.Data body -> header + 2 + String.length body

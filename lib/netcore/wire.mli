@@ -46,6 +46,11 @@ val wire_length : Packet.t -> int
 val peek_dst : string -> Ipv4.t option
 (** IPv4 destination (bytes 6-9) of an encoded packet. *)
 
+val peek_dst_or : string -> default:Ipv4.t -> Ipv4.t
+(** Like {!peek_dst} but returns [default] instead of [None], so the
+    per-packet forwarding loop reads the destination without
+    allocating an option cell. *)
+
 val peek_src : string -> Ipv4.t option
 (** IPv4 source (bytes 2-5) of an encoded packet. *)
 

@@ -179,10 +179,13 @@ let step t =
               candidate < current
               (* route through the current next hop must be refreshed
                  even if worse (topology/membership may have changed) *)
-              || (t.nh.(i).(c) = j && candidate <> current)
+              || (t.nh.(i).(c) = j && not (Float.equal candidate current))
             in
             if better && candidate < infinity_metric then begin
-              if t.dist.(i).(c) <> candidate || t.nh.(i).(c) <> j then changed := true;
+              if
+                (not (Float.equal t.dist.(i).(c) candidate))
+                || t.nh.(i).(c) <> j
+              then changed := true;
               t.dist.(i).(c) <- candidate;
               t.nh.(i).(c) <- j
             end

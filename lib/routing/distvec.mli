@@ -29,7 +29,10 @@ val infinity_metric : float
 
 val advertise_anycast : t -> group:Netcore.Prefix.t -> member:int -> unit
 (** Member starts advertising distance zero to the group address. Takes
-    effect over subsequent {!converge} rounds. *)
+    effect over subsequent {!converge} rounds.
+
+    @raise Invalid_argument when [member] is not a router of this
+    domain. *)
 
 val withdraw_anycast : t -> group:Netcore.Prefix.t -> member:int -> unit
 

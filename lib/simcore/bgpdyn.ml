@@ -122,7 +122,10 @@ let rec recompute_best t engine d prefix =
       None cands
   in
   let old_best = Hashtbl.find_opt t.best (d, prefix) in
-  if new_best <> old_best then begin
+  let cand_equal a b =
+    a.pref = b.pref && List.equal Int.equal a.path b.path
+  in
+  if not (Option.equal cand_equal new_best old_best) then begin
     (match new_best with
     | Some c -> Hashtbl.replace t.best (d, prefix) c
     | None -> Hashtbl.remove t.best (d, prefix));

@@ -18,7 +18,8 @@ let create () =
 let now t = t.clock
 let pending t = t.size
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let push t ev =
   if t.size = Array.length t.heap then begin

@@ -139,15 +139,27 @@ let link_failed t engine a b =
   originate t engine a;
   originate t engine b
 
+let lsa_equal a b =
+  a.origin = b.origin && a.seq = b.seq
+  && List.equal
+       (fun (i, w) (j, x) -> i = j && Float.equal w x)
+       a.links b.links
+  && List.equal Prefix.equal a.groups b.groups
+
 let lsdb_synchronized t =
   let canonical db =
-    Hashtbl.fold (fun o l acc -> (o, l) :: acc) db [] |> List.sort compare
+    Hashtbl.fold (fun o l acc -> (o, l) :: acc) db []
+    (* origins are the table keys, so they are unique per view *)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let view_equal =
+    List.equal (fun (o1, l1) (o2, l2) -> o1 = o2 && lsa_equal l1 l2)
   in
   match Array.to_list t.lsdbs with
   | [] -> true
   | first :: rest ->
       let ref_view = canonical first in
-      List.for_all (fun db -> canonical db = ref_view) rest
+      List.for_all (fun db -> view_equal (canonical db) ref_view) rest
 
 let stats t =
   { messages = t.messages; originations = t.originations; last_change = t.last_change }

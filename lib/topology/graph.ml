@@ -44,7 +44,8 @@ let degree g v =
 let neighbors g v =
   check_node g v "Graph.neighbors";
   Hashtbl.fold (fun u w acc -> (u, w) :: acc) g.adj.(v) []
-  |> List.sort compare
+  (* neighbor ids are the table keys, so they are unique *)
+  |> List.sort (fun (u, _) (w, _) -> Int.compare u w)
 
 let iter_neighbors g v f =
   check_node g v "Graph.iter_neighbors";
@@ -58,7 +59,11 @@ let edges g =
     (fun u tbl ->
       Hashtbl.iter (fun v w -> if u < v then acc := (u, v, w) :: !acc) tbl)
     g.adj;
-  List.sort compare !acc
+  (* endpoint pairs are unique, so the weight never has to break ties *)
+  List.sort
+    (fun (a, b, _) (c, d, _) ->
+      match Int.compare a c with 0 -> Int.compare b d | n -> n)
+    !acc
 
 let copy g =
   { adj = Array.map Hashtbl.copy g.adj; edge_count = g.edge_count }

@@ -6,6 +6,13 @@ module Prefix = Netcore.Prefix
 
 type dest = Vn_domain of int | External of Prefix.t
 
+let compare_dest a b =
+  match (a, b) with
+  | Vn_domain x, Vn_domain y -> Int.compare x y
+  | Vn_domain _, External _ -> -1
+  | External _, Vn_domain _ -> 1
+  | External p, External q -> Prefix.compare p q
+
 type route = {
   rdest : dest;
   cost : float;
@@ -42,7 +49,8 @@ let originate_external t ~member ~prefix ~exit_cost =
     t.external_origins <- entry :: t.external_origins
 
 (* deterministic preference: cheaper cost, then lower egress id *)
-let better a b = a.cost < b.cost || (a.cost = b.cost && a.egress < b.egress)
+let better a b =
+  a.cost < b.cost || (Float.equal a.cost b.cost && a.egress < b.egress)
 
 let install t node r =
   match Hashtbl.find_opt t.tables.(node) r.rdest with
@@ -129,7 +137,9 @@ let routes t ~at =
   | None -> []
   | Some node ->
       Hashtbl.fold (fun _ r acc -> r :: acc) t.tables.(node) []
-      |> List.sort compare
+      (* destinations are the table keys, so they are unique and an
+         order on [rdest] alone is total over one table *)
+      |> List.sort (fun a b -> compare_dest a.rdest b.rdest)
 
 let table_size t ~at =
   match Fabric.index_of t.fabric at with

@@ -47,7 +47,7 @@ let add_tunnel t kind a b =
   if ia <> ib && not (Graph.has_edge t.graph ia ib) then begin
     let m = underlay_metric t a b in
     if m < infinity then begin
-      Graph.add_edge t.graph ia ib (max m 0.001);
+      Graph.add_edge t.graph ia ib (Float.max m 0.001);
       t.tunnels <-
         { from_router = a; to_router = b; underlay_metric = m; kind } :: t.tunnels
     end

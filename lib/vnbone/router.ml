@@ -128,6 +128,12 @@ let egress_for t ~strategy ~ingress ~dest =
             | None -> None
             | Some l -> Some (float_of_int l, Fabric.vn_distance t.fabric ingress m)
           in
+          (* lexicographic <= on (domain-path length, vN distance),
+             spelled out: the polymorphic order on float pairs is not
+             nan-safe (poly-compare) *)
+          let key_le (a1, a2) (b1, b2) =
+            a1 < b1 || (Float.equal a1 b1 && a2 <= b2)
+          in
           let best =
             List.fold_left
               (fun acc m ->
@@ -135,7 +141,7 @@ let egress_for t ~strategy ~ingress ~dest =
                 | None -> acc
                 | Some key -> (
                     match acc with
-                    | Some (_, bkey) when bkey <= key -> acc
+                    | Some (_, bkey) when key_le bkey key -> acc
                     | _ -> Some (m, key)))
               None
               (reachable_members t ~ingress)

@@ -19,7 +19,10 @@ val compile : Bgpvn.t -> t
 
 val lookup : t -> at:int -> Bgpvn.dest -> vn_action option
 (** The member's forwarding decision for a destination; [None] =
-    unknown destination. *)
+    unknown destination.
+
+    @raise Invalid_argument when [at] is not a vN-Bone member (as do
+    {!size} and {!walk} for their member arguments). *)
 
 val size : t -> at:int -> int
 

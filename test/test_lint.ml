@@ -11,6 +11,11 @@ let has_rule rule diags = List.exists (fun (d : L.diag) -> d.L.rule = rule) diag
 let count_rule rule diags =
   List.length (List.filter (fun (d : L.diag) -> d.L.rule = rule) diags)
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
 (* --- layering ------------------------------------------------------- *)
 
 let test_layering_upward_edge () =
@@ -200,6 +205,183 @@ let test_experiment_allowlist () =
   check Alcotest.int "all exemptions honoured" 0
     (count_rule "experiment-artifacts" diags)
 
+(* --- typed rule packs (fixtures) ------------------------------------ *)
+
+(* Typecheck a fixture module in-process and run the typed pass over it
+   alone, exactly as `run` would over the real tree. *)
+let typed ?(allow = empty) ?(baseline = empty) ?intf ~modname src =
+  let filename =
+    Printf.sprintf "lib/fixture/%s.ml" (String.lowercase_ascii modname)
+  in
+  match Lintcore.Typed.of_string ~filename ~modname ?intf src with
+  | Error d -> Alcotest.failf "fixture rejected: %s" (L.to_string d)
+  | Ok m ->
+      let decls = Lintcore.Typed.decls_of_mods [ m ] in
+      L.filter_suppressed ~allow ~baseline (L.typed_pass ~decls [ m ])
+
+let test_poly_compare_fires_then_fixed () =
+  let dirty = typed ~modname:"Cmpfix" "let feq (a : float) b = a = b\n" in
+  check Alcotest.int "float `=` flagged" 1 (count_rule "poly-compare" dirty);
+  let d = List.find (fun (d : L.diag) -> d.L.rule = "poly-compare") dirty in
+  check Alcotest.int "line" 1 d.L.line;
+  check
+    Alcotest.(option string)
+    "suppression key names the binding"
+    (Some "lib/fixture/cmpfix.ml:feq")
+    d.L.key;
+  let fixed =
+    typed ~modname:"Cmpfix" "let feq (a : float) b = Float.equal a b\n"
+  in
+  check Alcotest.int "Float.equal passes" 0 (count_rule "poly-compare" fixed)
+
+let test_float_ordering_exempt () =
+  (* scalar-float `<` is the IEEE primitive — exempt; `compare` at
+     float is not *)
+  let ord = typed ~modname:"Cmpord" "let lt (a : float) b = a < b\n" in
+  check Alcotest.int "scalar float `<` passes" 0 (count_rule "poly-compare" ord);
+  let cmp = typed ~modname:"Cmpord" "let c (a : float) b = compare a b\n" in
+  check Alcotest.int "float `compare` flagged" 1 (count_rule "poly-compare" cmp)
+
+let test_physical_eq_fires_then_fixed () =
+  let dirty = typed ~modname:"Physfix" "let same (a : int list) b = a == b\n" in
+  check Alcotest.int "`==` flagged" 1 (count_rule "physical-eq" dirty);
+  let fixed = typed ~modname:"Physfix" "let same (a : int list) b = a = b\n" in
+  check Alcotest.int "structural `=` passes" 0 (count_rule "physical-eq" fixed)
+
+let test_catch_all_fires_then_fixed () =
+  let dirty = typed ~modname:"Exnfix" "let f g = try g () with _ -> 0\n" in
+  check Alcotest.int "catch-all flagged" 1 (count_rule "catch-all" dirty);
+  let fixed =
+    typed ~modname:"Exnfix" "let f g = try g () with Not_found -> 0\n"
+  in
+  check Alcotest.int "named handler passes" 0 (count_rule "catch-all" fixed);
+  let reraise =
+    typed ~modname:"Exnfix" "let f g = try g () with e -> raise e\n"
+  in
+  check Alcotest.int "re-raising handler passes" 0
+    (count_rule "catch-all" reraise)
+
+let test_undoc_raise_fires_then_fixed () =
+  let src = "let f x = if x < 0 then invalid_arg \"f\" else x\n" in
+  let dirty = typed ~modname:"Raisefix" ~intf:"val f : int -> int\n" src in
+  check Alcotest.int "undocumented raise flagged" 1
+    (count_rule "undoc-raise" dirty);
+  let fixed =
+    typed ~modname:"Raisefix"
+      ~intf:"val f : int -> int\n(** @raise Invalid_argument on x < 0. *)\n"
+      src
+  in
+  check Alcotest.int "@raise doc line passes" 0 (count_rule "undoc-raise" fixed)
+
+let test_hot_path_alloc_fires_then_fixed () =
+  (* the module is named Pump, so `inject` is a hot-path root *)
+  let dirty = typed ~modname:"Pump" "let inject t x = (x, t)\n" in
+  check Alcotest.int "per-packet tuple flagged" 1
+    (count_rule "hot-path-alloc" dirty);
+  let fixed = typed ~modname:"Pump" "let inject t x = x + t\n" in
+  check Alcotest.int "allocation-free body passes" 0
+    (count_rule "hot-path-alloc" fixed)
+
+let test_hot_path_reachability () =
+  (* the allocation sits in a helper `inject` calls — reachability must
+     carry the hot set through the call graph; the same helper in a
+     cold module stays unflagged *)
+  let src = "let helper x = Some x\nlet inject t x = helper (x + t)\n" in
+  let hot = typed ~modname:"Pump" src in
+  check Alcotest.int "transitively-reachable callee flagged" 1
+    (count_rule "hot-path-alloc" hot);
+  let cold = typed ~modname:"Coldpath" src in
+  check Alcotest.int "same code off the hot path passes" 0
+    (count_rule "hot-path-alloc" cold)
+
+let test_baseline_suppresses_then_goes_stale () =
+  let baseline =
+    L.Allowlist.parse ~path:"baseline"
+      "poly-compare lib/fixture/cmpfix.ml:feq  # legacy, burn down\n"
+  in
+  let diags = typed ~baseline ~modname:"Cmpfix" "let feq (a : float) b = a = b\n" in
+  check Alcotest.int "baselined finding suppressed" 0 (List.length diags);
+  check Alcotest.int "entry is live, not stale" 0
+    (List.length (L.Allowlist.stale ~rule:"stale-baseline" baseline))
+
+let test_stale_baseline_entry_fires () =
+  let baseline =
+    L.Allowlist.parse ~path:"baseline" "poly-compare lib/gone.ml:nothing\n"
+  in
+  ignore (typed ~baseline ~modname:"Cmpfix" "let id x = x\n");
+  let stale = L.Allowlist.stale ~rule:"stale-baseline" baseline in
+  check Alcotest.int "unused baseline entry reported" 1
+    (count_rule "stale-baseline" stale)
+
+let test_allowlist_wins_over_baseline () =
+  (* the same key in both files: the allowlist claims it, so the
+     baseline entry is stale — debt must not hide behind an exemption *)
+  let allow =
+    L.Allowlist.parse ~path:"allowlist" "poly-compare lib/fixture/cmpfix.ml:feq\n"
+  in
+  let baseline =
+    L.Allowlist.parse ~path:"baseline" "poly-compare lib/fixture/cmpfix.ml:feq\n"
+  in
+  let diags =
+    typed ~allow ~baseline ~modname:"Cmpfix" "let feq (a : float) b = a = b\n"
+  in
+  check Alcotest.int "suppressed" 0 (List.length diags);
+  check Alcotest.int "baseline copy is stale" 1
+    (List.length (L.Allowlist.stale ~rule:"stale-baseline" baseline))
+
+(* --- diagnostics, serialization, catalog ---------------------------- *)
+
+let mk_diag ?key ~file ~line ~col ~rule msg =
+  { L.file; line; col; rule; msg; key }
+
+let test_to_string_one_based () =
+  let d = typed ~modname:"Cmpfix" "let feq (a : float) b = a = b\n" in
+  let d = List.hd d in
+  check Alcotest.bool "column is 1-based" true (d.L.col >= 1);
+  check Alcotest.string "format"
+    (Printf.sprintf "%s:%d:%d: [%s] %s" d.L.file d.L.line d.L.col d.L.rule
+       d.L.msg)
+    (L.to_string d)
+
+let test_compare_diag_total () =
+  let a = mk_diag ~file:"a.ml" ~line:1 ~col:1 ~rule:"r" "m" in
+  let b = mk_diag ~file:"a.ml" ~line:1 ~col:2 ~rule:"r" "m" in
+  let c = mk_diag ~file:"b.ml" ~line:1 ~col:1 ~rule:"r" "m" in
+  check Alcotest.bool "col orders" true (L.compare_diag a b < 0);
+  check Alcotest.bool "file dominates" true (L.compare_diag b c < 0);
+  check Alcotest.int "reflexive" 0 (L.compare_diag a a);
+  check Alcotest.bool "antisymmetric" true
+    (L.compare_diag b a > 0 && L.compare_diag c b > 0)
+
+let test_json_output () =
+  let d =
+    mk_diag ~key:"a.ml:f" ~file:"a.ml" ~line:3 ~col:7 ~rule:"poly-compare"
+      "uses \"polymorphic\" compare"
+  in
+  let json = L.to_json [ d ] in
+  let contains sub = check Alcotest.bool sub true (contains_sub json sub) in
+  contains "\"tool\": \"evolvelint\"";
+  contains "\"findings\": 1";
+  contains "\"rule\": \"poly-compare\"";
+  contains "\"line\": 3";
+  contains "\"col\": 7";
+  (* the embedded quotes must be escaped per RFC 8259 *)
+  contains "uses \\\"polymorphic\\\" compare"
+
+let test_sarif_output () =
+  let d =
+    mk_diag ~file:"lib/a.ml" ~line:3 ~col:7 ~rule:"catch-all" "swallows"
+  in
+  let sarif = L.to_sarif [ d ] in
+  let contains sub = check Alcotest.bool sub true (contains_sub sarif sub) in
+  contains "\"version\": \"2.1.0\"";
+  contains "\"ruleId\": \"catch-all\"";
+  contains "\"uri\": \"lib/a.ml\"";
+  contains "\"startLine\": 3";
+  contains "\"startColumn\": 7";
+  (* every registry rule ships as a reportingDescriptor *)
+  List.iter (fun (id, _) -> contains (Printf.sprintf "\"id\": \"%s\"" id)) L.rules
+
 (* --- the real tree -------------------------------------------------- *)
 
 (* Under `dune runtest` the cwd is _build/default/test and the declared
@@ -210,11 +392,26 @@ let repo_root =
   else if Sys.file_exists "tools/lint/allowlist" then "."
   else Alcotest.fail "cannot locate the repo root (tools/lint/allowlist)"
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_catalog_in_sync () =
+  check Alcotest.string "doc/LINT.md matches Lint.catalog_md ()"
+    (L.catalog_md ())
+    (read_file (Filename.concat repo_root "doc/LINT.md"))
+
 let test_clean_tree_passes () =
   let allow =
     L.Allowlist.load (Filename.concat repo_root "tools/lint/allowlist")
   in
-  let diags = L.run ~root:repo_root ~allow in
+  let baseline =
+    L.Allowlist.load (Filename.concat repo_root "tools/lint/baseline")
+  in
+  let diags = L.run ~root:repo_root ~allow ~baseline in
   check
     Alcotest.(list string)
     "evolvelint is clean on the committed tree" []
@@ -266,6 +463,48 @@ let () =
             test_experiment_completeness;
           Alcotest.test_case "allowlist exempts artifacts" `Quick
             test_experiment_allowlist;
+        ] );
+      ( "comparison-safety",
+        [
+          Alcotest.test_case "float `=` fires then fixed" `Quick
+            test_poly_compare_fires_then_fixed;
+          Alcotest.test_case "scalar-float ordering exempt" `Quick
+            test_float_ordering_exempt;
+          Alcotest.test_case "`==` fires then fixed" `Quick
+            test_physical_eq_fires_then_fixed;
+        ] );
+      ( "exception-hygiene",
+        [
+          Alcotest.test_case "catch-all fires then fixed" `Quick
+            test_catch_all_fires_then_fixed;
+          Alcotest.test_case "undocumented raise fires then fixed" `Quick
+            test_undoc_raise_fires_then_fixed;
+        ] );
+      ( "hot-path-allocation",
+        [
+          Alcotest.test_case "per-packet alloc fires then fixed" `Quick
+            test_hot_path_alloc_fires_then_fixed;
+          Alcotest.test_case "reachability carries the hot set" `Quick
+            test_hot_path_reachability;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "baseline suppresses live debt" `Quick
+            test_baseline_suppresses_then_goes_stale;
+          Alcotest.test_case "stale baseline entry fires" `Quick
+            test_stale_baseline_entry_fires;
+          Alcotest.test_case "allowlist wins over baseline" `Quick
+            test_allowlist_wins_over_baseline;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "to_string is 1-based" `Quick
+            test_to_string_one_based;
+          Alcotest.test_case "compare_diag is total" `Quick
+            test_compare_diag_total;
+          Alcotest.test_case "json shape and escaping" `Quick test_json_output;
+          Alcotest.test_case "sarif 2.1.0 shape" `Quick test_sarif_output;
+          Alcotest.test_case "doc/LINT.md in sync" `Quick test_catalog_in_sync;
         ] );
       ( "whole-tree",
         [ Alcotest.test_case "clean tree passes" `Quick test_clean_tree_passes ] );

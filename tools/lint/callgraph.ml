@@ -1,0 +1,93 @@
+(* Cross-module call graph over the typed tree.
+
+   Nodes are top-level value bindings, named "Module.binding". An edge
+   A -> B is recorded when A's body references B — either a local
+   reference to another top-level binding of the same module (matched
+   by Ident.same, so shadowing cannot confuse it) or a dotted path
+   whose normalized (module, value) pair lands in one of the analyzed
+   modules. References from inside nested modules are not attributed
+   (the repo convention keeps public API at the top level).
+
+   [reachable] computes the transitive closure from a set of root
+   patterns; a trailing '*' in a root is a prefix wildcard, so
+   "Wire.peek_*" covers every header peek. *)
+
+module SS = Set.Make (String)
+
+type t = { edges : (string, SS.t) Hashtbl.t; nodes : SS.t }
+
+let node m v = m ^ "." ^ v
+
+let build (mods : Typed.modinfo list) =
+  let module_set = SS.of_list (List.map (fun m -> m.Typed.ti_module) mods) in
+  let edges = Hashtbl.create 256 in
+  let nodes = ref SS.empty in
+  let add_node n = nodes := SS.add n !nodes in
+  let add_edge src dst =
+    add_node src;
+    add_node dst;
+    let cur = Option.value (Hashtbl.find_opt edges src) ~default:SS.empty in
+    Hashtbl.replace edges src (SS.add dst cur)
+  in
+  List.iter
+    (fun (m : Typed.modinfo) ->
+      let self = m.Typed.ti_module in
+      let tops = Typed.top_value_idents m.Typed.ti_str in
+      Typed.iter_top_bindings m.Typed.ti_str ~f:(fun ~id:_ ~name vb ->
+          let src = node self name in
+          add_node src;
+          let open Tast_iterator in
+          let iter =
+            {
+              default_iterator with
+              expr =
+                (fun it (e : Typedtree.expression) ->
+                  (match e.exp_desc with
+                  | Texp_ident (Path.Pident id, _, _) -> (
+                      match
+                        List.find_opt (fun (i, _) -> Ident.same i id) tops
+                      with
+                      | Some (_, n) -> add_edge src (node self n)
+                      | None -> ())
+                  | Texp_ident (p, _, _) -> (
+                      match Typed.norm_target p with
+                      | Some (tm, tv) when SS.mem tm module_set ->
+                          add_edge src (node tm tv)
+                      | _ -> ())
+                  | _ -> ());
+                  default_iterator.expr it e);
+            }
+          in
+          iter.value_binding iter vb))
+    mods;
+  { edges; nodes = !nodes }
+
+let expand_roots t roots =
+  List.concat_map
+    (fun r ->
+      if String.length r > 0 && r.[String.length r - 1] = '*' then
+        let prefix = String.sub r 0 (String.length r - 1) in
+        SS.elements
+          (SS.filter
+             (fun n ->
+               String.length n >= String.length prefix
+               && String.sub n 0 (String.length prefix) = prefix)
+             t.nodes)
+      else if SS.mem r t.nodes then [ r ]
+      else [])
+    roots
+
+let reachable t ~roots =
+  let seen = ref SS.empty in
+  let rec go n =
+    if not (SS.mem n !seen) then begin
+      seen := SS.add n !seen;
+      match Hashtbl.find_opt t.edges n with
+      | Some succs -> SS.iter go succs
+      | None -> ()
+    end
+  in
+  List.iter go (expand_roots t roots);
+  !seen
+
+let mem set n = SS.mem n set

@@ -1,0 +1,39 @@
+(* Shared diagnostic type for evolvelint.
+
+   Columns are 1-based (the first character of a line is column 1) and
+   the ordering is total and explicit — field by field, no polymorphic
+   compare — so diagnostics sort identically across OCaml versions.
+   [key], when present, is the stable suppression identity
+   (FILE:BINDING) matched against tools/lint/allowlist and
+   tools/lint/baseline entries; it deliberately excludes line numbers
+   so entries survive unrelated edits. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  key : string option;
+}
+
+let make ?(line = 1) ?(col = 1) ?key ~file ~rule msg =
+  { file; line; col; rule; msg; key }
+
+(* 1-based line and column of a location's start. *)
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol + 1)
+
+let of_loc ?key ~rule (loc : Location.t) msg =
+  let line, col = loc_pos loc in
+  make ~line ~col ?key ~file:loc.loc_start.pos_fname ~rule msg
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  String.compare a.file b.file <?> fun () ->
+  Int.compare a.line b.line <?> fun () ->
+  Int.compare a.col b.col <?> fun () ->
+  String.compare a.rule b.rule <?> fun () -> String.compare a.msg b.msg

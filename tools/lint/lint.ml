@@ -1,19 +1,28 @@
 (* evolvelint: repo-invariant static analysis.
 
-   Parses every .ml/.mli under lib/, bin/, bench/ and test/ into
-   Parsetree (compiler-libs) and walks it, plus a tiny dune-file reader
-   for the library graph. Four rule families, each with file:line
-   diagnostics; see [rules] for the rationale of each. *)
+   Two passes. The untyped pass parses every .ml/.mli under lib/,
+   bin/, bench/ and test/ into Parsetree (compiler-libs) and walks it,
+   plus a tiny dune-file reader for the library graph. The typed pass
+   (Typed, Callgraph, the Rules_ modules) loads the .cmt/.cmti artifacts dune emits
+   for the nine libraries and runs the comparison-safety, exception
+   hygiene and hot-path allocation rule packs over the Typedtree, with
+   a cross-module call graph for reachability. See [rules] for the
+   rationale of each rule. *)
 
-type diag = { file : string; line : int; col : int; rule : string; msg : string }
+type diag = Diag.t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  key : string option;
+}
 
-let diag ?(line = 1) ?(col = 0) ~file ~rule msg = { file; line; col; rule; msg }
+let diag ?(line = 1) ?(col = 1) ?key ~file ~rule msg =
+  Diag.make ~line ~col ?key ~file ~rule msg
 
-let to_string d =
-  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
-
-let compare_diag a b =
-  compare (a.file, a.line, a.col, a.rule, a.msg) (b.file, b.line, b.col, b.rule, b.msg)
+let to_string = Diag.to_string
+let compare_diag = Diag.compare
 
 (* ------------------------------------------------------------------ *)
 (* Rule registry (id, rationale) — printed by `--explain`.             *)
@@ -73,7 +82,68 @@ let rules =
       "An allowlist entry that no longer matches any flagged site must be \
        deleted, so the allowlist stays an accurate record of verified-safe \
        sites rather than a blanket waiver." );
+    ( "poly-compare",
+      "Polymorphic =/<>/compare/</<=/>/>=/min/max applied at a functional, \
+       float-carrying, abstract or opaque type. The structural order on \
+       such types is either a runtime error (functions), not total (nan), \
+       or silently different from the module's own compare once the \
+       representation changes — which breaks the deterministic Map/sort \
+       orders Report.generate depends on. Checked on the Typedtree at the \
+       instantiated use-site type, so generic 'a helpers stay quiet. One \
+       carve-out: < <= > >= at exactly [float] compile to the IEEE \
+       comparison, which is deterministic; the nan hazard is specific to \
+       =/compare/min/max and to floats inside structures. Provenance: \
+       DESIGN.md \u{00A7}7 determinism; CLAUDE.md ('All randomness... \
+       experiments must be deterministic')." );
+    ( "physical-eq",
+      "== and != compare heap addresses, which the language leaves \
+       unspecified on immutable values; any use outside an allowlisted \
+       site (`physical-eq file.ml:binding`) is an error. Use structural \
+       equality or the type's own equal. Provenance: CLAUDE.md determinism \
+       convention." );
+    ( "catch-all",
+      "`try ... with _ ->` (or a never-re-raised variable handler) \
+       swallows every exception including programming errors, turning \
+       invariant violations into silent wrong results — the opposite of \
+       what a reproduction harness wants. Match the constructors you mean, \
+       or re-raise. Provenance: CLAUDE.md determinism convention; the \
+       paper's \u{00A7}3.2 layering argument assumes invariant violations \
+       surface." );
+    ( "undoc-raise",
+      "A lib/ function raises an exception that escapes the module (no \
+       in-module handler) while its .mli never mentions the exception: \
+       the interface contract is incomplete. Document it (e.g. `@raise \
+       Invalid_argument`) in the .mli. Assert_failure/Match_failure are \
+       exempt. Provenance: CLAUDE.md ('Every public module has an .mli \
+       with doc comments')." );
+    ( "hot-path-alloc",
+      "Functions transitively reachable from the data-plane roots \
+       (Pump.inject/Pump.step, Flowcache.lookup, Wire.peek_*) must not \
+       allocate per call: capturing closures, tuple/option/list cells and \
+       partial applications are flagged, one aggregated diagnostic per \
+       function. Deliberate allocations (the trace a function exists to \
+       build) go in tools/lint/allowlist; legacy ones burn down in \
+       tools/lint/baseline. Provenance: DESIGN.md data-plane section \
+       (\u{00A7}3.3.2 forwarding treats payloads as opaque bytes — the \
+       per-hop budget is header reads, not allocation)." );
+    ( "stale-baseline",
+      "A baseline entry that no longer matches any finding means the debt \
+       it recorded was paid; delete the line so the baseline only shrinks. \
+       tools/lint/baseline grandfathers findings that predate a rule, \
+       letting new rules land strict on new code without a big-bang \
+       cleanup." );
+    ( "typed-engine",
+      "The typed rule packs need the .cmt/.cmti artifacts dune emits \
+       (-bin-annot is on by default); a library with no artifacts, or an \
+       unreadable cmt, is an error rather than a silent skip — otherwise \
+       the typed rules would pass vacuously." );
   ]
+
+(* Roots of the data-plane hot path for the allocation lint; a
+   trailing '*' is a prefix wildcard. Pump.step is the paper-facing
+   alias kept for forward compatibility. *)
+let hot_path_roots =
+  [ "Pump.inject"; "Pump.step"; "Flowcache.lookup"; "Wire.peek_*" ]
 
 (* ------------------------------------------------------------------ *)
 (* Small string helpers                                                *)
@@ -160,18 +230,33 @@ module Allowlist = struct
         true
     | None -> false
 
-  let stale t =
+  let stale ?(rule = "stale-allowlist") t =
     List.filter_map
       (fun e ->
         if e.used then None
         else
           Some
-            (diag ~file:t.path ~line:e.e_line ~rule:"stale-allowlist"
+            (diag ~file:t.path ~line:e.e_line ~rule
                (Printf.sprintf
                   "entry `%s %s` matched no flagged site; delete it" e.e_rule
                   e.e_key)))
       t.entries
 end
+
+(* Keyed diagnostics (the typed rule packs) are suppressed by either
+   file: the allowlist records deliberate, justified exceptions; the
+   baseline grandfathers legacy findings that predate a rule so it can
+   land strict on new code. Allowlist wins, so one site never marks
+   both files used. *)
+let filter_suppressed ~allow ~baseline diags =
+  List.filter
+    (fun (d : diag) ->
+      match d.key with
+      | None -> true
+      | Some key ->
+          (not (Allowlist.mem allow ~rule:d.rule ~key))
+          && not (Allowlist.mem baseline ~rule:d.rule ~key))
+    diags
 
 (* ------------------------------------------------------------------ *)
 (* Parsing helpers (compiler-libs)                                     *)
@@ -203,8 +288,7 @@ let expr_ident (e : Parsetree.expression) =
       match strip_stdlib (flatten_lident txt) with [] -> None | p -> Some p)
   | _ -> None
 
-let loc_pos (loc : Location.t) =
-  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+let loc_pos = Diag.loc_pos
 
 (* ------------------------------------------------------------------ *)
 (* Rule family 2: determinism                                          *)
@@ -749,6 +833,152 @@ let check_experiments ~allow sources =
       List.rev !parse_diags @ missing
 
 (* ------------------------------------------------------------------ *)
+(* Output formats                                                      *)
+
+(* Hand-rolled JSON (the toolchain ships no JSON library and the repo
+   adds no dependencies): escape per RFC 8259. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jobj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+let diag_json (d : diag) =
+  jobj
+    ([
+       ("file", jstr d.file);
+       ("line", string_of_int d.line);
+       ("col", string_of_int d.col);
+       ("rule", jstr d.rule);
+       ("message", jstr d.msg);
+     ]
+    @ match d.key with None -> [] | Some k -> [ ("key", jstr k) ])
+
+let to_json diags =
+  jobj
+    [
+      ("tool", jstr "evolvelint");
+      ("findings", string_of_int (List.length diags));
+      ("diagnostics", jarr (List.map diag_json diags));
+    ]
+
+(* SARIF 2.1.0, the minimal subset GitHub code scanning ingests: one
+   run, one driver, the rule registry as reportingDescriptors, one
+   result per diagnostic. *)
+let to_sarif diags =
+  let rule_descriptor (id, why) =
+    jobj
+      [
+        ("id", jstr id);
+        ("shortDescription", jobj [ ("text", jstr id) ]);
+        ("fullDescription", jobj [ ("text", jstr why) ]);
+      ]
+  in
+  let result (d : diag) =
+    jobj
+      [
+        ("ruleId", jstr d.rule);
+        ("level", jstr "error");
+        ("message", jobj [ ("text", jstr d.msg) ]);
+        ( "locations",
+          jarr
+            [
+              jobj
+                [
+                  ( "physicalLocation",
+                    jobj
+                      [
+                        ( "artifactLocation",
+                          jobj [ ("uri", jstr d.file) ] );
+                        ( "region",
+                          jobj
+                            [
+                              ("startLine", string_of_int d.line);
+                              ("startColumn", string_of_int d.col);
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  jobj
+    [
+      ( "$schema",
+        jstr "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", jstr "2.1.0");
+      ( "runs",
+        jarr
+          [
+            jobj
+              [
+                ( "tool",
+                  jobj
+                    [
+                      ( "driver",
+                        jobj
+                          [
+                            ("name", jstr "evolvelint");
+                            ("informationUri", jstr "tools/lint");
+                            ("rules", jarr (List.map rule_descriptor rules));
+                          ] );
+                    ] );
+                ("results", jarr (List.map result diags));
+              ];
+          ] );
+    ]
+
+(* doc/LINT.md is generated from this function (`--catalog`) and a
+   test asserts the committed file matches, so the catalog can never
+   drift from the registry. *)
+let catalog_md () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "# evolvelint rule catalog\n\n\
+     <!-- Generated by `dune exec tools/lint/main.exe -- --catalog`. Do \
+     not edit by hand; test/test_lint.ml asserts this file matches the \
+     registry in tools/lint/lint.ml. -->\n\n\
+     evolvelint runs two passes. The untyped pass parses every source \
+     file into the Parsetree and checks repo-shape invariants; the typed \
+     pass loads the `.cmt`/`.cmti` artifacts dune emits, builds a \
+     cross-module call graph over the nine libraries, and runs the \
+     comparison-safety, exception-hygiene and hot-path allocation rule \
+     packs over the Typedtree.\n\n\
+     Suppression: diagnostics carrying a `RULE FILE:BINDING` key honor \
+     two files. `tools/lint/allowlist` records deliberate, justified \
+     exceptions and is meant to be permanent; `tools/lint/baseline` \
+     grandfathers legacy findings so a new rule lands strict on new code, \
+     and is meant to shrink to empty. Stale entries in either file are \
+     errors (`stale-allowlist`, `stale-baseline`).\n\n\
+     Hot-path roots: "
+    ;
+  Buffer.add_string b (String.concat ", " (List.map (fun r -> "`" ^ r ^ "`") hot_path_roots));
+  Buffer.add_string b ".\n";
+  List.iter
+    (fun (id, why) ->
+      Buffer.add_string b (Printf.sprintf "\n## %s\n\n%s\n" id why))
+    rules;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Driver: walk the tree                                               *)
 
 let is_dir p = try Sys.is_directory p with Sys_error _ -> false
@@ -766,7 +996,20 @@ let rec walk root rel =
 let files_with_suffix root dir suffix =
   List.filter (fun f -> Filename.check_suffix f suffix) (walk root dir)
 
-let run ~root ~allow =
+(* The typed pass over a loaded tree: call graph, reachability from
+   the hot-path roots, then the three rule packs per module. Shared by
+   [run] and the fixture tests (which build one-module trees). *)
+let typed_pass ~decls mods =
+  let cg = Callgraph.build mods in
+  let hot = Callgraph.reachable cg ~roots:hot_path_roots in
+  List.concat_map
+    (fun (m : Typed.modinfo) ->
+      Rules_compare.check ~decls m
+      @ Rules_exn.check m
+      @ Rules_alloc.check ~hot ~roots:hot_path_roots m)
+    mods
+
+let run ~root ~allow ~baseline =
   let read rel = read_file (Filename.concat root rel) in
   let diags = ref [] in
   let add ds = diags := ds @ !diags in
@@ -838,5 +1081,13 @@ let run ~root ~allow =
              experiments_md;
            })
   | _ -> ());
+  (* 5. typed pass: comparison safety, exception hygiene, hot-path
+     allocation over the .cmt tree *)
+  let tree = Typed.load_tree ~root in
+  add tree.Typed.tdiags;
+  add
+    (filter_suppressed ~allow ~baseline
+       (typed_pass ~decls:tree.Typed.tdecls tree.Typed.tmods));
   add (Allowlist.stale allow);
+  add (Allowlist.stale ~rule:"stale-baseline" baseline);
   List.sort_uniq compare_diag !diags

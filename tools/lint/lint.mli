@@ -3,22 +3,29 @@
     Turns the CLAUDE.md conventions — the structural discipline the
     paper's evolvability argument rests on (\u{00A7}3.2: new generations
     layer on what exists without breaking invariants) — into machine
-    checks over the Parsetree of every source file plus the dune
-    library graph. Four rule families: layering, determinism,
-    interface hygiene, experiment completeness. *)
+    checks. Two passes: the untyped pass walks the Parsetree of every
+    source file plus the dune library graph (layering, determinism,
+    interface hygiene, experiment completeness); the typed pass loads
+    the [.cmt]/[.cmti] artifacts dune emits, builds a cross-module call
+    graph, and runs the comparison-safety, exception-hygiene and
+    hot-path allocation rule packs over the Typedtree. *)
 
-type diag = {
+type diag = Diag.t = {
   file : string;
   line : int;
-  col : int;
+  col : int;  (** 1-based, like the line *)
   rule : string;  (** rule identifier; see {!rules} *)
   msg : string;
+  key : string option;
+      (** suppression key [FILE:BINDING] for allowlist/baseline-gated
+          rules; [None] for diagnostics that cannot be suppressed *)
 }
 
 val to_string : diag -> string
 (** [file:line:col: [rule] msg] — the diagnostic format. *)
 
 val compare_diag : diag -> diag -> int
+(** Total, explicit order: file, line, col, rule, msg. *)
 
 val rules : (string * string) list
 (** Every rule id with its rationale and provenance (paper section or
@@ -27,10 +34,17 @@ val rules : (string * string) list
 val layer_order : string array
 (** The strict bottom-up library order the layering rule enforces. *)
 
-(** Verified-safe sites exempted from a rule. One entry per line:
-    [RULE FILE:KEY] ([#] starts a comment). For [hashtbl-order] the key
-    is the enclosing top-level binding; for [experiment-artifacts] it
-    is [eN.artifact]. *)
+val hot_path_roots : string list
+(** Roots of the data-plane hot path for the allocation lint; a
+    trailing ['*'] is a prefix wildcard. *)
+
+(** Sites exempted from a rule. One entry per line: [RULE FILE:KEY]
+    ([#] starts a comment). For [hashtbl-order] and the typed rules the
+    key is [file.ml:binding]; for [experiment-artifacts] it is
+    [eN.artifact]. The same format serves two files with different
+    contracts: [tools/lint/allowlist] (deliberate, justified,
+    permanent) and [tools/lint/baseline] (legacy debt, shrinks to
+    empty). *)
 module Allowlist : sig
   type t
 
@@ -38,10 +52,20 @@ module Allowlist : sig
   val parse : path:string -> string -> t
   val load : string -> t
 
-  val stale : t -> diag list
+  val mem : t -> rule:string -> key:string -> bool
+  (** Marks the matching entry used. *)
+
+  val stale : ?rule:string -> t -> diag list
   (** Entries that matched nothing — each one is itself a violation,
-      so the allowlist cannot silently rot. Call after the checks. *)
+      so the file cannot silently rot. Call after the checks.
+      [rule] defaults to ["stale-allowlist"]; pass ["stale-baseline"]
+      when checking the baseline. *)
 end
+
+val filter_suppressed :
+  allow:Allowlist.t -> baseline:Allowlist.t -> diag list -> diag list
+(** Drop keyed diagnostics matched by the allowlist or, failing that,
+    the baseline; unkeyed diagnostics always pass through. *)
 
 val check_layering : dune_files:(string * string) list -> diag list
 (** [(path, contents)] pairs of dune files. Library stanzas must only
@@ -73,5 +97,28 @@ val check_experiments : allow:Allowlist.t -> exp_sources -> diag list
     record, [print_eN], CLI hook, bench hook, Report section,
     EXPERIMENTS.md entry and shape-test suite. *)
 
-val run : root:string -> allow:Allowlist.t -> diag list
-(** All four families over a repo checkout; sorted, deduplicated. *)
+val typed_pass : decls:Typed.decls -> Typed.modinfo list -> diag list
+(** The typed rule packs over an already-loaded module set: build the
+    call graph, compute reachability from {!hot_path_roots}, then run
+    comparison safety, exception hygiene and hot-path allocation on
+    each module. Unfiltered — pass the result through
+    {!filter_suppressed}. *)
+
+val to_json : diag list -> string
+(** Machine-readable findings:
+    [{"tool": "evolvelint", "findings": N, "diagnostics": [...]}]. *)
+
+val to_sarif : diag list -> string
+(** SARIF 2.1.0: one run, the rule registry as reportingDescriptors,
+    one result per diagnostic. *)
+
+val catalog_md : unit -> string
+(** The generated rule catalog (doc/LINT.md); a test asserts the
+    committed file matches, so the catalog cannot drift from
+    {!rules}. *)
+
+val run : root:string -> allow:Allowlist.t -> baseline:Allowlist.t -> diag list
+(** Both passes over a repo checkout; sorted, deduplicated. The typed
+    pass needs [dune build] artifacts (in-tree or under
+    [_build/default]) and reports their absence as [typed-engine]
+    diagnostics rather than passing vacuously. *)

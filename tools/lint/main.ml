@@ -1,31 +1,49 @@
 (* evolvelint CLI.
 
-   evolvelint [--root DIR] [--allowlist FILE]   run all checks
-   evolvelint --explain RULE|all                print a rule's rationale *)
+   evolvelint [--root DIR] [--allowlist FILE] [--baseline FILE]
+              [--format text|json|sarif]        run all checks
+   evolvelint --explain RULE|all                print a rule's rationale
+   evolvelint --catalog                         print doc/LINT.md *)
 
 module Lint = Lintcore.Lint
 
-let usage = "evolvelint [--root DIR] [--allowlist FILE] [--explain RULE|all]"
+let usage =
+  "evolvelint [--root DIR] [--allowlist FILE] [--baseline FILE] \
+   [--format text|json|sarif] [--explain RULE|all] [--catalog]"
 
 let () =
   let root = ref "." in
   let allowlist = ref "" in
+  let baseline = ref "" in
+  let format = ref "text" in
   let explain = ref "" in
+  let catalog = ref false in
   Arg.parse
     [
       ("--root", Arg.Set_string root, "DIR repository root (default .)");
       ( "--allowlist",
         Arg.Set_string allowlist,
-        "FILE allowlist of verified-safe sites (default \
+        "FILE allowlist of deliberate, justified exceptions (default \
          ROOT/tools/lint/allowlist)" );
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE baseline of grandfathered legacy findings (default \
+         ROOT/tools/lint/baseline)" );
+      ( "--format",
+        Arg.Set_string format,
+        "FMT output format: text (default), json, or sarif" );
       ( "--explain",
         Arg.Set_string explain,
         "RULE print the rule's rationale and provenance ('all' for every \
          rule)" );
+      ( "--catalog",
+        Arg.Set catalog,
+        " print the generated rule catalog (doc/LINT.md)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     usage;
-  if !explain <> "" then begin
+  if !catalog then print_string (Lint.catalog_md ())
+  else if !explain <> "" then begin
     let print_rule (id, text) = Printf.printf "%-20s %s\n\n" id text in
     if !explain = "all" then List.iter print_rule Lint.rules
     else
@@ -37,21 +55,30 @@ let () =
           exit 2
   end
   else begin
-    let allow_path =
-      if !allowlist <> "" then !allowlist
-      else Filename.concat !root "tools/lint/allowlist"
-    in
-    let allow =
-      if Sys.file_exists allow_path then Lint.Allowlist.load allow_path
+    let load ~flag ~default =
+      let path =
+        if !flag <> "" then !flag else Filename.concat !root default
+      in
+      if Sys.file_exists path then Lint.Allowlist.load path
       else Lint.Allowlist.empty
     in
-    let diags = Lint.run ~root:!root ~allow in
-    List.iter (fun d -> print_endline (Lint.to_string d)) diags;
-    match diags with
-    | [] ->
-        print_endline "evolvelint: OK (layering, determinism, interfaces, \
-                       experiment artifacts)"
-    | _ ->
-        Printf.printf "evolvelint: %d violation(s)\n" (List.length diags);
-        exit 1
+    let allow = load ~flag:allowlist ~default:"tools/lint/allowlist" in
+    let base = load ~flag:baseline ~default:"tools/lint/baseline" in
+    let diags = Lint.run ~root:!root ~allow ~baseline:base in
+    (match !format with
+    | "json" -> print_endline (Lint.to_json diags)
+    | "sarif" -> print_endline (Lint.to_sarif diags)
+    | "text" -> (
+        List.iter (fun d -> print_endline (Lint.to_string d)) diags;
+        match diags with
+        | [] ->
+            print_endline
+              "evolvelint: OK (layering, determinism, interfaces, \
+               experiment artifacts, comparison safety, exception \
+               hygiene, hot-path allocation)"
+        | _ -> Printf.printf "evolvelint: %d violation(s)\n" (List.length diags))
+    | other ->
+        Printf.eprintf "unknown format '%s' (text|json|sarif)\n" other;
+        exit 2);
+    if diags <> [] then exit 1
   end

@@ -1,0 +1,188 @@
+(* Comparison safety over the typed tree.
+
+   Two rules:
+
+   - poly-compare: a polymorphic comparison (Stdlib.=, <>, <, <=, >,
+     >=, compare, min, max) whose instantiated operand type is
+     functional (raises at runtime), float-carrying (nan breaks the
+     total order Maps and sorts rely on), or abstract/opaque (the
+     structural order silently diverges from the module's own compare
+     when the representation changes). The operand type is read off
+     the use site's instantiated type scheme, so generic helpers
+     ('a -> 'a -> int) stay quiet and only concrete bad
+     instantiations fire.
+
+   - physical-eq: any use of == / != outside allowlisted sites;
+     physical equality on immutables is unspecified by the language
+     and never what a deterministic simulator wants.
+
+   Classification of a type constructor consults the declaration
+   tables from Typed.decls: the in-module (.ml) view for the module's
+   own types, the exported (.cmi) view for everything else. Unknown
+   constructors (external libraries, stdlib containers with hidden
+   representation like Hashtbl.t) count as opaque. *)
+
+let poly_compare_ops =
+  [
+    "Stdlib.="; "Stdlib.<>"; "Stdlib.compare"; "Stdlib.<"; "Stdlib.<=";
+    "Stdlib.>"; "Stdlib.>="; "Stdlib.min"; "Stdlib.max";
+  ]
+
+(* The ordering operators compile to the IEEE comparison on a scalar
+   float operand, which is well-defined and deterministic; the nan
+   hazard is specific to the *equality/total-order* operators
+   (compare nan nan = 0, min/max asymmetry, = on nan) and to floats
+   buried inside structures, where the runtime's structural walk takes
+   over. So < <= > >= at exactly [float] are exempt. *)
+let ordering_ops = [ "Stdlib.<"; "Stdlib.<="; "Stdlib.>"; "Stdlib.>=" ]
+
+let physical_eq_ops = [ "Stdlib.=="; "Stdlib.!=" ]
+
+(* base types on which the polymorphic order is total and stable *)
+let safe_heads =
+  [ "int"; "char"; "string"; "bytes"; "bool"; "unit"; "int32"; "int64";
+    "nativeint" ]
+
+(* containers whose order is the element order *)
+let container_heads =
+  [ "list"; "option"; "array"; "ref"; "Stdlib.ref"; "result";
+    "Stdlib.result" ]
+
+type verdict = Safe | Bad of string
+
+let rec first_arrow_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | Types.Tpoly (t, _) -> first_arrow_arg t
+  | _ -> None
+
+let decl_components (td : Types.type_declaration) =
+  let of_ctor (cd : Types.constructor_declaration) =
+    match cd.cd_args with
+    | Types.Cstr_tuple tys -> tys
+    | Types.Cstr_record lds -> List.map (fun ld -> ld.Types.ld_type) lds
+  in
+  Option.to_list td.type_manifest
+  @
+  match td.type_kind with
+  | Types.Type_record (lds, _) -> List.map (fun ld -> ld.Types.ld_type) lds
+  | Types.Type_variant (cds, _) -> List.concat_map of_ctor cds
+  | Types.Type_abstract | Types.Type_open -> []
+
+let is_abstract (td : Types.type_declaration) =
+  td.type_kind = Types.Type_abstract && td.type_manifest = None
+
+(* [classify ~decls ~self ty]: can the polymorphic order be trusted on
+   [ty] when used from module [self]? Walks the structure of the type,
+   expanding named constructors through the declaration tables with a
+   visited set against recursive types. *)
+let classify ~(decls : Typed.decls) ~self ty =
+  let visited = Hashtbl.create 8 in
+  let rec go ty =
+    match Types.get_desc ty with
+    | Types.Tvar _ | Types.Tunivar _ -> Safe
+    | Types.Tarrow _ -> Bad "a functional type"
+    | Types.Tpoly (t, _) -> go t
+    | Types.Ttuple tys -> first_bad tys
+    | Types.Tconstr (p, args, _) -> (
+        let name = Path.name p in
+        if name = "float" || name = "Float.t" || name = "Stdlib.Float.t" then
+          Bad "a float (nan breaks the total order)"
+        else if name = "exn" then Bad "exn"
+        else if List.mem name safe_heads then Safe
+        else if List.mem name container_heads then first_bad args
+        else
+          match Typed.norm_target p with
+          | None -> Bad (Printf.sprintf "the local type %s" name)
+          | Some (m, t) -> (
+              if Hashtbl.mem visited (m, t) then Safe
+              else begin
+                Hashtbl.add visited (m, t) ();
+                let decl =
+                  if m = self then
+                    match Hashtbl.find_opt decls.Typed.impl (m, t) with
+                    | Some d -> Some d
+                    | None -> Hashtbl.find_opt decls.Typed.intf (m, t)
+                  else Hashtbl.find_opt decls.Typed.intf (m, t)
+                in
+                match decl with
+                | None ->
+                    Bad (Printf.sprintf "the opaque type %s.%s" m t)
+                | Some d ->
+                    if is_abstract d then
+                      Bad
+                        (Printf.sprintf
+                           "the abstract type %s.%s (use its own \
+                            compare/equal)"
+                           m t)
+                    else first_bad (decl_components d @ args)
+              end))
+    | _ -> Safe
+  and first_bad tys =
+    List.fold_left
+      (fun acc ty -> match acc with Bad _ -> acc | Safe -> go ty)
+      Safe tys
+  in
+  go ty
+
+let type_to_string ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+let plain_op pname =
+  match String.rindex_opt pname '.' with
+  | Some i -> String.sub pname (i + 1) (String.length pname - i - 1)
+  | None -> pname
+
+let check ~decls (m : Typed.modinfo) =
+  let diags = ref [] in
+  Typed.iter_top_bindings m.Typed.ti_str ~f:(fun ~id:_ ~name vb ->
+      let key = m.Typed.ti_file ^ ":" ^ name in
+      let add ~loc ~rule msg =
+        diags := Diag.of_loc ~key ~rule loc msg :: !diags
+      in
+      let open Tast_iterator in
+      let iter =
+        {
+          default_iterator with
+          expr =
+            (fun it (e : Typedtree.expression) ->
+              (match e.exp_desc with
+              | Texp_ident (p, lid, _) -> (
+                  let pname = Path.name p in
+                  if List.mem pname physical_eq_ops then
+                    add ~loc:lid.loc ~rule:"physical-eq"
+                      (Printf.sprintf
+                         "physical equality (%s) in `%s`; use structural \
+                          equality or the type's own equal, or add \
+                          `physical-eq %s` to tools/lint/allowlist"
+                         (plain_op pname) name key)
+                  else if List.mem pname poly_compare_ops then
+                    match first_arrow_arg e.exp_type with
+                    | None -> ()
+                    | Some arg
+                      when List.mem pname ordering_ops
+                           && (match Types.get_desc arg with
+                              | Types.Tconstr (p, [], _) ->
+                                  let n = Path.name p in
+                                  n = "float" || n = "Float.t"
+                                  || n = "Stdlib.Float.t"
+                              | _ -> false) ->
+                        ()
+                    | Some arg -> (
+                        match
+                          classify ~decls ~self:m.Typed.ti_module arg
+                        with
+                        | Safe -> ()
+                        | Bad why ->
+                            add ~loc:lid.loc ~rule:"poly-compare"
+                              (Printf.sprintf
+                                 "polymorphic %s applied at %s, which \
+                                  involves %s; use an explicit comparator \
+                                  (key `poly-compare %s`)"
+                                 (plain_op pname) (type_to_string arg) why
+                                 key)))
+              | _ -> ());
+              default_iterator.expr it e);
+        }
+      in
+      iter.value_binding iter vb);
+  List.rev !diags

@@ -1,0 +1,151 @@
+(* Exception hygiene over the typed tree.
+
+   Two rules:
+
+   - catch-all: a [try ... with _ ->] (or [with e ->] where [e] is
+     never re-raised) swallows every exception, including the
+     programming errors the determinism rules exist to surface.
+     Handlers that re-raise are fine.
+
+   - undoc-raise: a library function raises an exception that is part
+     of its observable behavior, but the module's .mli never mentions
+     the exception. The check is module-granular: an exception
+     constructor that some handler in the same module catches is
+     treated as internal control flow. The mention check is textual
+     (the constructor name appearing anywhere in the .mli, e.g. in a
+     [@raise Invalid_argument] doc line) so prose documentation
+     counts. Assert_failure and Match_failure are exempt: they are
+     invariant violations, not API. *)
+
+let raise_fns = [ "Stdlib.raise"; "Stdlib.raise_notrace" ]
+
+let exempt_exns = [ "Assert_failure"; "Match_failure" ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* exception-constructor names matched by a handler pattern *)
+let rec handled_names (p : Typedtree.pattern) acc =
+  match p.pat_desc with
+  | Tpat_construct (_, cd, _, _) -> cd.Types.cstr_name :: acc
+  | Tpat_or (a, b, _) -> handled_names a (handled_names b acc)
+  | Tpat_alias (p, _, _) -> handled_names p acc
+  | _ -> acc
+
+let is_wildcard (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_any | Tpat_var _ -> true
+  | Tpat_alias ({ pat_desc = Tpat_any; _ }, _, _) -> true
+  | _ -> false
+
+(* does the expression re-raise anywhere? *)
+let reraises (e : Typedtree.expression) =
+  let found = ref false in
+  let open Tast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun it (e : Typedtree.expression) ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) when List.mem (Path.name p) raise_fns ->
+              found := true
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  iter.expr iter e;
+  !found
+
+type raise_site = { r_exn : string; r_binding : string; r_loc : Location.t }
+
+let check (m : Typed.modinfo) =
+  let diags = ref [] in
+  let raises : raise_site list ref = ref [] in
+  let handled : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  Typed.iter_top_bindings m.Typed.ti_str ~f:(fun ~id:_ ~name vb ->
+      let key = m.Typed.ti_file ^ ":" ^ name in
+      let open Tast_iterator in
+      let iter =
+        {
+          default_iterator with
+          expr =
+            (fun it (e : Typedtree.expression) ->
+              (match e.exp_desc with
+              | Texp_try (_, cases) ->
+                  List.iter
+                    (fun (c : Typedtree.value Typedtree.case) ->
+                      List.iter
+                        (fun n -> Hashtbl.replace handled n ())
+                        (handled_names c.c_lhs []);
+                      if is_wildcard c.c_lhs && not (reraises c.c_rhs) then
+                        diags :=
+                          Diag.of_loc ~key ~rule:"catch-all" c.c_lhs.pat_loc
+                            (Printf.sprintf
+                               "catch-all handler in `%s` swallows every \
+                                exception; match the constructors you mean \
+                                (or re-raise), or add `catch-all %s` to \
+                                tools/lint/allowlist"
+                               name key)
+                          :: !diags)
+                    cases
+              | Texp_match (_, cases, _) ->
+                  List.iter
+                    (fun (c : Typedtree.computation Typedtree.case) ->
+                      match Typedtree.split_pattern c.c_lhs with
+                      | _, Some exn_pat ->
+                          List.iter
+                            (fun n -> Hashtbl.replace handled n ())
+                            (handled_names exn_pat [])
+                      | _, None -> ())
+                    cases
+              | Texp_apply (f, (_, Some arg) :: _) -> (
+                  match f.exp_desc with
+                  | Texp_ident (p, _, _) -> (
+                      let record exn =
+                        raises :=
+                          { r_exn = exn; r_binding = name; r_loc = f.exp_loc }
+                          :: !raises
+                      in
+                      match Path.name p with
+                      | "Stdlib.raise" | "Stdlib.raise_notrace" -> (
+                          match arg.exp_desc with
+                          | Texp_construct (_, cd, _) ->
+                              record cd.Types.cstr_name
+                          | _ -> () (* re-raise of a bound exception *))
+                      | "Stdlib.failwith" -> record "Failure"
+                      | "Stdlib.invalid_arg" -> record "Invalid_argument"
+                      | _ -> ())
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.expr it e);
+        }
+      in
+      iter.value_binding iter vb);
+  (match m.Typed.ti_intf with
+  | None -> () (* missing-mli is its own rule; don't cascade *)
+  | Some intf ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          if
+            (not (List.mem r.r_exn exempt_exns))
+            && (not (Hashtbl.mem handled r.r_exn))
+            && (not (contains_sub intf r.r_exn))
+            && not (Hashtbl.mem seen (r.r_binding, r.r_exn))
+          then begin
+            Hashtbl.replace seen (r.r_binding, r.r_exn) ();
+            let key = m.Typed.ti_file ^ ":" ^ r.r_binding in
+            diags :=
+              Diag.of_loc ~key ~rule:"undoc-raise" r.r_loc
+                (Printf.sprintf
+                   "`%s` raises %s but %si never mentions it; document it \
+                    (e.g. `@raise %s`) in the interface, or add \
+                    `undoc-raise %s` to tools/lint/baseline"
+                   r.r_binding r.r_exn m.Typed.ti_file r.r_exn key)
+              :: !diags
+          end)
+        (List.rev !raises));
+  List.rev !diags
