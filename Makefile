@@ -23,10 +23,10 @@ explain:      ## print every lint rule's rationale and provenance
 catalog:      ## regenerate doc/LINT.md from the rule registry
 	dune exec tools/lint/main.exe -- --catalog > doc/LINT.md
 
-bench:        ## all figures, experiments E1-E30, microbenchmarks
+bench:        ## all figures, experiments E1-E32, microbenchmarks
 	dune exec bench/main.exe
 
-bench-json:   ## data-plane throughput numbers -> BENCH_dataplane.json
+bench-json:   ## machine-readable numbers -> BENCH_dataplane.json + BENCH_faults.json
 	dune exec bench/main.exe -- --json
 
 report:       ## regenerate RESULTS.md

@@ -43,7 +43,7 @@ let figures () =
   Format.printf "%a@." Scenario.pp_fig4 (Scenario.fig4 ())
 
 let experiments () =
-  section "Experiments (E1-E30)";
+  section "Experiments (E1-E32)";
   E.print_e1 (E.e1_deployment_sweep ());
   E.print_e2 (E.e2_default_route_sweep ());
   E.print_e3 (E.e3_egress_comparison ());
@@ -73,7 +73,9 @@ let experiments () =
   E.print_e27 (E.e27_mixed_igp ());
   E.print_e28 (E.e28_path_hunting ());
   E.print_e29 (E.e29_dataplane_cost ());
-  E.print_e30 (E.e30_churn_traffic ())
+  E.print_e30 (E.e30_churn_traffic ());
+  E.print_e31 (E.e31_fault_convergence ());
+  E.print_e32 (E.e32_flap_traffic ())
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -172,6 +174,28 @@ let bench_lsa_flood () =
   Test.make ~name:"lsa flood (domain of 12 routers)"
     (Staged.stage (fun () ->
          let proto = Simcore.Lsproto.create inet ~domain:0 in
+         let engine = Simcore.Engine.create () in
+         Simcore.Lsproto.start proto engine;
+         ignore (Simcore.Engine.run engine)))
+
+let lossy_everywhere p ~src:_ ~dst:_ = Simcore.Faults.lossy p
+
+let bench_faults_send () =
+  let faults = Simcore.Faults.create ~policy:(lossy_everywhere 0.2) 42L in
+  let engine = Simcore.Engine.create () in
+  Test.make ~name:"fault fabric send+deliver (loss 0.2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Simcore.Faults.send faults engine ~src:0 ~dst:1 ~delay:1.0
+              (fun _ -> ()));
+         ignore (Simcore.Engine.run engine)))
+
+let bench_faulty_flood () =
+  let inet = Internet.build Internet.default_params in
+  Test.make ~name:"lsa flood under loss 0.2 (acked, domain of 12)"
+    (Staged.stage (fun () ->
+         let faults = Simcore.Faults.create ~policy:(lossy_everywhere 0.2) 42L in
+         let proto = Simcore.Lsproto.create ~faults inet ~domain:0 in
          let engine = Simcore.Engine.create () in
          Simcore.Lsproto.start proto engine;
          ignore (Simcore.Engine.run engine)))
@@ -297,6 +321,8 @@ let run_benchmarks () =
         bench_bgpvn ();
         bench_lsa_flood ();
         bench_bgp_async_boot ();
+        bench_faults_send ();
+        bench_faulty_flood ();
         bench_fib_lookup_uncached ();
         bench_fib_lookup_cached ();
         bench_pump_uncached ();
@@ -374,9 +400,76 @@ let write_bench_json path =
     (fun () -> output_string oc json);
   Printf.printf "wrote %s\n%s" path json
 
+(* The robustness machinery's cost sheet: raw fabric throughput plus
+   what loss-hardened convergence costs each protocol (messages, the
+   ack/retransmit and keepalive/reset overhead, wall time). *)
+let write_faults_json path =
+  let faults = Simcore.Faults.create ~policy:(lossy_everywhere 0.2) 42L in
+  let engine = Simcore.Engine.create () in
+  let ns_send =
+    time_ns ~warmup:10_000 ~iters:200_000 (fun () ->
+        ignore
+          (Simcore.Faults.send faults engine ~src:0 ~dst:1 ~delay:1.0
+             (fun _ -> ()));
+        Simcore.Engine.run engine)
+  in
+  let inet = Internet.build Internet.default_params in
+  let ls_loss = 0.2 in
+  let t0 = Unix.gettimeofday () in
+  let lsf = Simcore.Faults.create ~policy:(lossy_everywhere ls_loss) 43L in
+  let proto = Simcore.Lsproto.create ~faults:lsf inet ~domain:0 in
+  let eng = Simcore.Engine.create () in
+  Simcore.Lsproto.start proto eng;
+  ignore (Simcore.Engine.run eng);
+  let ls_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let ls = Simcore.Lsproto.stats proto in
+  let bgp_loss = 0.2 in
+  let t0 = Unix.gettimeofday () in
+  let bf =
+    Simcore.Faults.create ~policy:(lossy_everywhere bgp_loss) ~fifo:true 44L
+  in
+  let dyn = Simcore.Bgpdyn.create ~faults:bf inet in
+  let eng = Simcore.Engine.create () in
+  Simcore.Bgpdyn.originate_all_domain_prefixes dyn eng;
+  (* without hold timers a lost update means reset + full replay, and
+     under permanent loss the replays keep losing messages — so, as in
+     E31 and the tests, the injection window must close for the run to
+     quiesce; the number reported is boot-through-loss to convergence *)
+  Simcore.Engine.schedule_at eng ~time:30.0 (fun _ ->
+      Simcore.Faults.set_policy bf (fun ~src:_ ~dst:_ ->
+          Simcore.Faults.reliable));
+  ignore (Simcore.Engine.run eng);
+  let bgp_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let bgp = Simcore.Bgpdyn.stats dyn in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"ns_per_fault_send\": %.1f,\n\
+      \  \"ls_loss\": %.2f,\n\
+      \  \"ls_messages\": %d,\n\
+      \  \"ls_acks\": %d,\n\
+      \  \"ls_retransmits\": %d,\n\
+      \  \"ls_flood_ms\": %.1f,\n\
+      \  \"bgp_loss\": %.2f,\n\
+      \  \"bgp_updates\": %d,\n\
+      \  \"bgp_resets\": %d,\n\
+      \  \"bgp_boot_ms\": %.1f\n\
+       }\n"
+      ns_send ls_loss ls.Simcore.Lsproto.messages ls.Simcore.Lsproto.acks
+      ls.Simcore.Lsproto.retransmits ls_ms bgp_loss bgp.Simcore.Bgpdyn.updates
+      bgp.Simcore.Bgpdyn.resets bgp_ms
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.printf "wrote %s\n%s" path json
+
 let () =
-  if Array.exists (fun a -> a = "--json") Sys.argv then
-    write_bench_json "BENCH_dataplane.json"
+  if Array.exists (fun a -> a = "--json") Sys.argv then begin
+    write_bench_json "BENCH_dataplane.json";
+    write_faults_json "BENCH_faults.json"
+  end
   else begin
     figures ();
     experiments ();

@@ -7,13 +7,22 @@
 
 open Cmdliner
 
+(* a bad operand is a usage error: say so on stderr and exit 2, like
+   the malformed-flag path (cmdliner's cli_error, remapped in main) *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "evolvenet: %s\n" msg;
+      exit 2)
+    fmt
+
 let run_fig n =
   match n with
   | 1 -> Format.printf "%a" Evolve.Scenario.pp_fig1 (Evolve.Scenario.fig1 ())
   | 2 -> Format.printf "%a" Evolve.Scenario.pp_fig2 (Evolve.Scenario.fig2 ())
   | 3 -> Format.printf "%a" Evolve.Scenario.pp_fig3 (Evolve.Scenario.fig3 ())
   | 4 -> Format.printf "%a" Evolve.Scenario.pp_fig4 (Evolve.Scenario.fig4 ())
-  | _ -> prerr_endline "no such figure (1-4)"
+  | _ -> usage_error "no such figure: %d\nusage: evolvenet fig <1-4>" n
 
 let params_of ~seed ~transit ~stubs =
   let base = Topology.Internet.default_params in
@@ -59,7 +68,10 @@ let run_exp name seed transit stubs =
   | "e28" -> E.print_e28 (E.e28_path_hunting ~params ())
   | "e29" -> E.print_e29 (E.e29_dataplane_cost ~params ())
   | "e30" -> E.print_e30 (E.e30_churn_traffic ~params ())
-  | other -> Printf.eprintf "no such experiment: %s (e1-e30)\n" other
+  | "e31" -> E.print_e31 (E.e31_fault_convergence ~params ())
+  | "e32" -> E.print_e32 (E.e32_flap_traffic ~params ())
+  | other ->
+      usage_error "no such experiment: %s\nusage: evolvenet exp <e1-e32>" other
 
 let default_seed = Int64.to_int Topology.Internet.default_params.Topology.Internet.seed
 let default_transit = Topology.Internet.default_params.Topology.Internet.transit_domains
@@ -69,7 +81,7 @@ let run_all () =
   List.iter run_fig [ 1; 2; 3; 4 ];
   List.iter
     (fun e -> run_exp e default_seed default_transit default_stubs)
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30" ]
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30"; "e31"; "e32" ]
 
 let run_demo () =
   let module Setup = Evolve.Setup in
@@ -106,7 +118,9 @@ let run_dot what =
   | "domains" -> print_string (Evolve.Dot.domain_graph (Evolve.Setup.internet setup))
   | "routers" -> print_string (Evolve.Dot.router_graph (Evolve.Setup.internet setup))
   | "fabric" -> print_string (Evolve.Dot.fabric (Evolve.Setup.fabric setup))
-  | other -> Printf.eprintf "no such graph: %s (domains|routers|fabric)\n" other
+  | other ->
+      usage_error "no such graph: %s\nusage: evolvenet dot <domains|routers|fabric>"
+        other
 
 let parse_strategy s =
   match String.lowercase_ascii s with
@@ -129,7 +143,7 @@ let parse_egress s =
 
 let run_sim strategy_s deploy_s src dst egress_s seed verbose =
   match (parse_strategy strategy_s, parse_egress egress_s) with
-  | Error e, _ | _, Error e -> prerr_endline e
+  | Error e, _ | _, Error e -> usage_error "%s" e
   | Ok strategy, Ok egress -> (
       let params =
         { Topology.Internet.default_params with
@@ -143,11 +157,11 @@ let run_sim strategy_s deploy_s src dst egress_s seed verbose =
         |> List.filter (fun d -> d >= 0 && d < Topology.Internet.num_domains inet)
       in
       (match domains with
-      | [] -> prerr_endline "no valid domains to deploy"
+      | [] -> usage_error "no valid domains to deploy"
       | _ -> List.iter (fun d -> Evolve.Setup.deploy setup ~domain:d) domains);
       let hn = Array.length inet.Topology.Internet.endhosts in
       if src < 0 || src >= hn || dst < 0 || dst >= hn || src = dst then
-        Printf.eprintf "endhosts must be distinct ids in [0, %d)\n" hn
+        usage_error "endhosts must be distinct ids in [0, %d)" hn
       else begin
         (* register the destination when the host-advertised strategy
            is requested, as the paper's scheme requires *)
@@ -217,7 +231,7 @@ let exp_cmd =
     Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
            ~doc:"Stub domains per transit.")
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e30)")
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e32)")
     Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
 
 let run_report path =
@@ -257,4 +271,9 @@ let () =
         "Reproduction of 'Towards an Evolvable Internet Architecture' \
          (SIGCOMM 2005)"
   in
-  exit (Cmd.eval (Cmd.group info [ fig_cmd; exp_cmd; all_cmd; demo_cmd; dot_cmd; report_cmd; sim_cmd ]))
+  let code =
+    Cmd.eval (Cmd.group info [ fig_cmd; exp_cmd; all_cmd; demo_cmd; dot_cmd; report_cmd; sim_cmd ])
+  in
+  (* malformed flags and unknown subcommands (cmdliner prints the usage
+     to stderr) exit 2 like our own operand errors, not 124 *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

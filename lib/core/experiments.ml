@@ -9,6 +9,8 @@ module Router = Vnbone.Router
 module Transport = Vnbone.Transport
 module Linkstate = Routing.Linkstate
 module Distvec = Routing.Distvec
+module Igp = Routing.Igp
+module Graph = Topology.Graph
 module Prefix = Netcore.Prefix
 module Addressing = Netcore.Addressing
 module Pump = Dataplane.Pump
@@ -2257,5 +2259,356 @@ let print_e30 rows =
              Table.fpct r.stale30;
              Table.fpct r.lost30;
              Table.fpct r.looped30;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E31                                                                 *)
+
+type e31_row = {
+  proto31 : string;  (** "bgp" | "ls" *)
+  loss31 : float;  (** per-message drop probability while injecting *)
+  crashed31 : int;  (** nodes crashed and restarted mid-run *)
+  msgs31 : int;  (** protocol messages (updates / LSA transmissions) *)
+  overhead31 : int;  (** robustness tax: keepalives+resets / acks+retx *)
+  settle31 : float;  (** engine time from fault cease to last change *)
+  agrees31 : bool;  (** final state equals the centralized oracle *)
+}
+
+let e31_fault_convergence ?(params = Internet.default_params)
+    ?(losses = [ 0.0; 0.2; 0.5 ]) ?(crash_loss = 0.1) ?(crash_frac = 0.2) () =
+  let policy_of loss =
+    if loss > 0.0 then begin
+      let p = Simcore.Faults.lossy ~extra_delay:0.05 ~jitter:0.05 loss in
+      fun ~src:_ ~dst:_ -> p
+    end
+    else fun ~src:_ ~dst:_ -> Simcore.Faults.reliable
+  in
+  let reliable_everywhere ~src:_ ~dst:_ = Simcore.Faults.reliable in
+  (* --- BGP: keepalive/hold sessions over a lossy, crashing fabric --- *)
+  let bgp_run ~loss ~crash =
+    let inet = Internet.build params in
+    let n = Internet.num_domains inet in
+    let seed = Int64.add params.Internet.seed 31L in
+    let faults =
+      Simcore.Faults.create ~policy:(policy_of loss) ~fifo:true seed
+    in
+    let dyn = Simcore.Bgpdyn.create ~jitter:1.0 ~faults inet in
+    let engine = Simcore.Engine.create () in
+    (* loss must cease and crashes restart well before the keepalive
+       horizon, so the surviving hold timers can re-establish every
+       session (see Bgpdyn.enable_timers) *)
+    let cease = 30.0 in
+    Simcore.Bgpdyn.enable_timers dyn engine ~keepalive:1.0 ~hold:3.5
+      ~until:40.0;
+    Simcore.Bgpdyn.originate_all_domain_prefixes dyn engine;
+    let ncrash =
+      if crash then max 1 (int_of_float (crash_frac *. float_of_int n)) else 0
+    in
+    let rngc = Rng.create seed in
+    let victims = Rng.sample rngc ncrash (List.init n Fun.id) in
+    List.iteri
+      (fun i d ->
+        Simcore.Faults.schedule_outage faults engine ~node:d
+          ~at:(10.0 +. float_of_int i) ~duration:5.0)
+      victims;
+    Simcore.Engine.schedule_at engine ~time:cease (fun _ ->
+        Simcore.Faults.set_policy faults reliable_everywhere);
+    ignore (Simcore.Engine.run engine);
+    let s = Simcore.Bgpdyn.stats dyn in
+    {
+      proto31 = "bgp";
+      loss31 = loss;
+      crashed31 = ncrash;
+      msgs31 = s.Simcore.Bgpdyn.updates;
+      overhead31 = s.Simcore.Bgpdyn.keepalives + s.Simcore.Bgpdyn.resets;
+      settle31 = Float.max 0.0 (s.Simcore.Bgpdyn.last_change -. cease);
+      agrees31 =
+        (match Simcore.Bgpdyn.agrees_with_synchronous dyn with
+        | Ok () -> true
+        | Error _ -> false);
+    }
+  in
+  (* --- link-state: acked flooding over a lossy, crashing fabric --- *)
+  let ls_run ~loss ~crash =
+    let inet =
+      Internet.build_custom
+        ~seed:(Int64.add params.Internet.seed 18L)
+        [| { Internet.routers = 24; endhosts = 1; transit = true } |]
+        []
+    in
+    let faults =
+      Simcore.Faults.create ~policy:(policy_of loss)
+        (Int64.add params.Internet.seed 131L)
+    in
+    let proto = Simcore.Lsproto.create ~faults inet ~domain:0 in
+    let engine = Simcore.Engine.create () in
+    Simcore.Lsproto.start proto engine;
+    let rids = (Internet.domain inet 0).Internet.router_ids in
+    let ncrash =
+      if crash then
+        max 1 (int_of_float (crash_frac *. float_of_int (Array.length rids)))
+      else 0
+    in
+    let rngc = Rng.create (Int64.add params.Internet.seed 132L) in
+    let victims = Rng.sample rngc ncrash (Array.to_list rids) in
+    List.iteri
+      (fun i r ->
+        Simcore.Faults.schedule_outage faults engine ~node:r
+          ~at:(30.0 +. (2.0 *. float_of_int i))
+          ~duration:8.0)
+      victims;
+    (* a survivor advertises an anycast group while faults are active *)
+    let member =
+      List.find (fun r -> not (List.mem r victims)) (Array.to_list rids)
+    in
+    let group = Addressing.anycast_global ~group:8 in
+    Simcore.Engine.schedule_at engine ~time:20.0 (fun engine ->
+        Simcore.Lsproto.advertise_anycast proto engine ~router:member group);
+    let cease = 50.0 in
+    Simcore.Engine.schedule_at engine ~time:cease (fun _ ->
+        Simcore.Faults.set_policy faults reliable_everywhere);
+    ignore (Simcore.Engine.run engine);
+    let s = Simcore.Lsproto.stats proto in
+    let oracle = Linkstate.compute inet ~domain:0 in
+    Linkstate.advertise_anycast oracle ~group ~member;
+    let routers = Linkstate.routers oracle in
+    let agrees =
+      Simcore.Lsproto.lsdb_synchronized proto
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 Float.abs
+                   (Simcore.Lsproto.distance_view proto ~router:a ~dst:b
+                   -. Linkstate.distance oracle ~src:a ~dst:b)
+                 <= 1e-9)
+               routers
+             && (match Simcore.Lsproto.members_view proto ~router:a group with
+                | [ m ] -> m = member
+                | _ -> false))
+           routers
+    in
+    {
+      proto31 = "ls";
+      loss31 = loss;
+      crashed31 = ncrash;
+      msgs31 = s.Simcore.Lsproto.messages;
+      overhead31 = s.Simcore.Lsproto.acks + s.Simcore.Lsproto.retransmits;
+      settle31 = Float.max 0.0 (s.Simcore.Lsproto.last_change -. cease);
+      agrees31 = agrees;
+    }
+  in
+  List.map (fun loss -> bgp_run ~loss ~crash:false) losses
+  @ [ bgp_run ~loss:crash_loss ~crash:true ]
+  @ List.map (fun loss -> ls_run ~loss ~crash:false) losses
+  @ [ ls_run ~loss:crash_loss ~crash:true ]
+
+let print_e31 rows =
+  Table.print
+    ~title:
+      "E31: control-plane convergence under loss, delay and crashes — final \
+       state vs the centralized oracle"
+    ~header:
+      [ "proto"; "loss"; "crashed"; "msgs"; "overhead"; "settle"; "oracle" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.proto31;
+             Table.fpct r.loss31;
+             Table.fi r.crashed31;
+             Table.fi r.msgs31;
+             Table.fi r.overhead31;
+             Table.ff r.settle31;
+             (if r.agrees31 then "agree" else "DISAGREE");
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E32                                                                 *)
+
+type e32_row = {
+  tick32 : int;
+  recovery32 : bool;  (** control plane reroutes around the down links *)
+  phase32 : string;  (** steady | flapping | healing | recovered *)
+  ok32 : float;  (** probes accepted by a current member *)
+  stale32 : float;  (** probes accepted elsewhere *)
+  lost32 : float;  (** dropped: link down / no route / stuck *)
+  looped32 : float;  (** TTL expiry *)
+}
+
+let e32_flap_traffic ?(params = Internet.default_params) ?(deploy_domains = 4)
+    ?(probes = 40) ?(ticks = 10) ?(flap_links = 3) () =
+  let run ~recovery =
+    let inet = Internet.build params in
+    let setup = Setup.of_internet inet ~version:8 ~strategy:Service.Option1 in
+    let rng = Rng.create (Int64.add params.Internet.seed 321L) in
+    let doms = Rng.sample rng deploy_domains (stub_domains inet) in
+    List.iter (fun d -> Setup.deploy setup ~domain:d) doms;
+    let env = Setup.env setup in
+    let service = Setup.service setup in
+    let addr = Service.address service in
+    let probe_hosts = Rng.sample rng probes (all_endhosts inet) in
+    let pump = Pump.create env in
+    (* scout which intra-domain links probe traffic actually crosses,
+       so the flaps hit live paths *)
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun h ->
+        let hh = Internet.endhost inet h in
+        let p =
+          Netcore.Packet.make_data ~src:hh.Internet.haddr ~dst:addr "scout"
+        in
+        let tr = Pump.inject pump p ~entry:hh.Internet.access_router in
+        let rec walk = function
+          | a :: (b :: _ as rest) ->
+              if
+                (Internet.router inet a).Internet.rdomain
+                = (Internet.router inet b).Internet.rdomain
+              then Hashtbl.replace seen (min a b, max a b) ();
+              walk rest
+          | [ _ ] | [] -> ()
+        in
+        walk tr.Forward.hops)
+      probe_hosts;
+    let candidates =
+      Hashtbl.fold (fun k () acc -> k :: acc) seen []
+      |> List.sort (fun (a1, b1) (a2, b2) ->
+             match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+    in
+    let g = inet.Internet.graph in
+    let victims =
+      Rng.sample rng (min flap_links (List.length candidates)) candidates
+      |> List.filter_map (fun (a, b) ->
+             match Graph.edge_weight g a b with
+             | Some w -> Some (a, b, w)
+             | None -> None)
+    in
+    let faults =
+      Simcore.Faults.create (Int64.add params.Internet.seed 322L)
+    in
+    Pump.set_link_filter pump (Simcore.Faults.link_up faults);
+    let engine = Simcore.Engine.create () in
+    let down_t = 2.5 and up_t = 6.5 in
+    List.iter
+      (fun (a, b, _) ->
+        Simcore.Faults.flap_link faults engine ~a ~b ~down_at:down_t
+          ~up_at:up_t)
+      victims;
+    (* recovery: on detection, reroute the control plane around the
+       down links and let line cards pick the detour up in batches *)
+    let n_routers = Internet.num_routers inet in
+    let refresh_order =
+      let arr = Array.init n_routers Fun.id in
+      Rng.shuffle rng arr;
+      arr
+    in
+    let refreshed = ref n_routers in
+    let recompute_domains () =
+      let ds =
+        List.sort_uniq Int.compare
+          (List.map
+             (fun (a, _, _) -> (Internet.router inet a).Internet.rdomain)
+             victims)
+      in
+      List.iter
+        (fun d ->
+          let old = env.Forward.igps.(d) in
+          let fresh = Igp.compute inet ~domain:d ~flavor:(Igp.flavor old) in
+          List.iter
+            (fun grp ->
+              match Igp.anycast_members old ~group:grp with
+              | Some ms ->
+                  List.iter
+                    (fun m -> Igp.advertise_anycast fresh ~group:grp ~member:m)
+                    ms
+              | None -> ())
+            (Igp.groups old);
+          env.Forward.igps.(d) <- fresh)
+        ds
+    in
+    if recovery then begin
+      Simcore.Engine.schedule_at engine ~time:(down_t +. 0.3) (fun _ ->
+          List.iter (fun (a, b, _) -> Graph.remove_edge g a b) victims;
+          recompute_domains ();
+          refreshed := 0);
+      Simcore.Engine.schedule_at engine ~time:(up_t +. 0.3) (fun _ ->
+          List.iter (fun (a, b, w) -> Graph.add_edge g a b w) victims;
+          recompute_domains ();
+          refreshed := 0)
+    end;
+    let window = 3 in
+    let rows = ref [] in
+    let tick i _ =
+      if !refreshed < n_routers then begin
+        let batch_size = (n_routers + window - 1) / window in
+        let upto = min n_routers (!refreshed + batch_size) in
+        let batch =
+          Array.to_list (Array.sub refresh_order !refreshed (upto - !refreshed))
+        in
+        Pump.refresh ~routers:batch pump;
+        refreshed := upto
+      end;
+      let members = Service.members service in
+      let ok = ref 0 and stale = ref 0 and lost = ref 0 and looped = ref 0 in
+      List.iter
+        (fun h ->
+          let hh = Internet.endhost inet h in
+          let p =
+            Netcore.Packet.make_data ~src:hh.Internet.haddr ~dst:addr "probe"
+          in
+          let tr = Pump.inject pump p ~entry:hh.Internet.access_router in
+          match tr.Forward.outcome with
+          | Forward.Router_accepted r ->
+              if List.mem r members then incr ok else incr stale
+          | Forward.Endhost_accepted _ -> incr stale
+          | Forward.Dropped Forward.Ttl_expired -> incr looped
+          | Forward.Dropped _ -> incr lost)
+        probe_hosts;
+      let total = float_of_int (List.length probe_hosts) in
+      let frac c = float_of_int !c /. total in
+      rows :=
+        {
+          tick32 = i;
+          recovery32 = recovery;
+          phase32 =
+            (if float_of_int i < down_t then "steady"
+             else if float_of_int i < up_t then "flapping"
+             else if !refreshed < n_routers then "healing"
+             else "recovered");
+          ok32 = frac ok;
+          stale32 = frac stale;
+          lost32 = frac lost;
+          looped32 = frac looped;
+        }
+        :: !rows
+    in
+    for i = 1 to ticks do
+      Simcore.Engine.schedule_at engine ~time:(float_of_int i) (tick i)
+    done;
+    ignore (Simcore.Engine.run engine);
+    List.rev !rows
+  in
+  run ~recovery:false @ run ~recovery:true
+
+let print_e32 rows =
+  Table.print
+    ~title:
+      "E32: traffic delivery while links flap — recovery off vs on (detour \
+       installed across a refresh window)"
+    ~header:
+      [ "tick"; "recovery"; "phase"; "ok"; "stale"; "lost"; "looped" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.tick32;
+             Table.fb r.recovery32;
+             r.phase32;
+             Table.fpct r.ok32;
+             Table.fpct r.stale32;
+             Table.fpct r.lost32;
+             Table.fpct r.looped32;
            ])
          rows)

@@ -639,3 +639,67 @@ val e30_churn_traffic :
   e30_row list
 
 val print_e30 : e30_row list -> unit
+
+(** {1 E31 — control-plane convergence under faults}
+
+    The distributed protocols only earn the paper's resilience claims
+    (§2.2 "naturally lends itself to fault tolerance", §3.3 "easily
+    detected and repaired") if they reconverge to the correct state
+    after running over an unreliable fabric. Each scenario runs
+    {!Simcore.Bgpdyn} (keepalive/hold sessions) or {!Simcore.Lsproto}
+    (acked flooding with retransmit backoff) under message loss, extra
+    delay and router crash/restart from {!Simcore.Faults}, ceases
+    injection, drains the engine, and checks the final state against
+    the centralized oracle ({!Interdomain.Bgp} / {!Routing.Linkstate}),
+    counting the robustness overhead spent to get there. *)
+
+type e31_row = {
+  proto31 : string;  (** "bgp" | "ls" *)
+  loss31 : float;  (** per-message drop probability while injecting *)
+  crashed31 : int;  (** nodes crashed and restarted mid-run *)
+  msgs31 : int;  (** protocol messages (updates / LSA transmissions) *)
+  overhead31 : int;  (** robustness tax: keepalives+resets / acks+retx *)
+  settle31 : float;  (** engine time from fault cease to last change *)
+  agrees31 : bool;  (** final state equals the centralized oracle *)
+}
+
+val e31_fault_convergence :
+  ?params:Topology.Internet.params ->
+  ?losses:float list ->
+  ?crash_loss:float ->
+  ?crash_frac:float ->
+  unit ->
+  e31_row list
+
+val print_e31 : e31_row list -> unit
+
+(** {1 E32 — traffic delivery while links flap}
+
+    E30's accounting, under link failures instead of membership churn:
+    anycast probes pumped every tick over compiled FIB snapshots while
+    scripted flaps take links on live probe paths down and back up.
+    With recovery off the stale FIBs keep forwarding into the dead
+    link for the whole outage; with recovery on the control plane
+    reroutes on detection and line cards install the detour in batches
+    across a refresh window. *)
+
+type e32_row = {
+  tick32 : int;
+  recovery32 : bool;  (** control plane reroutes around the down links *)
+  phase32 : string;  (** steady | flapping | healing | recovered *)
+  ok32 : float;  (** probes accepted by a current member *)
+  stale32 : float;  (** probes accepted elsewhere *)
+  lost32 : float;  (** dropped: link down / no route / stuck *)
+  looped32 : float;  (** TTL expiry *)
+}
+
+val e32_flap_traffic :
+  ?params:Topology.Internet.params ->
+  ?deploy_domains:int ->
+  ?probes:int ->
+  ?ticks:int ->
+  ?flap_links:int ->
+  unit ->
+  e32_row list
+
+val print_e32 : e32_row list -> unit

@@ -421,7 +421,37 @@ let experiment_section buf =
               Table.fpct r.E.lost30;
               Table.fpct r.E.looped30;
             ])
-          (E.e30_churn_traffic ())))
+          (E.e30_churn_traffic ())));
+  add "E31 — control-plane convergence under faults"
+    (table
+       [ "proto"; "loss"; "crashed"; "msgs"; "overhead"; "settle"; "oracle" ]
+       (List.map
+          (fun (r : E.e31_row) ->
+            [
+              r.E.proto31;
+              Table.fpct r.E.loss31;
+              Table.fi r.E.crashed31;
+              Table.fi r.E.msgs31;
+              Table.fi r.E.overhead31;
+              Table.ff r.E.settle31;
+              (if r.E.agrees31 then "agree" else "DISAGREE");
+            ])
+          (E.e31_fault_convergence ())));
+  add "E32 — traffic delivery while links flap"
+    (table
+       [ "tick"; "recovery"; "phase"; "ok"; "stale"; "lost"; "looped" ]
+       (List.map
+          (fun (r : E.e32_row) ->
+            [
+              Table.fi r.E.tick32;
+              Table.fb r.E.recovery32;
+              r.E.phase32;
+              Table.fpct r.E.ok32;
+              Table.fpct r.E.stale32;
+              Table.fpct r.E.lost32;
+              Table.fpct r.E.looped32;
+            ])
+          (E.e32_flap_traffic ())))
 
 let generate () =
   let buf = Buffer.create 16384 in

@@ -14,7 +14,11 @@ type t = {
   tables : Fib.action Lpm.t array; (* installed per-router snapshots *)
   caches : Fib.action Flowcache.t array option;
   telemetry : Telemetry.t;
+  mutable link_up : int -> int -> bool;
+      (* stored closure, so the hot path calls it without allocating *)
 }
+
+let every_link_up _ _ = true
 
 let create ?(use_cache = true) ?(cache_slots = 256) (env : Forward.env) =
   let fib = Fib.compile env in
@@ -27,7 +31,11 @@ let create ?(use_cache = true) ?(cache_slots = 256) (env : Forward.env) =
          Some (Array.init n (fun _ -> Flowcache.create ~slots:cache_slots))
        else None);
     telemetry = Telemetry.create ~routers:n;
+    link_up = every_link_up;
   }
+
+let set_link_filter t f = t.link_up <- f
+let clear_link_filter t = t.link_up <- every_link_up
 
 let env t = t.env
 let telemetry t = t.telemetry
@@ -95,6 +103,9 @@ let rec hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes r ttl acc =
           (Forward.Dropped Forward.Ttl_expired)
       else if nh = r then
         finish_trace tel ~router:r ~cls ~wire acc (Forward.Dropped Forward.Stuck)
+      else if not (t.link_up r nh) then
+        finish_trace tel ~router:r ~cls ~wire acc
+          (Forward.Dropped Forward.Link_down)
       else hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes nh (ttl - 1) acc
 
 let inject t packet ~entry =

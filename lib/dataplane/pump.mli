@@ -33,6 +33,18 @@ val cached : t -> bool
 val cache_hit_rate : t -> float
 (** Aggregate flow-cache hit rate since creation. *)
 
+val set_link_filter : t -> (int -> int -> bool) -> unit
+(** Install a link-liveness predicate over (router, next-hop) pairs:
+    a packet whose FIB action crosses a down link is dropped with
+    {!Simcore.Forward.Link_down} instead of traversing it. This is how
+    E32 pumps traffic {e while links flap} — the snapshot FIB keeps
+    pointing over the dead link until the control plane reconverges
+    and {!refresh} installs the detour. The predicate is a stored
+    closure; the hot path calls it without allocating. *)
+
+val clear_link_filter : t -> unit
+(** Back to every link up (the default). *)
+
 val refresh : ?routers:int list -> t -> unit
 (** Recompile the FIB from the env's current control-plane state and
     install it at the given routers (default: all), invalidating their

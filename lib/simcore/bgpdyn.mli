@@ -19,6 +19,9 @@ type stats = {
   updates : int;  (** announce + withdraw messages sent *)
   best_changes : int;  (** times any domain's best route flipped (churn) *)
   last_change : float;  (** engine time of the last best-route change *)
+  keepalives : int;  (** keepalive messages sent (E31 overhead) *)
+  resets : int;  (** session halves torn down — hold expiry, transport
+                     failure, crash *)
 }
 
 type t
@@ -28,13 +31,40 @@ val create :
   ?link_delay:float ->
   ?jitter:float ->
   ?config:Interdomain.Bgp.config ->
+  ?faults:Faults.t ->
   Topology.Internet.t ->
   t
 (** [mrai] (default 2.0) is the per-neighbor minimum interval between
     successive advertisement batches; [link_delay] (default 0.1) the
     base session propagation delay; [jitter] (default 0) spreads each
     session's delay over [link_delay * \[1, 1+jitter\]], which is what
-    induces realistic path exploration. *)
+    induces realistic path exploration.
+
+    [faults] routes every session message through a fault fabric
+    (node ids = domain ids; build it with [~fifo:true] — BGP sessions
+    ride TCP, which never reorders). A visibly failed send is treated
+    as a TCP reset: both ends drop the session's state and resync via
+    a full re-advertisement, which is how the protocol stays
+    convergent under loss even without keepalives. Crash wipes the
+    victim's soft state (RIBs, adjacencies); restart re-originates
+    from configuration. Experiments must stop injection
+    ({!Faults.set_policy}) and restart every node before comparing
+    against the synchronous oracle. *)
+
+val enable_timers :
+  ?keepalive:float -> ?hold:float -> t -> Engine.t -> until:float -> unit
+(** Run BGP's session liveness machinery until the horizon: every
+    [keepalive] (default 1.0) each domain hellos all its neighbors; a
+    session half that hears nothing for [hold] (default 3.5) is
+    declared dead and torn down, and re-establishes — with a full
+    re-advertisement, as after a real session reset — on the next
+    hello heard. This is what lets neighbors detect a crashed domain
+    (E31's crash sweeps) at the cost of the keepalive traffic counted
+    in {!stats}. Hold expiries after [until] are ignored — the hellos
+    stopped, which proves nothing about the peer — so for the final
+    state to match the oracle, crashes must restart and loss must
+    cease a few keepalive rounds before [until].
+    @raise Invalid_argument unless [0 < keepalive < hold]. *)
 
 val originate : t -> Engine.t -> domain:int -> Netcore.Prefix.t -> unit
 (** The domain originates a prefix now; updates start flowing. Run the

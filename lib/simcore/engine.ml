@@ -1,22 +1,29 @@
-type event = { time : float; seq : int; action : t -> unit }
+type handle = { mutable alive : bool }
+
+type event = { time : float; seq : int; action : t -> unit; live : handle }
 
 and t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable heap : event array;
   mutable size : int;
+  mutable cancelled : int;  (* cancelled events still sitting in the heap *)
 }
+
+let always = { alive = true }
 
 let create () =
   {
     clock = 0.0;
     next_seq = 0;
-    heap = Array.make 16 { time = 0.0; seq = 0; action = (fun _ -> ()) };
+    heap =
+      Array.make 16 { time = 0.0; seq = 0; action = (fun _ -> ()); live = always };
     size = 0;
+    cancelled = 0;
   }
 
 let now t = t.clock
-let pending t = t.size
+let pending t = t.size - t.cancelled
 
 let earlier a b =
   a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
@@ -62,26 +69,57 @@ let pop t =
     Some top
   end
 
-let schedule_at t ~time action =
+(* Drop cancelled events from the top of the heap without touching the
+   clock, so run's ~until check and step always see a live head. *)
+let rec purge t =
+  if t.size > 0 && not t.heap.(0).live.alive then begin
+    ignore (pop t);
+    t.cancelled <- t.cancelled - 1;
+    purge t
+  end
+
+let schedule_handle_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  let ev = { time; seq = t.next_seq; action } in
+  let live = { alive = true } in
+  let ev = { time; seq = t.next_seq; action; live } in
   t.next_seq <- t.next_seq + 1;
-  push t ev
+  push t ev;
+  live
+
+let schedule_at t ~time action = ignore (schedule_handle_at t ~time action)
 
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 
+let timer t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.timer: negative delay";
+  schedule_handle_at t ~time:(t.clock +. delay) action
+
+let cancel t handle =
+  if handle.alive then begin
+    handle.alive <- false;
+    t.cancelled <- t.cancelled + 1;
+    purge t
+  end
+
+let live handle = handle.alive
+
 let step t =
+  purge t;
   match pop t with
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
+      (* retire the handle before running: the event is no longer
+         queued, so a cancel from inside its own action is a no-op *)
+      ev.live.alive <- false;
       ev.action t;
       true
 
 let run ?until t =
   let rec go count =
+    purge t;
     match until with
     | Some limit when t.size > 0 && t.heap.(0).time > limit -> count
     | _ -> if step t then go (count + 1) else count

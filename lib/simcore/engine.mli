@@ -17,6 +17,23 @@ val schedule_at : t -> time:float -> (t -> unit) -> unit
 (** Run the callback at an absolute time (not before [now]).
     @raise Invalid_argument when the time is in the past. *)
 
+type handle
+(** A cancellable reference to one scheduled event — the shape
+    protocol timers need (keepalive hold timers, LSA retransmits):
+    arm, then disarm when the awaited message arrives. *)
+
+val timer : t -> delay:float -> (t -> unit) -> handle
+(** Like {!schedule}, returning a handle that {!cancel} disarms.
+    @raise Invalid_argument on negative delays. *)
+
+val cancel : t -> handle -> unit
+(** Disarm the timer: a cancelled event never fires and stops counting
+    toward {!pending}. No-op when the event already ran or was already
+    cancelled. *)
+
+val live : handle -> bool
+(** True while the event is still queued (not fired, not cancelled). *)
+
 val step : t -> bool
 (** Execute the next event; false when the queue is empty. Events at
     equal times run in scheduling order. *)

@@ -1,0 +1,161 @@
+module Rng = Topology.Rng
+
+type policy = {
+  loss : float;
+  dup : float;
+  extra_delay : float;
+  jitter : float;
+}
+
+let reliable = { loss = 0.0; dup = 0.0; extra_delay = 0.0; jitter = 0.0 }
+
+let lossy ?(dup = 0.0) ?(extra_delay = 0.0) ?(jitter = 0.0) loss =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Faults.lossy: loss not in [0,1]";
+  { loss; dup; extra_delay; jitter }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  lost : int;
+  cut : int;
+  dead : int;
+  duplicated : int;
+}
+
+type outcome = Sent | Lost | Cut | Dead
+
+type t = {
+  rng : Rng.t;
+  mutable policy : src:int -> dst:int -> policy;
+  fifo : bool;
+  last_delivery : (int * int, float) Hashtbl.t;  (* per directed pair *)
+  down_links : (int * int, unit) Hashtbl.t;
+  down_nodes : (int, unit) Hashtbl.t;
+  mutable on_crash : (Engine.t -> int -> unit) list;
+  mutable on_restart : (Engine.t -> int -> unit) list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable cut : int;
+  mutable dead : int;
+  mutable duplicated : int;
+}
+
+let create ?(policy = fun ~src:_ ~dst:_ -> reliable) ?(fifo = false) seed =
+  {
+    rng = Rng.create seed;
+    policy;
+    fifo;
+    last_delivery = Hashtbl.create 16;
+    down_links = Hashtbl.create 8;
+    down_nodes = Hashtbl.create 8;
+    on_crash = [];
+    on_restart = [];
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    cut = 0;
+    dead = 0;
+    duplicated = 0;
+  }
+
+let set_policy t policy = t.policy <- policy
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    lost = t.lost;
+    cut = t.cut;
+    dead = t.dead;
+    duplicated = t.duplicated;
+  }
+
+(* links are undirected: one switch covers both directions *)
+let norm a b = if a <= b then (a, b) else (b, a)
+
+let link_up t a b = not (Hashtbl.mem t.down_links (norm a b))
+let node_up t n = not (Hashtbl.mem t.down_nodes n)
+let set_link_down t a b = Hashtbl.replace t.down_links (norm a b) ()
+let set_link_up t a b = Hashtbl.remove t.down_links (norm a b)
+
+let on_crash t f = t.on_crash <- f :: t.on_crash
+let on_restart t f = t.on_restart <- f :: t.on_restart
+
+let crash t engine node =
+  if node_up t node then begin
+    Hashtbl.replace t.down_nodes node ();
+    List.iter (fun f -> f engine node) (List.rev t.on_crash)
+  end
+
+let restart t engine node =
+  if not (node_up t node) then begin
+    Hashtbl.remove t.down_nodes node;
+    List.iter (fun f -> f engine node) (List.rev t.on_restart)
+  end
+
+let schedule_outage t engine ~node ~at ~duration =
+  if duration < 0.0 then invalid_arg "Faults.schedule_outage: negative duration";
+  Engine.schedule_at engine ~time:at (fun engine -> crash t engine node);
+  Engine.schedule_at engine ~time:(at +. duration) (fun engine ->
+      restart t engine node)
+
+let flap_link t engine ~a ~b ~down_at ~up_at =
+  if up_at < down_at then invalid_arg "Faults.flap_link: up before down";
+  Engine.schedule_at engine ~time:down_at (fun _ -> set_link_down t a b);
+  Engine.schedule_at engine ~time:up_at (fun _ -> set_link_up t a b)
+
+(* One transmission attempt: all randomness drawn now (send time), so
+   the outcome of a message never depends on what else is in flight.
+   Returns false when the loss draw kills the attempt. *)
+let attempt t engine ~src ~dst ~delay ~(p : policy) action =
+  if Rng.bernoulli t.rng p.loss then begin
+    t.lost <- t.lost + 1;
+    false
+  end
+  else begin
+    let extra =
+      (if p.extra_delay > 0.0 then Rng.exponential t.rng p.extra_delay else 0.0)
+      +. (if p.jitter > 0.0 then Rng.float t.rng p.jitter else 0.0)
+    in
+    let at = Engine.now engine +. delay +. extra in
+    let at =
+      (* a FIFO channel never overtakes: clamp to the last delivery
+         time; ties keep send order via the engine's seq numbers *)
+      if t.fifo then
+        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | Some last when last > at -> last
+        | _ -> at
+      else at
+    in
+    if t.fifo then Hashtbl.replace t.last_delivery (src, dst) at;
+    Engine.schedule_at engine ~time:at (fun engine ->
+        (* a receiver that crashed while the message was in flight
+           cannot process it *)
+        if node_up t dst then begin
+          t.delivered <- t.delivered + 1;
+          action engine
+        end
+        else t.dead <- t.dead + 1);
+    true
+  end
+
+let send t engine ~src ~dst ~delay action =
+  if not (node_up t src) || not (node_up t dst) then begin
+    t.dead <- t.dead + 1;
+    Dead
+  end
+  else if not (link_up t src dst) then begin
+    t.cut <- t.cut + 1;
+    Cut
+  end
+  else begin
+    t.sent <- t.sent + 1;
+    let p = t.policy ~src ~dst in
+    let landed = attempt t engine ~src ~dst ~delay ~p action in
+    if Rng.bernoulli t.rng p.dup then begin
+      t.duplicated <- t.duplicated + 1;
+      ignore (attempt t engine ~src ~dst ~delay ~p action)
+    end;
+    if landed then Sent else Lost
+  end

@@ -1,0 +1,124 @@
+(** Deterministic fault injection for the distributed control plane.
+
+    The paper's resilience claims — anycast "naturally lends itself to
+    fault tolerance" (§2.2), vN-Bone partitions are "easily detected
+    and repaired" (§3.3), BGP carries the new prefix through real-world
+    churn (§3.2) — are only reproduced honestly if the protocols run
+    over an unreliable fabric. This module interposes on every message
+    handoff a protocol schedules on {!Engine}: per-link policies for
+    drop probability, extra-delay distributions, duplication and
+    reordering jitter; scripted link up/down flaps; and router
+    crash/restart events that wipe the victim's soft state through
+    registered handlers. All randomness flows through {!Topology.Rng}
+    with an explicit seed, so every fault schedule is replayable
+    (experiments E31/E32).
+
+    Node ids are whatever the protocol speaks: domains for
+    {!Bgpdyn}, router ids for {!Lsproto}. One fabric per protocol
+    instance. *)
+
+type policy = {
+  loss : float;  (** per-transmission drop probability, in [0,1] *)
+  dup : float;  (** probability the message is delivered twice *)
+  extra_delay : float;  (** mean of an exponential extra latency *)
+  jitter : float;
+      (** uniform extra latency in [0, jitter] — what reorders
+          messages relative to their send order *)
+}
+
+val reliable : policy
+(** No loss, no duplication, no extra delay — the idealized fabric
+    every protocol ran on before this module existed. *)
+
+val lossy : ?dup:float -> ?extra_delay:float -> ?jitter:float -> float -> policy
+(** [lossy p] drops each transmission with probability [p].
+    @raise Invalid_argument when [p] is outside [0,1]. *)
+
+type t
+
+val create : ?policy:(src:int -> dst:int -> policy) -> ?fifo:bool -> int64 -> t
+(** A fault fabric seeded with the given value. [policy] picks the
+    per-link behaviour (default: {!reliable} everywhere). [fifo]
+    (default false) makes each directed channel order-preserving — a
+    later message never overtakes an earlier one — which is the TCP
+    semantics {!Bgpdyn} sessions assume; leave it off for datagram
+    protocols like {!Lsproto} whose sequence numbers absorb
+    reordering. *)
+
+val set_policy : t -> (src:int -> dst:int -> policy) -> unit
+(** Swap the per-link policy — how an experiment ceases injection
+    ("after faults stop, the protocol reconverges") without building a
+    second fabric. *)
+
+type outcome =
+  | Sent  (** put on the wire (the receiver may still crash in flight) *)
+  | Lost  (** killed by the loss draw *)
+  | Cut  (** the link was down at send time *)
+  | Dead  (** an endpoint was down at send time *)
+
+val send :
+  t ->
+  Engine.t ->
+  src:int ->
+  dst:int ->
+  delay:float ->
+  (Engine.t -> unit) ->
+  outcome
+(** The fault-aware replacement for [Engine.schedule]: deliver
+    [action] after [delay] plus any policy-drawn extra latency, unless
+    the fabric decides otherwise. A message is dropped when either
+    endpoint is down or the link is down at send time, when the loss
+    draw fails, or when the receiver has crashed by delivery time.
+    Link state is only checked at send time — a message already on the
+    wire survives a flap. All draws happen at send time; the returned
+    outcome is the send-time verdict, which is what lets a sender
+    model TCP-style transport-failure detection. *)
+
+(** {2 Link flaps} *)
+
+val link_up : t -> int -> int -> bool
+val set_link_down : t -> int -> int -> unit
+(** Links are undirected: downing (a,b) also downs (b,a). *)
+
+val set_link_up : t -> int -> int -> unit
+
+val flap_link : t -> Engine.t -> a:int -> b:int -> down_at:float -> up_at:float -> unit
+(** Script one down/up cycle at absolute engine times.
+    @raise Invalid_argument when [up_at < down_at]. *)
+
+(** {2 Crashes} *)
+
+val node_up : t -> int -> bool
+
+val on_crash : t -> (Engine.t -> int -> unit) -> unit
+(** Register a handler run when a node crashes — this is where a
+    protocol wipes the victim's soft state. *)
+
+val on_restart : t -> (Engine.t -> int -> unit) -> unit
+(** Register a handler run when a node restarts — re-initialization
+    and re-advertisement. *)
+
+val crash : t -> Engine.t -> int -> unit
+(** Take the node down now and run the crash handlers. No-op when
+    already down. *)
+
+val restart : t -> Engine.t -> int -> unit
+(** Bring the node back now and run the restart handlers. No-op when
+    already up. *)
+
+val schedule_outage : t -> Engine.t -> node:int -> at:float -> duration:float -> unit
+(** Script one crash at [at] and the restart at [at +. duration].
+    @raise Invalid_argument on negative durations. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  sent : int;  (** messages accepted by the fabric *)
+  delivered : int;  (** actions actually executed (duplicates included) *)
+  lost : int;  (** dropped by the loss draw *)
+  cut : int;  (** dropped because the link was down at send time *)
+  dead : int;  (** dropped because an endpoint was down *)
+  duplicated : int;
+}
+
+val stats : t -> stats

@@ -38,6 +38,10 @@ type drop_reason =
   | Ttl_expired
   | No_route  (** no FIB entry anywhere on the way *)
   | Stuck  (** next hop exists but does not advance (should not happen) *)
+  | Link_down
+      (** the FIB pointed over a link that is currently down — only the
+          fault-aware data path ({!Dataplane.Pump} under a link filter,
+          experiment E32) produces this *)
 
 type outcome =
   | Router_accepted of int  (** packet addressed to this router, or anycast

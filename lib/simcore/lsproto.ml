@@ -10,20 +10,48 @@ type lsa = {
   groups : Prefix.t list;
 }
 
-type stats = { messages : int; originations : int; last_change : float }
+type stats = {
+  messages : int;
+  originations : int;
+  last_change : float;
+  acks : int;
+  retransmits : int;
+}
+
+(* per-(sender, neighbor, origin) reliable-flooding state *)
+type retx = {
+  mutable lsa : lsa;
+  mutable attempts : int;
+  mutable timer : Engine.handle option;
+}
 
 type t = {
   inet : Internet.t;
   dom : int;
   delay : float;
+  faults : Faults.t option;
   router_ids : int array;
   neighbors : int list array;  (* by local index: intra-domain adjacency *)
   lsdbs : (int, lsa) Hashtbl.t array;  (* by local index: origin -> lsa *)
+  seqs : int array;
+      (* by local index: monotonic origination counters — the one piece
+         of state that survives a crash (OSPF keeps it effectively
+         monotonic via the LSA it hears back; we model NVRAM) *)
   own_groups : (int, Prefix.t list ref) Hashtbl.t;  (* router id -> groups *)
+  retx : (int * int * int, retx) Hashtbl.t;  (* (sender, nb, origin) *)
   mutable messages : int;
   mutable originations : int;
   mutable last_change : float;
+  mutable acks : int;
+  mutable retransmits : int;
 }
+
+(* retransmit schedule: capped exponential backoff in units of the
+   link delay; generous attempt cap so convergence survives heavy loss
+   while the engine still drains against a dead neighbor *)
+let max_attempts = 12
+let rto0 t = 4.0 *. t.delay
+let rto_cap t = 32.0 *. t.delay
 
 let local_index t rid = (Internet.router t.inet rid).Internet.rindex
 
@@ -32,34 +60,25 @@ let in_domain t rid =
   && rid < Internet.num_routers t.inet
   && (Internet.router t.inet rid).Internet.rdomain = t.dom
 
-let create ?(link_delay = 1.0) inet ~domain =
-  let d = Internet.domain inet domain in
-  let n = Array.length d.Internet.router_ids in
-  let neighbors =
-    Array.map
-      (fun rid ->
-        Graph.neighbors inet.Internet.graph rid
-        |> List.filter_map (fun (nb, _) ->
-               if (Internet.router inet nb).Internet.rdomain = domain then Some nb
-               else None))
-      d.Internet.router_ids
-  in
-  {
-    inet;
-    dom = domain;
-    delay = link_delay;
-    router_ids = d.Internet.router_ids;
-    neighbors;
-    lsdbs = Array.init n (fun _ -> Hashtbl.create 8);
-    own_groups = Hashtbl.create 8;
-    messages = 0;
-    originations = 0;
-    last_change = 0.0;
-  }
+let alive t rid =
+  match t.faults with None -> true | Some f -> Faults.node_up f rid
 
-(* deliver [lsa] to router [rid]; flood onward if newer *)
+(* raw message handoff; delivery is the fabric's problem *)
+let post t engine ~src ~dst action =
+  match t.faults with
+  | None -> Engine.schedule engine ~delay:t.delay action
+  | Some f -> ignore (Faults.send f engine ~src ~dst ~delay:t.delay action)
+
 let rec receive t engine ~rid ~from lsa =
   let li = local_index t rid in
+  (* every received LSA is acknowledged, fresh or stale — a duplicate
+     means our earlier ack (or the LSA itself) was lost *)
+  (match from with
+  | Some from when Option.is_some t.faults ->
+      t.acks <- t.acks + 1;
+      post t engine ~src:rid ~dst:from (fun engine ->
+          receive_ack t engine ~rid:from ~nb:rid ~origin:lsa.origin ~seq:lsa.seq)
+  | _ -> ());
   let fresher =
     match Hashtbl.find_opt t.lsdbs.(li) lsa.origin with
     | Some cur -> lsa.seq > cur.seq
@@ -71,27 +90,68 @@ let rec receive t engine ~rid ~from lsa =
     flood t engine ~rid ~except:from lsa
   end
 
+and receive_ack t engine ~rid ~nb ~origin ~seq =
+  match Hashtbl.find_opt t.retx (rid, nb, origin) with
+  | Some r when r.lsa.seq <= seq ->
+      (match r.timer with Some h -> Engine.cancel engine h | None -> ());
+      Hashtbl.remove t.retx (rid, nb, origin)
+  | _ -> ()
+
 and flood t engine ~rid ~except lsa =
   let li = local_index t rid in
   List.iter
-    (fun nb ->
-      if Some nb <> except then begin
-        t.messages <- t.messages + 1;
-        Engine.schedule engine ~delay:t.delay (fun engine ->
-            receive t engine ~rid:nb ~from:(Some rid) lsa)
-      end)
+    (fun nb -> if Some nb <> except then transmit t engine ~src:rid ~dst:nb lsa)
     t.neighbors.(li)
+
+(* one hop of flooding; with a fault fabric the transmission is
+   guarded by an ack-or-retransmit timer *)
+and transmit t engine ~src ~dst lsa =
+  t.messages <- t.messages + 1;
+  post t engine ~src ~dst (fun engine ->
+      receive t engine ~rid:dst ~from:(Some src) lsa);
+  if Option.is_some t.faults then begin
+    let r =
+      match Hashtbl.find_opt t.retx (src, dst, lsa.origin) with
+      | Some r ->
+          r.lsa <- (if lsa.seq > r.lsa.seq then lsa else r.lsa);
+          r.attempts <- 0;
+          (match r.timer with Some h -> Engine.cancel engine h | None -> ());
+          r
+      | None ->
+          let r = { lsa; attempts = 0; timer = None } in
+          Hashtbl.replace t.retx (src, dst, lsa.origin) r;
+          r
+    in
+    arm t engine ~src ~dst r
+  end
+
+and arm t engine ~src ~dst r =
+  let rto = Float.min (rto_cap t) (rto0 t *. (2.0 ** float_of_int r.attempts)) in
+  r.timer <-
+    Some
+      (Engine.timer engine ~delay:rto (fun engine ->
+           r.timer <- None;
+           if alive t src then
+             if r.attempts + 1 >= max_attempts then
+               (* give up: the neighbor is gone for good, or a restart
+                  resync will repair the gap *)
+               Hashtbl.remove t.retx (src, dst, r.lsa.origin)
+             else begin
+               r.attempts <- r.attempts + 1;
+               t.retransmits <- t.retransmits + 1;
+               t.messages <- t.messages + 1;
+               post t engine ~src ~dst (fun engine ->
+                   receive t engine ~rid:dst ~from:(Some src) r.lsa);
+               arm t engine ~src ~dst r
+             end))
 
 let current_groups t rid =
   match Hashtbl.find_opt t.own_groups rid with Some g -> !g | None -> []
 
 let originate t engine rid =
   let li = local_index t rid in
-  let seq =
-    match Hashtbl.find_opt t.lsdbs.(li) rid with
-    | Some cur -> cur.seq + 1
-    | None -> 1
-  in
+  t.seqs.(li) <- t.seqs.(li) + 1;
+  let seq = t.seqs.(li) in
   let links =
     Graph.neighbors t.inet.Internet.graph rid
     |> List.filter (fun (nb, _) -> (Internet.router t.inet nb).Internet.rdomain = t.dom)
@@ -102,6 +162,86 @@ let originate t engine rid =
   Hashtbl.replace t.lsdbs.(li) rid lsa;
   t.last_change <- Engine.now engine;
   flood t engine ~rid ~except:None lsa
+
+(* crash: the LSDB and any in-progress reliable floods are soft state *)
+let crashed t engine rid =
+  if in_domain t rid then begin
+    let li = local_index t rid in
+    Hashtbl.reset t.lsdbs.(li);
+    let mine =
+      Hashtbl.fold
+        (fun ((s, _, _) as k) _ acc -> if s = rid then k :: acc else acc)
+        t.retx []
+      |> List.sort (fun (_, n1, o1) (_, n2, o2) ->
+             if n1 <> n2 then Int.compare n1 n2 else Int.compare o1 o2)
+    in
+    List.iter
+      (fun k ->
+        (match (Hashtbl.find t.retx k).timer with
+        | Some h -> Engine.cancel engine h
+        | None -> ());
+        Hashtbl.remove t.retx k)
+      mine
+  end
+
+(* restart: re-originate (the monotonic seq counter survives, so the
+   new LSA supersedes any pre-crash copy still floating around) and
+   re-form adjacencies — each live neighbor pushes its full LSDB, the
+   hello/database-exchange handshake abstracted to its effect *)
+let restarted t engine rid =
+  if in_domain t rid then begin
+    originate t engine rid;
+    let li = local_index t rid in
+    List.iter
+      (fun nb ->
+        if alive t nb then begin
+          let nli = local_index t nb in
+          let db =
+            Hashtbl.fold (fun _ l acc -> l :: acc) t.lsdbs.(nli) []
+            |> List.sort (fun a b -> Int.compare a.origin b.origin)
+          in
+          List.iter (fun l -> transmit t engine ~src:nb ~dst:rid l) db
+        end)
+      t.neighbors.(li)
+  end
+
+let create ?(link_delay = 1.0) ?faults inet ~domain =
+  let d = Internet.domain inet domain in
+  let n = Array.length d.Internet.router_ids in
+  let neighbors =
+    Array.map
+      (fun rid ->
+        Graph.neighbors inet.Internet.graph rid
+        |> List.filter_map (fun (nb, _) ->
+               if (Internet.router inet nb).Internet.rdomain = domain then Some nb
+               else None))
+      d.Internet.router_ids
+  in
+  let t =
+    {
+      inet;
+      dom = domain;
+      delay = link_delay;
+      faults;
+      router_ids = d.Internet.router_ids;
+      neighbors;
+      lsdbs = Array.init n (fun _ -> Hashtbl.create 8);
+      seqs = Array.make n 0;
+      own_groups = Hashtbl.create 8;
+      retx = Hashtbl.create 32;
+      messages = 0;
+      originations = 0;
+      last_change = 0.0;
+      acks = 0;
+      retransmits = 0;
+    }
+  in
+  (match faults with
+  | Some f ->
+      Faults.on_crash f (fun engine c -> crashed t engine c);
+      Faults.on_restart f (fun engine c -> restarted t engine c)
+  | None -> ());
+  t
 
 let start t engine = Array.iter (fun rid -> originate t engine rid) t.router_ids
 
@@ -162,7 +302,13 @@ let lsdb_synchronized t =
       List.for_all (fun db -> view_equal (canonical db) ref_view) rest
 
 let stats t =
-  { messages = t.messages; originations = t.originations; last_change = t.last_change }
+  {
+    messages = t.messages;
+    originations = t.originations;
+    last_change = t.last_change;
+    acks = t.acks;
+    retransmits = t.retransmits;
+  }
 
 let spf t ~router =
   if not (in_domain t router) then

@@ -20,13 +20,27 @@ type t
 (** Protocol state for the routers of one domain. *)
 
 type stats = {
-  messages : int;  (** LSA transmissions on links *)
+  messages : int;  (** LSA transmissions on links (retransmits included) *)
   originations : int;
   last_change : float;  (** engine time of the last LSDB update *)
+  acks : int;  (** acknowledgement messages sent (E31 overhead) *)
+  retransmits : int;  (** unacked LSA transmissions repeated by timer *)
 }
 
-val create : ?link_delay:float -> Topology.Internet.t -> domain:int -> t
-(** [link_delay] (default 1.0) is the per-hop propagation latency. *)
+val create :
+  ?link_delay:float -> ?faults:Faults.t -> Topology.Internet.t -> domain:int -> t
+(** [link_delay] (default 1.0) is the per-hop propagation latency.
+
+    [faults] routes every LSA through a fault fabric (node ids =
+    global router ids) and switches on reliable flooding: each
+    transmission is acknowledged, and the sender retransmits with
+    capped exponential backoff until acked (or a generous attempt cap,
+    so the engine drains against a permanently dead neighbor).
+    Sequence numbers absorb any reordering, so build the fabric
+    without [~fifo]. Crash wipes the victim's LSDB and pending
+    retransmits; only its monotonic origination counter survives.
+    Restart re-originates and pulls each live neighbor's full LSDB —
+    the database-exchange handshake abstracted to its effect. *)
 
 val start : t -> Engine.t -> unit
 (** Every router originates its initial LSA at the current engine

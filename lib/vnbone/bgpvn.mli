@@ -51,6 +51,19 @@ val converge : t -> int
 (** Synchronous exchange rounds to the fixpoint; returns rounds that
     changed something. *)
 
+val fail_members : t -> alive:(int -> bool) -> unit
+(** Member deaths, as tunnel liveness probing reveals them (§3.3: the
+    vN-Bone is "easily detected and repaired"). Dead speakers lose
+    their tables; live speakers withdraw, to a fixpoint, every route
+    whose egress or next hop is dead, whose tunnel is gone, or whose
+    cost the next hop no longer justifies (a stale underestimate would
+    otherwise anchor the table below reality forever). Dead members
+    stop originating. Repair the fabric first
+    ({!Fabric.probe_tunnels} then {!Fabric.reanchor}), then call this,
+    then {!converge}: distance-vector relaxation from above lands
+    exactly on the centralized optimum over the repaired graph — the
+    test-suite proves it against the {!Fabric} shortest paths. *)
+
 val route : t -> at:int -> dest -> route option
 (** The member's best route for a destination ([None] when unknown or
     [at] is not a member). *)

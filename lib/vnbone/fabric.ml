@@ -303,6 +303,80 @@ let vn_hop_distance t a b =
       !level
   | _ -> None
 
+(* --- liveness: probing and re-anchoring after member deaths --- *)
+
+let probe_tunnels t ~alive =
+  let dead tn = not (alive tn.from_router) || not (alive tn.to_router) in
+  let removed = List.filter dead t.tunnels in
+  List.iter
+    (fun tn ->
+      let ia = Hashtbl.find t.index tn.from_router
+      and ib = Hashtbl.find t.index tn.to_router in
+      if Graph.has_edge t.graph ia ib then Graph.remove_edge t.graph ia ib)
+    removed;
+  t.tunnels <- List.filter (fun tn -> not (dead tn)) t.tunnels;
+  match removed with
+  | [] -> 0
+  | _ ->
+      Hashtbl.reset t.spt_cache;
+      List.length removed
+
+let reanchor t ~alive =
+  let live_members = List.filter alive (Array.to_list t.members) in
+  let added = ref 0 in
+  (match live_members with
+  | [] -> ()
+  | first_live :: _ ->
+      (* re-anchor to the default provider's surviving presence; if the
+         provider lost all members, the first survivor's component
+         stands in so the living vN-Bone still becomes one piece *)
+      let anchor_member =
+        match t.anchor with
+        | Some dom -> (
+            match List.filter alive (Service.members_in t.service ~domain:dom) with
+            | m :: _ -> m
+            | [] -> first_live)
+        | None -> first_live
+      in
+      let anchor_node = Hashtbl.find t.index anchor_member in
+      let rec go () =
+        let ids = Graph.component_ids t.graph in
+        let anchor_comp = ids.(anchor_node) in
+        let stranded =
+          List.filter
+            (fun m -> ids.(Hashtbl.find t.index m) <> anchor_comp)
+            live_members
+        in
+        match stranded with
+        | [] -> ()
+        | _ -> (
+            (* cheapest live pair bridging into the anchor's component;
+               each merge shrinks the component count, so this
+               terminates *)
+            let best = ref None in
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun b ->
+                    if ids.(Hashtbl.find t.index b) = anchor_comp then begin
+                      let d = underlay_metric t a b in
+                      match !best with
+                      | Some (_, _, bd) when bd <= d -> ()
+                      | _ -> if d < infinity then best := Some (a, b, d)
+                    end)
+                  live_members)
+              stranded;
+            match !best with
+            | Some (a, b, _) ->
+                add_tunnel t `Inter_bootstrap a b;
+                incr added;
+                go ()
+            | None -> () (* survivors mutually unreachable: give up *))
+      in
+      go ());
+  if !added > 0 then Hashtbl.reset t.spt_cache;
+  !added
+
 let mean_vn_stretch t =
   let n = Array.length t.members in
   let acc = ref 0.0 and count = ref 0 in

@@ -93,6 +93,23 @@ val underlay_metric : t -> int -> int -> float
 (** Metric of the IPv4 path between two routers as the data plane
     would forward it; [infinity] when undeliverable. *)
 
+val probe_tunnels : t -> alive:(int -> bool) -> int
+(** Tunnel liveness: every tunnel with a dead endpoint (per the
+    [alive] predicate over member router ids) fails its probe and is
+    torn down — edge removed, record dropped. Returns the number
+    removed. A death here means the IPvN process, not the underlying
+    IPv4 router: the substrate keeps forwarding. Follow with
+    {!reanchor}, which is the repair half of §3.3's claim that
+    partitions are "easily detected and repaired". *)
+
+val reanchor : t -> alive:(int -> bool) -> int
+(** The paper's partition repair, restricted to survivors: every live
+    member must again reach the anchor (default-provider) component,
+    so stranded components are merged in through their cheapest live
+    cross pair, as bootstrap tunnels. When the anchor domain itself
+    lost every member, the first surviving member's component stands
+    in. Returns the number of tunnels added. *)
+
 val mean_vn_stretch : t -> float
 (** Congruence of the vN-Bone with the physical topology (§3.3.1):
     mean over member pairs of [vn_distance a b / underlay_metric a b].

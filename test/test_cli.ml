@@ -1,0 +1,77 @@
+(* The CLI contract for bad input: unknown experiments / figures and
+   malformed flags must exit 2 with a usage hint on stderr — never a
+   backtrace, never a silent success. Runs the real binary (see
+   test/dune for the dependency). *)
+
+(* resolve relative to this test executable (both live in _build), so
+   the test works from `dune runtest` and `dune exec` alike *)
+let binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "evolvenet.exe"))
+
+(* run the binary with [args], capturing (exit code, stderr) *)
+let run args =
+  let err = Filename.temp_file "evolvenet_cli" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s 2> %s" (Filename.quote binary) args
+         (Filename.quote err))
+  in
+  let ic = open_in err in
+  let msg = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove err;
+  (code, msg)
+
+let contains haystack needle =
+  let h = String.lowercase_ascii haystack
+  and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub h i nl) n || go (i + 1))
+  in
+  go 0
+
+let check = Alcotest.check
+
+let test_unknown_experiment () =
+  let code, msg = run "exp e999" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the experiment" true (contains msg "e999");
+  check Alcotest.bool "points at usage" true (contains msg "usage")
+
+let test_unknown_figure () =
+  let code, msg = run "fig 99" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "points at usage" true (contains msg "usage")
+
+let test_malformed_flag_value () =
+  (* cmdliner rejects the unparsable option value; main remaps its
+     cli_error exit to 2 so scripts see one consistent failure code *)
+  let code, msg = run "exp e1 --seed notanint" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "stderr not empty" true (String.length msg > 0)
+
+let test_unknown_flag () =
+  let code, _ = run "exp e1 --no-such-flag" in
+  check Alcotest.int "exit code" 2 code
+
+let test_help_exits_zero () =
+  let code, _ = run "--help > /dev/null" in
+  check Alcotest.int "exit code" 0 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "unknown experiment" `Quick
+            test_unknown_experiment;
+          Alcotest.test_case "unknown figure" `Quick test_unknown_figure;
+          Alcotest.test_case "malformed flag value" `Quick
+            test_malformed_flag_value;
+          Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
+          Alcotest.test_case "help exits 0" `Quick test_help_exits_zero;
+        ] );
+    ]

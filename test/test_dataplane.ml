@@ -41,6 +41,7 @@ let trace_str (t : Forward.trace) =
     | Forward.Dropped Forward.Ttl_expired -> "drop ttl"
     | Forward.Dropped Forward.No_route -> "drop no-route"
     | Forward.Dropped Forward.Stuck -> "drop stuck"
+    | Forward.Dropped Forward.Link_down -> "drop link-down"
   in
   String.concat ">" (List.map string_of_int t.Forward.hops) ^ " => " ^ outcome
 
@@ -191,6 +192,53 @@ let test_flowcache_negative_not_cached () =
   check Alcotest.(option int) "still miss" None
     (Flowcache.find c (addr 5) ~compute);
   check Alcotest.int "compute re-ran (None not cached)" 2 !computes
+
+let test_flowcache_churn_stress () =
+  (* rapid membership churn: after every [refresh] the flow caches must
+     serve the NEW snapshot's actions — a stale cached action after
+     refresh returns would desynchronize the pump from the oracle *)
+  let inet = Internet.build Internet.default_params in
+  let env = Forward.make_env inet in
+  let service = Service.deploy env ~version:8 ~strategy:Service.Option1 in
+  let routers_of d = Array.to_list (Internet.domain inet d).Internet.router_ids in
+  Service.add_participant service ~domain:5 ~routers:(routers_of 5);
+  (* a tiny cache maximizes collisions, so stale survivors would show *)
+  let pump = Pump.create ~cache_slots:2 env in
+  let rng = Rng.create 101L in
+  let hosts = Array.length inet.Internet.endhosts in
+  let probes =
+    List.init 30 (fun _ ->
+        (Rng.int rng (Internet.num_routers inet), Service.address service))
+    @ List.init 30 (fun _ ->
+          let h = Rng.int rng hosts in
+          ( Rng.int rng (Internet.num_routers inet),
+            (Internet.endhost inet h).Internet.haddr ))
+  in
+  let assert_agrees round =
+    List.iter
+      (fun (entry, dst) ->
+        let p = Packet.make_data ~src:Ipv4.any ~dst "churn" in
+        let oracle = Forward.forward env p ~entry in
+        (* twice: cold fill, then the warm path that a stale entry
+           would poison *)
+        ignore (Pump.inject pump p ~entry);
+        check Alcotest.string
+          (Printf.sprintf "round %d: pump = oracle" round)
+          (trace_str oracle)
+          (trace_str (Pump.inject pump p ~entry)))
+      probes
+  in
+  assert_agrees 0;
+  List.iteri
+    (fun i d ->
+      (* flip the domain's membership, reconverge, refresh — the caches
+         must follow instantly *)
+      (if Service.is_participant service ~domain:d then
+         Service.remove_participant service ~domain:d
+       else Service.add_participant service ~domain:d ~routers:(routers_of d));
+      Pump.refresh pump;
+      assert_agrees (i + 1))
+    [ 9; 5; 14; 9; 5; 9 ]
 
 let test_flowcache_rounds_to_power_of_two () =
   check Alcotest.int "5 -> 8" 8 (Flowcache.capacity (Flowcache.create ~slots:5));
@@ -345,6 +393,8 @@ let () =
             test_flowcache_negative_not_cached;
           Alcotest.test_case "power-of-two capacity" `Quick
             test_flowcache_rounds_to_power_of_two;
+          Alcotest.test_case "no stale action across churn + refresh" `Quick
+            test_flowcache_churn_stress;
         ] );
       ( "workload",
         [

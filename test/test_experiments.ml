@@ -647,6 +647,124 @@ let test_e30_churn_disrupts_then_recovers () =
        (fun r -> r.E.stale30 +. r.E.lost30 +. r.E.looped30 > 0.0)
        converging)
 
+(* --- E31 ----------------------------------------------------------- *)
+
+let e31_args = (small_params, [ 0.0; 0.3 ])
+
+let e31 =
+  lazy
+    (let params, losses = e31_args in
+     E.e31_fault_convergence ~params ~losses ())
+
+let test_e31_converges_to_oracle () =
+  let rows = Lazy.force e31 in
+  let _, losses = e31_args in
+  check Alcotest.int "loss sweep + crash row per protocol"
+    (2 * (List.length losses + 1))
+    (List.length rows);
+  let bgp = List.filter (fun r -> String.equal r.E.proto31 "bgp") rows in
+  let ls = List.filter (fun r -> String.equal r.E.proto31 "ls") rows in
+  check Alcotest.int "both protocols swept" (List.length rows)
+    (List.length bgp + List.length ls);
+  List.iter
+    (fun rows ->
+      let crash = List.filter (fun r -> r.E.crashed31 > 0) rows in
+      check Alcotest.int "exactly one crash row" 1 (List.length crash))
+    [ bgp; ls ];
+  List.iter
+    (fun r ->
+      check Alcotest.bool
+        (Printf.sprintf "%s loss=%.1f crashed=%d agrees with oracle"
+           r.E.proto31 r.E.loss31 r.E.crashed31)
+        true r.E.agrees31;
+      check Alcotest.bool "protocol exchanged messages" true (r.E.msgs31 > 0))
+    rows;
+  (* the robustness tax: acked flooding pays retransmissions under loss *)
+  let ls_overhead loss =
+    (List.find
+       (fun r ->
+         r.E.crashed31 = 0 && Float.abs (r.E.loss31 -. loss) < 1e-9)
+       ls)
+      .E.overhead31
+  in
+  check Alcotest.bool "loss costs retransmissions" true
+    (ls_overhead 0.3 > ls_overhead 0.0)
+
+(* --- E32 ----------------------------------------------------------- *)
+
+let e32_row_str (r : E.e32_row) =
+  Printf.sprintf "%d %b %s %.17g %.17g %.17g %.17g" r.E.tick32 r.E.recovery32
+    r.E.phase32 r.E.ok32 r.E.stale32 r.E.lost32 r.E.looped32
+
+let e32_args = (small_params, 3, 20, 10, 2)
+
+let e32 =
+  lazy
+    (let params, deploy_domains, probes, ticks, flap_links = e32_args in
+     E.e32_flap_traffic ~params ~deploy_domains ~probes ~ticks ~flap_links ())
+
+let test_e32_recovery_beats_waiting () =
+  let rows = Lazy.force e32 in
+  let _, _, _, ticks, _ = e32_args in
+  check Alcotest.int "two runs of one row per tick" (2 * ticks)
+    (List.length rows);
+  let off = List.filter (fun r -> not r.E.recovery32) rows in
+  let on = List.filter (fun r -> r.E.recovery32) rows in
+  check Alcotest.int "recovery-off run" ticks (List.length off);
+  check Alcotest.int "recovery-on run" ticks (List.length on);
+  List.iter
+    (fun r ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "tick %d accounting sums to one" r.E.tick32)
+        1.0
+        (r.E.ok32 +. r.E.stale32 +. r.E.lost32 +. r.E.looped32))
+    rows;
+  List.iter
+    (fun run ->
+      let first = List.hd run and last = List.nth run (ticks - 1) in
+      check Alcotest.string "starts steady" "steady" first.E.phase32;
+      check (Alcotest.float 1e-9) "steady state delivers" 1.0 first.E.ok32;
+      check Alcotest.string "ends recovered" "recovered" last.E.phase32;
+      check (Alcotest.float 1e-9) "recovered delivery" 1.0 last.E.ok32)
+    [ off; on ];
+  (* while the links are down (ticks 3-6), rerouting must do no worse
+     than riding out the outage — and the outage must actually bite *)
+  let flap run =
+    List.filter (fun r -> r.E.tick32 >= 3 && r.E.tick32 <= 6) run
+  in
+  let mean_ok run =
+    List.fold_left (fun acc r -> acc +. r.E.ok32) 0.0 (flap run)
+    /. float_of_int (List.length (flap run))
+  in
+  check Alcotest.bool "flaps disrupt the passive run" true
+    (List.exists (fun r -> r.E.ok32 < 1.0) (flap off));
+  check Alcotest.bool "recovery delivers at least as much" true
+    (mean_ok on >= mean_ok off -. 1e-9)
+
+let test_e31_e32_deterministic () =
+  (* same seed, same rows, byte for byte — the fault fabric draws all
+     randomness from Topology.Rng, so reruns must be identical *)
+  let e31_run () =
+    let params, losses = e31_args in
+    List.map
+      (fun (r : E.e31_row) ->
+        Printf.sprintf "%s %.17g %d %d %d %.17g %b" r.E.proto31 r.E.loss31
+          r.E.crashed31 r.E.msgs31 r.E.overhead31 r.E.settle31 r.E.agrees31)
+      (E.e31_fault_convergence ~params ~losses ())
+  in
+  let e32_run () =
+    let params, deploy_domains, probes, ticks, flap_links = e32_args in
+    List.map e32_row_str
+      (E.e32_flap_traffic ~params ~deploy_domains ~probes ~ticks ~flap_links
+         ())
+  in
+  check
+    Alcotest.(list string)
+    "e31 rows identical across runs" (e31_run ()) (e31_run ());
+  check
+    Alcotest.(list string)
+    "e32 rows identical across runs" (e32_run ()) (e32_run ())
+
 let () =
   Alcotest.run "experiments"
     [
@@ -801,5 +919,17 @@ let () =
         [
           Alcotest.test_case "churn disrupts then recovers" `Quick
             test_e30_churn_disrupts_then_recovers;
+        ] );
+      ( "e31",
+        [
+          Alcotest.test_case "faulty runs converge to the oracle" `Quick
+            test_e31_converges_to_oracle;
+        ] );
+      ( "e32",
+        [
+          Alcotest.test_case "recovery beats riding out the flap" `Quick
+            test_e32_recovery_beats_waiting;
+          Alcotest.test_case "same seed, same rows" `Quick
+            test_e31_e32_deterministic;
         ] );
     ]

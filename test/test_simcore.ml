@@ -577,6 +577,314 @@ let test_bgpdyn_mrai_tradeoff () =
   check Alcotest.bool "mrai delays quiescence" true
     (slow.Bgpdyn.last_change >= fast.Bgpdyn.last_change)
 
+(* ------------------------------------------------------------------ *)
+(* Engine timer handles                                                *)
+
+let test_engine_timer_cancel () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let h1 = Engine.timer e ~delay:1.0 (fun _ -> fired := 1 :: !fired) in
+  let h2 = Engine.timer e ~delay:2.0 (fun _ -> fired := 2 :: !fired) in
+  let h3 = Engine.timer e ~delay:3.0 (fun _ -> fired := 3 :: !fired) in
+  check Alcotest.int "three pending" 3 (Engine.pending e);
+  Engine.cancel e h2;
+  check Alcotest.bool "cancelled handle not live" false (Engine.live h2);
+  check Alcotest.bool "other handles live" true
+    (Engine.live h1 && Engine.live h3);
+  check Alcotest.int "pending excludes the cancelled event" 2 (Engine.pending e);
+  check Alcotest.int "only live events run" 2 (Engine.run e);
+  check Alcotest.(list int) "cancelled event never fires" [ 1; 3 ]
+    (List.rev !fired);
+  check Alcotest.bool "fired handle no longer live" false (Engine.live h1);
+  (* double cancel and cancel-after-fire are no-ops *)
+  Engine.cancel e h2;
+  Engine.cancel e h1;
+  check Alcotest.int "queue drained" 0 (Engine.pending e)
+
+let test_engine_cancel_from_action () =
+  (* a handler disarming a peer co-scheduled at the same instant — the
+     keepalive pattern: the message arrives, the hold timer must die *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let peer = ref None in
+  let _ =
+    Engine.timer e ~delay:1.0 (fun e ->
+        incr fired;
+        match !peer with Some h -> Engine.cancel e h | None -> ())
+  in
+  peer := Some (Engine.timer e ~delay:1.0 (fun _ -> incr fired));
+  ignore (Engine.run e);
+  check Alcotest.int "peer cancelled before its turn" 1 !fired;
+  check Alcotest.int "nothing left queued" 0 (Engine.pending e)
+
+let test_engine_timer_rearm () =
+  (* cancel + re-arm in a loop, the hold-timer life cycle *)
+  let e = Engine.create () in
+  let expired = ref 0 in
+  let hold = ref None in
+  let arm e = hold := Some (Engine.timer e ~delay:3.0 (fun _ -> incr expired)) in
+  let rec hello n e =
+    (match !hold with Some h -> Engine.cancel e h | None -> ());
+    arm e;
+    if n > 0 then Engine.schedule e ~delay:1.0 (hello (n - 1))
+  in
+  hello 5 e;
+  ignore (Engine.run e);
+  check Alcotest.int "only the last armed timer expires" 1 !expired
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+
+module Faults = Simcore.Faults
+
+let flaky ?(dup = 0.0) ?(jitter = 0.0) loss ~src:_ ~dst:_ =
+  Faults.lossy ~dup ~jitter loss
+
+let test_faults_deterministic () =
+  (* same seed, same sends: identical outcomes, deliveries and stats *)
+  let trial () =
+    let f = Faults.create ~policy:(flaky ~dup:0.2 ~jitter:1.0 0.3) 99L in
+    let e = Engine.create () in
+    let log = ref [] in
+    for i = 1 to 50 do
+      let o =
+        Faults.send f e ~src:(i mod 4)
+          ~dst:((i + 1) mod 4)
+          ~delay:1.0
+          (fun e -> log := (i, Engine.now e) :: !log)
+      in
+      ignore o
+    done;
+    ignore (Engine.run e);
+    (List.rev !log, Faults.stats f)
+  in
+  let log1, s1 = trial () and log2, s2 = trial () in
+  check Alcotest.int "same delivery count" (List.length log1)
+    (List.length log2);
+  List.iter2
+    (fun (i1, t1) (i2, t2) ->
+      check Alcotest.int "same delivery order" i1 i2;
+      check (Alcotest.float 1e-12) "same delivery time" t1 t2)
+    log1 log2;
+  check Alcotest.int "same losses" s1.Faults.lost s2.Faults.lost;
+  check Alcotest.int "same duplicates" s1.Faults.duplicated
+    s2.Faults.duplicated;
+  check Alcotest.bool "losses actually happened" true (s1.Faults.lost > 0);
+  check Alcotest.bool "duplicates actually happened" true
+    (s1.Faults.duplicated > 0)
+
+let test_faults_link_flap () =
+  let f = Faults.create 1L in
+  let e = Engine.create () in
+  let got = ref 0 in
+  check Alcotest.bool "links start up" true (Faults.link_up f 0 1);
+  Faults.set_link_down f 0 1;
+  check Alcotest.bool "down is undirected" false (Faults.link_up f 1 0);
+  (match Faults.send f e ~src:0 ~dst:1 ~delay:1.0 (fun _ -> incr got) with
+  | Faults.Cut -> ()
+  | _ -> Alcotest.fail "send over a down link must report Cut");
+  Faults.set_link_up f 0 1;
+  (match Faults.send f e ~src:0 ~dst:1 ~delay:1.0 (fun _ -> incr got) with
+  | Faults.Sent -> ()
+  | _ -> Alcotest.fail "send over a restored link must report Sent");
+  ignore (Engine.run e);
+  check Alcotest.int "only the post-restore message arrives" 1 !got;
+  (* scripted flap: sends inside the window are cut, after it sent *)
+  Faults.flap_link f e ~a:2 ~b:3 ~down_at:(Engine.now e +. 1.0)
+    ~up_at:(Engine.now e +. 2.0);
+  let outcomes = ref [] in
+  List.iter
+    (fun dt ->
+      Engine.schedule e ~delay:dt (fun e ->
+          outcomes :=
+            Faults.send f e ~src:2 ~dst:3 ~delay:0.1 (fun _ -> ())
+            :: !outcomes))
+    [ 0.5; 1.5; 2.5 ];
+  ignore (Engine.run e);
+  match List.rev !outcomes with
+  | [ Faults.Sent; Faults.Cut; Faults.Sent ] -> ()
+  | _ -> Alcotest.fail "flap window must cut exactly the middle send"
+
+let test_faults_crash_restart () =
+  let f = Faults.create 2L in
+  let e = Engine.create () in
+  let crashes = ref [] and restarts = ref [] in
+  Faults.on_crash f (fun _ n -> crashes := n :: !crashes);
+  Faults.on_restart f (fun _ n -> restarts := n :: !restarts);
+  Faults.schedule_outage f e ~node:7 ~at:1.0 ~duration:2.0;
+  let in_flight = ref 0 and late = ref 0 in
+  (* sent before the crash, delivered while the receiver is down *)
+  Engine.schedule e ~delay:0.5 (fun e ->
+      ignore (Faults.send f e ~src:0 ~dst:7 ~delay:1.0 (fun _ -> incr in_flight)));
+  (* sent while down: Dead at send time *)
+  Engine.schedule e ~delay:2.0 (fun e ->
+      match Faults.send f e ~src:0 ~dst:7 ~delay:0.1 (fun _ -> ()) with
+      | Faults.Dead -> ()
+      | _ -> Alcotest.fail "send to a crashed node must report Dead");
+  (* sent after the restart: delivered *)
+  Engine.schedule e ~delay:3.5 (fun e ->
+      ignore (Faults.send f e ~src:0 ~dst:7 ~delay:0.1 (fun _ -> incr late)));
+  ignore (Engine.run e);
+  check Alcotest.(list int) "crash handler ran once" [ 7 ] !crashes;
+  check Alcotest.(list int) "restart handler ran once" [ 7 ] !restarts;
+  check Alcotest.int "in-flight message died with the receiver" 0 !in_flight;
+  check Alcotest.int "post-restart message delivered" 1 !late;
+  let s = Faults.stats f in
+  check Alcotest.int "dead accounting" 2 (s.Faults.dead + s.Faults.cut)
+
+let test_faults_fifo_channel () =
+  (* with ~fifo, heavy jitter cannot reorder a directed channel *)
+  let f = Faults.create ~policy:(flaky ~jitter:5.0 0.0) ~fifo:true 3L in
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 20 do
+    ignore (Faults.send f e ~src:0 ~dst:1 ~delay:0.1 (fun _ -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  check Alcotest.(list int) "deliveries in send order"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Bgpdyn under faults                                                 *)
+
+let test_bgpdyn_converges_under_loss () =
+  (* loss up to 0.5 with TCP-reset resync (no timers): the final state
+     must still equal the synchronous oracle *)
+  List.iter
+    (fun loss ->
+      let inet = Internet.build Internet.default_params in
+      let faults = Faults.create ~policy:(flaky loss) ~fifo:true 11L in
+      let dyn = Bgpdyn.create ~faults inet in
+      let engine = Engine.create () in
+      Bgpdyn.originate_all_domain_prefixes dyn engine;
+      Engine.schedule_at engine ~time:60.0 (fun _ ->
+          Faults.set_policy faults (fun ~src:_ ~dst:_ -> Faults.reliable));
+      ignore (Engine.run engine);
+      (match Bgpdyn.agrees_with_synchronous dyn with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.fail (Printf.sprintf "loss %.1f: %s" loss msg));
+      if loss > 0.0 then
+        check Alcotest.bool "losses forced session resets" true
+          ((Bgpdyn.stats dyn).Bgpdyn.resets > 0))
+    [ 0.2; 0.5 ]
+
+let test_bgpdyn_crash_restart_converges () =
+  (* ~20% of domains crash and restart under 20% loss, with the full
+     keepalive/hold machinery running; after faults cease the state
+     must equal the synchronous oracle *)
+  let inet = Internet.build Internet.default_params in
+  let n = Internet.num_domains inet in
+  let faults = Faults.create ~policy:(flaky ~jitter:0.05 0.2) ~fifo:true 13L in
+  let dyn = Bgpdyn.create ~jitter:1.0 ~faults inet in
+  let engine = Engine.create () in
+  Bgpdyn.enable_timers dyn engine ~keepalive:1.0 ~hold:3.5 ~until:40.0;
+  Bgpdyn.originate_all_domain_prefixes dyn engine;
+  let rng = Topology.Rng.create 14L in
+  let victims = Topology.Rng.sample rng (n / 5) (List.init n Fun.id) in
+  check Alcotest.bool "a fifth of the domains crash" true
+    (List.length victims >= 5);
+  List.iteri
+    (fun i d ->
+      Faults.schedule_outage faults engine ~node:d
+        ~at:(8.0 +. float_of_int i)
+        ~duration:4.0)
+    victims;
+  Engine.schedule_at engine ~time:25.0 (fun _ ->
+      Faults.set_policy faults (fun ~src:_ ~dst:_ -> Faults.reliable));
+  ignore (Engine.run engine);
+  (match Bgpdyn.agrees_with_synchronous dyn with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let s = Bgpdyn.stats dyn in
+  check Alcotest.bool "keepalives flowed" true (s.Bgpdyn.keepalives > 0);
+  check Alcotest.bool "crashes tore sessions down" true (s.Bgpdyn.resets > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Lsproto under faults                                                *)
+
+let test_lsproto_crash_restart_reconverges () =
+  (* 20% of routers crash and restart while 30% of LSAs drop; the acked
+     flooding and database re-exchange must still reach the oracle *)
+  let inet =
+    Internet.build_custom ~seed:21L
+      [| { Internet.routers = 24; endhosts = 1; transit = true } |]
+      []
+  in
+  let faults = Faults.create ~policy:(flaky ~jitter:0.2 0.3) 22L in
+  let proto = Lsproto.create ~faults inet ~domain:0 in
+  let engine = Engine.create () in
+  Lsproto.start proto engine;
+  let rids = (Internet.domain inet 0).Internet.router_ids in
+  let rng = Topology.Rng.create 23L in
+  let victims =
+    Topology.Rng.sample rng (Array.length rids / 5) (Array.to_list rids)
+  in
+  List.iteri
+    (fun i r ->
+      Faults.schedule_outage faults engine ~node:r
+        ~at:(20.0 +. (2.0 *. float_of_int i))
+        ~duration:6.0)
+    victims;
+  Engine.schedule_at engine ~time:45.0 (fun _ ->
+      Faults.set_policy faults (fun ~src:_ ~dst:_ -> Faults.reliable));
+  ignore (Engine.run engine);
+  check Alcotest.bool "LSDBs re-synchronize" true
+    (Lsproto.lsdb_synchronized proto);
+  let ls = Linkstate.compute inet ~domain:0 in
+  let routers = Linkstate.routers ls in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "post-fault view %d->%d" a b)
+            (Linkstate.distance ls ~src:a ~dst:b)
+            (Lsproto.distance_view proto ~router:a ~dst:b))
+        routers)
+    routers;
+  let s = Lsproto.stats proto in
+  check Alcotest.bool "retransmits repaired the losses" true
+    (s.Lsproto.retransmits > 0);
+  check Alcotest.bool "every transmission is acked" true (s.Lsproto.acks > 0)
+
+let prop_lsproto_eventual_consistency =
+  QCheck.Test.make
+    ~name:"lsproto views equal linkstate after faults cease (any seed, loss < 1)"
+    ~count:8
+    QCheck.(pair (int_bound 10_000) (int_bound 8))
+    (fun (seed, loss_tenths) ->
+      let loss = float_of_int loss_tenths /. 10.0 in
+      let inet =
+        Internet.build_custom
+          ~seed:(Int64.of_int (seed + 1))
+          [| { Internet.routers = 12; endhosts = 1; transit = true } |]
+          []
+      in
+      let faults =
+        Faults.create ~policy:(flaky ~jitter:0.5 loss) (Int64.of_int seed)
+      in
+      let proto = Lsproto.create ~faults inet ~domain:0 in
+      let engine = Engine.create () in
+      Lsproto.start proto engine;
+      Engine.schedule_at engine ~time:40.0 (fun _ ->
+          Faults.set_policy faults (fun ~src:_ ~dst:_ -> Faults.reliable));
+      ignore (Engine.run engine);
+      let ls = Linkstate.compute inet ~domain:0 in
+      let routers = Linkstate.routers ls in
+      Lsproto.lsdb_synchronized proto
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 Float.abs
+                   (Lsproto.distance_view proto ~router:a ~dst:b
+                   -. Linkstate.distance ls ~src:a ~dst:b)
+                 <= 1e-9)
+               routers)
+           routers)
+
 let () =
   Alcotest.run "simcore"
     [
@@ -592,7 +900,20 @@ let () =
             test_engine_fifo_across_until;
           Alcotest.test_case "pending after partial drain" `Quick
             test_engine_pending_after_partial_drain;
+          Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+          Alcotest.test_case "cancel from a running action" `Quick
+            test_engine_cancel_from_action;
+          Alcotest.test_case "timer re-arm" `Quick test_engine_timer_rearm;
           qcheck prop_engine_time_order;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic replay" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "link flaps" `Quick test_faults_link_flap;
+          Alcotest.test_case "crash and restart" `Quick
+            test_faults_crash_restart;
+          Alcotest.test_case "fifo channels" `Quick test_faults_fifo_channel;
         ] );
       ( "forward",
         [
@@ -624,6 +945,9 @@ let () =
             test_lsproto_convergence_latency;
           Alcotest.test_case "link failure re-converges" `Quick
             test_lsproto_link_failure_reconverges;
+          Alcotest.test_case "crash/restart under loss reconverges" `Quick
+            test_lsproto_crash_restart_reconverges;
+          qcheck prop_lsproto_eventual_consistency;
         ] );
       ( "fib",
         [
@@ -640,5 +964,9 @@ let () =
           Alcotest.test_case "incremental origination" `Quick
             test_bgpdyn_incremental_origination;
           Alcotest.test_case "MRAI trade-off" `Quick test_bgpdyn_mrai_tradeoff;
+          Alcotest.test_case "converges under loss" `Quick
+            test_bgpdyn_converges_under_loss;
+          Alcotest.test_case "crash/restart with timers converges" `Quick
+            test_bgpdyn_crash_restart_converges;
         ] );
     ]

@@ -389,6 +389,73 @@ let test_bgpvn_external_validation () =
         ~prefix:(Netcore.Prefix.of_string "10.0.0.0/16")
         ~exit_cost:1.0)
 
+let test_bgpvn_survives_member_failures () =
+  (* ~20% of the vN-Bone's member routers die: the fabric repairs its
+     tunnel mesh (probe + re-anchor), BGPvN purges routes through the
+     dead, and the re-converged costs must equal the centralized
+     cheapest paths over the repaired fabric *)
+  let inet, _, service = default_setup () in
+  let fabric = Fabric.build service in
+  let members = Array.to_list (Fabric.members fabric) in
+  let rng = Rng.create 77L in
+  let dead = Rng.sample rng (max 1 (List.length members / 5)) members in
+  let alive r = not (List.mem r dead) in
+  let removed = Fabric.probe_tunnels fabric ~alive in
+  check Alcotest.bool "dead endpoints lose their tunnels" true (removed > 0);
+  let added = Fabric.reanchor fabric ~alive in
+  ignore added;
+  (* every pair of live members must be reconnected by the repair *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if alive a && alive b then
+            check Alcotest.bool
+              (Printf.sprintf "live members %d and %d reconnected" a b)
+              true
+              (Float.is_finite (Fabric.vn_distance fabric a b)))
+        members)
+    members;
+  let speaker = Bgpvn.create fabric in
+  Bgpvn.fail_members speaker ~alive;
+  ignore (Bgpvn.converge speaker);
+  List.iter
+    (fun d ->
+      let live_in_d =
+        List.filter
+          (fun m -> alive m && (Internet.router inet m).Internet.rdomain = d)
+          members
+      in
+      let expected at =
+        List.fold_left
+          (fun acc m -> Float.min acc (Fabric.vn_distance fabric at m))
+          infinity live_in_d
+      in
+      List.iter
+        (fun m ->
+          if alive m then
+            match Bgpvn.route speaker ~at:m (Bgpvn.Vn_domain d) with
+            | Some r ->
+                check (Alcotest.float 1e-9)
+                  (Printf.sprintf "member %d -> domain %d cost" m d)
+                  (expected m) r.Bgpvn.cost
+            | None ->
+                check Alcotest.bool
+                  (Printf.sprintf "member %d -> domain %d only dark when no \
+                                   live member" m d)
+                  false
+                  (Float.is_finite (expected m)))
+        members)
+    (Service.participants service);
+  (* the dead speak no routes *)
+  List.iter
+    (fun m ->
+      check Alcotest.int
+        (Printf.sprintf "dead member %d holds no routes" m)
+        0
+        (Bgpvn.table_size speaker ~at:m))
+    dead
+
 let test_protocol_mode_journeys_deliver () =
   let inet, _, service = default_setup () in
   let router = Router.create ~mode:Router.Protocol (Fabric.build service) in
@@ -744,6 +811,8 @@ let () =
           Alcotest.test_case "protocol = oracle (proxy)" `Quick
             test_bgpvn_agrees_with_oracle_on_proxy;
           Alcotest.test_case "validation" `Quick test_bgpvn_external_validation;
+          Alcotest.test_case "survives member failures" `Quick
+            test_bgpvn_survives_member_failures;
           Alcotest.test_case "protocol-mode journeys" `Quick
             test_protocol_mode_journeys_deliver;
           Alcotest.test_case "vn-fib walk reaches egress" `Quick
