@@ -1,4 +1,4 @@
-.PHONY: build test lint lint-json lint-sarif explain catalog bench bench-json report
+.PHONY: build test lint lint-json lint-sarif summaries explain catalog bench bench-json report
 
 build:        ## build everything (zero warnings expected)
 	dune build @all
@@ -17,6 +17,9 @@ lint-sarif:   ## SARIF 2.1.0 findings -> lint.sarif (CI uploads this)
 	dune exec tools/lint/main.exe -- --root . --format sarif > lint.sarif || true
 	@python3 -m json.tool lint.sarif > /dev/null && echo "lint.sarif valid"
 
+summaries:    ## per-binding effect summaries + shared-state inventory
+	dune exec tools/lint/main.exe -- --root . --summaries
+
 explain:      ## print every lint rule's rationale and provenance
 	dune exec tools/lint/main.exe -- --explain all
 
@@ -26,7 +29,7 @@ catalog:      ## regenerate doc/LINT.md from the rule registry
 bench:        ## all figures, experiments E1-E32, microbenchmarks
 	dune exec bench/main.exe
 
-bench-json:   ## machine-readable numbers -> BENCH_dataplane.json + BENCH_faults.json
+bench-json:   ## machine-readable numbers -> BENCH_{dataplane,faults,lint}.json
 	dune exec bench/main.exe -- --json
 
 report:       ## regenerate RESULTS.md

@@ -465,10 +465,62 @@ let write_faults_json path =
     (fun () -> output_string oc json);
   Printf.printf "wrote %s\n%s" path json
 
+(* The evolvelint cost sheet: what the repo gate costs per run — the
+   untyped Parsetree pass, the typed pass (call graph + rule packs) and
+   the interprocedural effect fixpoint alone — plus the finding counts,
+   so CI can watch both the gate's latency and its signal. *)
+let write_lint_json path =
+  let module L = Lintcore.Lint in
+  let module T = Lintcore.Typed in
+  let root = if Sys.file_exists "tools/lint/allowlist" then "." else ".." in
+  let ms f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    ((Unix.gettimeofday () -. t0) *. 1e3, v)
+  in
+  let untyped_ms, untyped =
+    ms (fun () ->
+        L.run_untyped ~root
+          ~allow:(L.Allowlist.load (Filename.concat root "tools/lint/allowlist")))
+  in
+  let tree = T.load_tree ~root in
+  let typed_ms, typed_diags =
+    ms (fun () -> L.typed_pass ~decls:tree.T.tdecls tree.T.tmods)
+  in
+  let fixpoint_ms, sums =
+    ms (fun () -> Lintcore.Summary.compute (Lintcore.Callgraph.build tree.T.tmods))
+  in
+  let bindings = Hashtbl.length sums.Lintcore.Summary.full in
+  let findings =
+    L.run ~root
+      ~allow:(L.Allowlist.load (Filename.concat root "tools/lint/allowlist"))
+      ~baseline:(L.Allowlist.load (Filename.concat root "tools/lint/baseline"))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"untyped_ms\": %.1f,\n\
+      \  \"typed_ms\": %.1f,\n\
+      \  \"fixpoint_ms\": %.1f,\n\
+      \  \"bindings\": %d,\n\
+      \  \"untyped_findings\": %d,\n\
+      \  \"typed_findings_raw\": %d,\n\
+      \  \"findings\": %d\n\
+       }\n"
+      untyped_ms typed_ms fixpoint_ms bindings (List.length untyped)
+      (List.length typed_diags) (List.length findings)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.printf "wrote %s\n%s" path json
+
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
     write_bench_json "BENCH_dataplane.json";
-    write_faults_json "BENCH_faults.json"
+    write_faults_json "BENCH_faults.json";
+    write_lint_json "BENCH_lint.json"
   end
   else begin
     figures ();

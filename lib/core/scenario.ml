@@ -24,9 +24,8 @@ type fig1_stage = {
    X hangs off W1; Y and Z off W2 — so Y is strictly closer to Z's
    client than X is, and deployment by Y visibly improves C's
    redirection, as in the figure. *)
-let fig1_names = [| "W1"; "W2"; "X"; "Y"; "Z" |]
-
 let fig1 () =
+  let names = [| "W1"; "W2"; "X"; "Y"; "Z" |] in
   let inet =
     Internet.build_custom ~seed:11L
       [|
@@ -53,7 +52,7 @@ let fig1 () =
     match Metrics.actual service ~endhost:client with
     | Some (member, metric) ->
         let d = (Internet.router inet member).Internet.rdomain in
-        { deployed; ingress_domain = fig1_names.(d); metric }
+        { deployed; ingress_domain = names.(d); metric }
     | None -> { deployed; ingress_domain = "(dropped)"; metric = infinity }
   in
   Setup.deploy setup ~domain:2;
@@ -80,9 +79,8 @@ type fig2_row = { stage : string; source : string; terminates_in : string }
 
 (* Domains: 0=P (transit), 1=Q (transit), 2=D (default, customer of P),
    3=X (customer of P), 4=Y (customer of P and Q), 5=Z (customer of Q). *)
-let fig2_names = [| "P"; "Q"; "D"; "X"; "Y"; "Z" |]
-
 let fig2 () =
+  let names = [| "P"; "Q"; "D"; "X"; "Y"; "Z" |] in
   let inet =
     Internet.build_custom ~seed:23L
       [|
@@ -116,10 +114,10 @@ let fig2 () =
         let terminates_in =
           match Metrics.actual service ~endhost:(client_of_domain src_domain) with
           | Some (member, _) ->
-              fig2_names.((Internet.router inet member).Internet.rdomain)
+              names.((Internet.router inet member).Internet.rdomain)
           | None -> "(dropped)"
         in
-        { stage; source = fig2_names.(src_domain); terminates_in })
+        { stage; source = names.(src_domain); terminates_in })
       [ 3; 4; 5 ]
   in
   let before = observe "before Y-Q peering" in
@@ -147,7 +145,6 @@ type fig3_row = {
 (* Domains: 0=T1, 1=T2 (transits, non-IPvN), 2=M (IPvN, source side),
    3=O (IPvN, one business hop from C's domain), 4=CD (C's domain,
    non-IPvN, customer of T2 and peer of O). *)
-let fig3_names = [| "T1"; "T2"; "M"; "O"; "CD" |]
 
 let fig3_setup () =
   let inet =
@@ -173,6 +170,7 @@ let fig3_setup () =
   (inet, setup)
 
 let fig3 () =
+  let names = [| "T1"; "T2"; "M"; "O"; "CD" |] in
   let inet, setup = fig3_setup () in
   let src = (Internet.domain inet 2).Internet.endhost_ids.(0) in
   let dst = (Internet.domain inet 4).Internet.endhost_ids.(0) in
@@ -180,7 +178,7 @@ let fig3 () =
     let j = Setup.send setup ~strategy ~src ~dst () in
     let last_vn_domain =
       match Transport.last_vn_router j with
-      | Some r -> fig3_names.((Internet.router inet r).Internet.rdomain)
+      | Some r -> names.((Internet.router inet r).Internet.rdomain)
       | None -> "(none)"
     in
     {
@@ -215,9 +213,8 @@ type fig4_row = {
 
 (* Domains: 0=M, 1=N (transits, non-IPvN), 2=A, 3=B, 4=C (IPvN),
    5=Z (non-IPvN destination, customer of N, peer of C). *)
-let fig4_names = [| "M"; "N"; "A"; "B"; "C"; "Z" |]
-
 let fig4 () =
+  let names = [| "M"; "N"; "A"; "B"; "C"; "Z" |] in
   let inet =
     Internet.build_custom ~seed:41L
       [|
@@ -248,7 +245,7 @@ let fig4 () =
     let j = Setup.send setup ~strategy ~src ~dst () in
     let egress_domain =
       match j.Transport.egress with
-      | Some r -> fig4_names.((Internet.router inet r).Internet.rdomain)
+      | Some r -> names.((Internet.router inet r).Internet.rdomain)
       | None -> "(none)"
     in
     {

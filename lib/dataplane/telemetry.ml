@@ -107,6 +107,17 @@ let cache_hit_rate t =
   if lookups = 0 then 0.0
   else float_of_int acc.cache_hits /. float_of_int lookups
 
+(* The scratch ref is a local of this binding, so the effect-summary
+   engine proves the writes instance-owned — no allowlist entry needed
+   even if the scan ever lands on a reachable path. *)
+let busiest t =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if !best < 0 || c.packets > t.per_router.(!best).packets then best := i)
+    t.per_router;
+  if !best >= 0 && t.per_router.(!best).packets > 0 then Some !best else None
+
 let pp fmt t =
   let line name (c : counters) =
     Format.fprintf fmt
@@ -116,12 +127,8 @@ let pp fmt t =
   Format.fprintf fmt "telemetry (%d routers):@." (num_routers t);
   line "native" (cls t Native);
   line "encap" (cls t Encap);
-  let busiest = ref (-1) in
-  Array.iteri
-    (fun i c ->
-      if !busiest < 0 || c.packets > t.per_router.(!busiest).packets then
-        busiest := i)
-    t.per_router;
-  if !busiest >= 0 && t.per_router.(!busiest).packets > 0 then
-    Format.fprintf fmt "  busiest router: %d (%d pkts, %.1f%% cache hits)@."
-      !busiest t.per_router.(!busiest).packets (100.0 *. cache_hit_rate t)
+  match busiest t with
+  | Some b ->
+      Format.fprintf fmt "  busiest router: %d (%d pkts, %.1f%% cache hits)@."
+        b t.per_router.(b).packets (100.0 *. cache_hit_rate t)
+  | None -> ()

@@ -46,6 +46,11 @@ val cache_hit_rate : t -> float
 (** [cache_hits / (cache_hits + cache_misses)] over all routers; 0
     before any lookup. *)
 
+val busiest : t -> int option
+(** Router that handled the most packets; [None] when no router has
+    handled any. Its scratch state is local, so the evolvelint effect
+    summaries prove the scan instance-owned. *)
+
 (** {2 Recording} — called by the traffic engine, one event each. *)
 
 val record_hop : t -> router:int -> cls:cls -> bytes:int -> encap_bytes:int -> unit

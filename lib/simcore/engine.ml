@@ -10,14 +10,14 @@ and t = {
   mutable cancelled : int;  (* cancelled events still sitting in the heap *)
 }
 
-let always = { alive = true }
-
 let create () =
+  (* the padding event's handle is fresh per engine, so no module-level
+     mutable sentinel is shared between instances *)
+  let pad = { time = 0.0; seq = 0; action = (fun _ -> ()); live = { alive = true } } in
   {
     clock = 0.0;
     next_seq = 0;
-    heap =
-      Array.make 16 { time = 0.0; seq = 0; action = (fun _ -> ()); live = always };
+    heap = Array.make 16 pad;
     size = 0;
     cancelled = 0;
   }

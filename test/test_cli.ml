@@ -61,6 +61,49 @@ let test_help_exits_zero () =
   let code, _ = run "--help > /dev/null" in
   check Alcotest.int "exit code" 0 code
 
+(* --- the evolvelint binary honours the same contract ---------------- *)
+
+let lint_binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".."
+       (Filename.concat "tools" (Filename.concat "lint" "main.exe")))
+
+let run_lint args =
+  let err = Filename.temp_file "evolvelint_cli" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s 2> %s" (Filename.quote lint_binary) args
+         (Filename.quote err))
+  in
+  let ic = open_in err in
+  let msg = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove err;
+  (code, msg)
+
+let test_lint_explain_unknown_rule () =
+  let code, msg = run_lint "--explain no-such-rule" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the rule" true (contains msg "no-such-rule");
+  check Alcotest.bool "lists the known rules" true (contains msg "layering");
+  check Alcotest.bool "points at usage" true (contains msg "usage")
+
+let test_lint_explain_known_rule () =
+  let code, msg = run_lint "--explain domain-unsafe-write > /dev/null" in
+  check Alcotest.int "exit code" 0 code;
+  check Alcotest.bool "stderr empty" true (String.length msg = 0)
+
+let test_lint_summaries_rejects_sarif () =
+  let code, msg = run_lint "--summaries --format sarif" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "points at usage" true (contains msg "usage")
+
+let test_lint_unknown_format () =
+  let code, msg = run_lint "--format yaml" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "points at usage" true (contains msg "usage")
+
 let () =
   Alcotest.run "cli"
     [
@@ -73,5 +116,16 @@ let () =
             test_malformed_flag_value;
           Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
           Alcotest.test_case "help exits 0" `Quick test_help_exits_zero;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "explain unknown rule exits 2" `Quick
+            test_lint_explain_unknown_rule;
+          Alcotest.test_case "explain known rule exits 0" `Quick
+            test_lint_explain_known_rule;
+          Alcotest.test_case "--summaries rejects sarif" `Quick
+            test_lint_summaries_rejects_sarif;
+          Alcotest.test_case "unknown format exits 2" `Quick
+            test_lint_unknown_format;
         ] );
     ]

@@ -294,6 +294,262 @@ let test_hot_path_reachability () =
   check Alcotest.int "same code off the hot path passes" 0
     (count_rule "hot-path-alloc" cold)
 
+(* --- effect summaries (v3 engine) ----------------------------------- *)
+
+module CG = Lintcore.Callgraph
+module S = Lintcore.Summary
+
+(* Build the call graph and summaries of one fixture module directly,
+   for asserting on the analysis itself rather than its findings. *)
+let graph_of ?(filename = "lib/fixture/fix.ml") ~modname src =
+  match Lintcore.Typed.of_string ~filename ~modname src with
+  | Error d -> Alcotest.failf "fixture rejected: %s" (L.to_string d)
+  | Ok m ->
+      let cg = CG.build [ m ] in
+      (cg, S.compute cg)
+
+let test_summary_effects () =
+  let _, sums =
+    graph_of ~modname:"Sumfx"
+      "let double x = x + x\n\
+       let shout () = print_int 1\n\
+       let tick (r : int ref) = incr r\n\
+       let counter = ref 0\n\
+       let bump () = incr counter\n\
+       let caller () = bump ()\n"
+  in
+  let full n = S.get sums.S.full ("Sumfx." ^ n) in
+  check Alcotest.bool "double is pure" true (S.pure (full "double"));
+  check Alcotest.bool "shout performs io" true (full "shout").S.io;
+  check Alcotest.bool "tick writes own (parameter-rooted)" true
+    (full "tick").S.writes_own;
+  check Alcotest.bool "tick writes nothing shared" true
+    (S.SS.is_empty (full "tick").S.writes_shared);
+  check Alcotest.bool "bump writes the shared counter" true
+    (S.SS.mem "Sumfx.counter" (full "bump").S.writes_shared);
+  (* interprocedural: the caller's own body writes nothing, its
+     fixpoint summary inherits bump's shared write *)
+  check Alcotest.bool "caller's base is write-free" true
+    (S.SS.is_empty (S.get sums.S.base "Sumfx.caller").S.writes_shared);
+  check Alcotest.bool "caller's fixpoint carries the write" true
+    (S.SS.mem "Sumfx.counter" (full "caller").S.writes_shared)
+
+let test_summary_scc_fixpoint () =
+  let cg, sums =
+    graph_of ~modname:"Sccfx"
+      "let spins = ref 0\n\
+       let rec ping n = if n = 0 then !spins else pong (n - 1)\n\
+       and pong n = spins := !spins + 1; ping n\n"
+  in
+  check Alcotest.bool "ping -> pong edge" true
+    (CG.SS.mem "Sccfx.pong" (CG.succs cg "Sccfx.ping"));
+  check Alcotest.bool "pong -> ping edge" true
+    (CG.SS.mem "Sccfx.ping" (CG.succs cg "Sccfx.pong"));
+  check Alcotest.bool "ping's own body writes nothing" true
+    (S.SS.is_empty (S.get sums.S.base "Sccfx.ping").S.writes_shared);
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ "'s fixpoint carries the SCC's shared write")
+        true
+        (S.SS.mem "Sccfx.spins"
+           (S.get sums.S.full ("Sccfx." ^ n)).S.writes_shared))
+    [ "ping"; "pong" ]
+
+let test_rng_sanctioned_source () =
+  let src = "let draw () = Random.int 10\n" in
+  let _, seeded = graph_of ~filename:"lib/topology/rng.ml" ~modname:"Rng" src in
+  check Alcotest.bool "rng.ml is never a nondeterminism witness" true
+    ((S.get seeded.S.full "Rng.draw").S.nondet = None);
+  let _, unseeded = graph_of ~modname:"Other" src in
+  check Alcotest.bool "the same source elsewhere is a witness" true
+    ((S.get unseeded.S.full "Other.draw").S.nondet <> None)
+
+(* --- shared-state inventory ------------------------------------------ *)
+
+let test_shared_state_fires_then_fixed () =
+  let dirty =
+    typed ~modname:"Statefx"
+      "let cache : (string, int) Hashtbl.t = Hashtbl.create 16\n\
+       let get k = Hashtbl.find_opt cache k\n"
+  in
+  check Alcotest.int "toplevel Hashtbl flagged" 1
+    (count_rule "shared-state" dirty);
+  let d = List.find (fun (d : L.diag) -> d.L.rule = "shared-state") dirty in
+  check
+    Alcotest.(option string)
+    "keyed at the binding"
+    (Some "lib/fixture/statefx.ml:cache")
+    d.L.key;
+  check Alcotest.bool "names the container kind" true
+    (contains_sub d.L.msg "Hashtbl.t");
+  let fixed = typed ~modname:"Statefx" "let get tbl k = Hashtbl.find_opt tbl k\n" in
+  check Alcotest.int "threaded table passes" 0 (count_rule "shared-state" fixed)
+
+let test_shared_state_record_and_immutables () =
+  let diags =
+    typed ~modname:"Statefx"
+      "type h = { mutable alive : bool }\n\
+       let flag = { alive = true }\n\
+       let pi = 3.14159\n\
+       let names = [ \"a\"; \"b\" ]\n"
+  in
+  check Alcotest.int "mutable record flagged, immutables quiet" 1
+    (count_rule "shared-state" diags);
+  let d = List.find (fun (d : L.diag) -> d.L.rule = "shared-state") diags in
+  check Alcotest.bool "names the record kind" true
+    (contains_sub d.L.msg "mutable fields")
+
+(* --- domain safety (race detector) ----------------------------------- *)
+
+let test_domain_unsafe_fires_then_fixed () =
+  let dirty =
+    typed ~modname:"Pump"
+      "let hits = ref 0\nlet note () = incr hits\nlet inject t = note (); t\n"
+  in
+  check Alcotest.int "the direct writer is flagged once" 1
+    (count_rule "domain-unsafe-write" dirty);
+  let d =
+    List.find (fun (d : L.diag) -> d.L.rule = "domain-unsafe-write") dirty
+  in
+  check
+    Alcotest.(option string)
+    "keyed at the writer"
+    (Some "lib/fixture/pump.ml:note")
+    d.L.key;
+  check Alcotest.bool "message names the shared target" true
+    (contains_sub d.L.msg "Pump.hits");
+  let fixed =
+    typed ~modname:"Pump"
+      "let note (h : int ref) = incr h\nlet inject t h = note h; t\n"
+  in
+  check Alcotest.int "instance-threaded state passes" 0
+    (count_rule "domain-unsafe-write" fixed)
+
+let test_domain_instance_owned_proven () =
+  (* the telemetry idiom: mutation through a parameter is *proven*
+     instance-owned, not allowlisted *)
+  let diags =
+    typed ~modname:"Pump"
+      "type c = { mutable n : int }\n\
+       let bump (x : c) = x.n <- x.n + 1\n\
+       let inject (t : c) = bump t; t.n\n"
+  in
+  check Alcotest.int "parameter-rooted mutation is proven owned" 0
+    (count_rule "domain-unsafe-write" diags);
+  check Alcotest.int "instance mutable fields are not shared state" 0
+    (count_rule "shared-state" diags)
+
+let test_domain_alias_laundering () =
+  let diags =
+    typed ~modname:"Pump"
+      "let glob = ref 0\n\
+       let sneaky () = let g = glob in g := 1\n\
+       let inject t = sneaky (); t\n"
+  in
+  check Alcotest.int "global laundered through a let still flagged" 1
+    (count_rule "domain-unsafe-write" diags)
+
+let test_domain_cold_module_quiet () =
+  let diags =
+    typed ~modname:"Coldmod"
+      "let hits = ref 0\nlet note () = incr hits\nlet drive t = note (); t\n"
+  in
+  check Alcotest.int "same write off the pump path passes" 0
+    (count_rule "domain-unsafe-write" diags)
+
+(* --- call-graph edges the summary engine depends on ------------------ *)
+
+let test_callgraph_functor_application () =
+  let src =
+    "let total = ref 0\n\
+     module type N = sig val n : int end\n\
+     module F (X : N) = struct let go () = total := !total + X.n end\n\
+     module A = F (struct let n = 3 end)\n\
+     let inject t = A.go (); t\n"
+  in
+  let cg, _ = graph_of ~filename:"lib/fixture/pump.ml" ~modname:"Pump" src in
+  check Alcotest.bool "inject -> F.go edge through the application" true
+    (CG.SS.mem "Pump.F.go" (CG.succs cg "Pump.inject"));
+  let dirty = typed ~modname:"Pump" src in
+  check Alcotest.int "functor-body writer flagged" 1
+    (count_rule "domain-unsafe-write" dirty);
+  let d =
+    List.find (fun (d : L.diag) -> d.L.rule = "domain-unsafe-write") dirty
+  in
+  check
+    Alcotest.(option string)
+    "keyed at the nested binding"
+    (Some "lib/fixture/pump.ml:F.go")
+    d.L.key;
+  let fixed =
+    typed ~modname:"Pump"
+      "module type N = sig val n : int end\n\
+       module F (X : N) = struct let go (acc : int ref) = acc := !acc + X.n end\n\
+       module A = F (struct let n = 3 end)\n\
+       let inject t acc = A.go acc; t\n"
+  in
+  check Alcotest.int "threaded accumulator passes" 0
+    (count_rule "domain-unsafe-write" fixed)
+
+let test_callgraph_first_class_module () =
+  let src =
+    "let total = ref 0\n\
+     module type C = sig val bump : int -> int end\n\
+     let counter : (module C) =\n\
+    \  (module struct let bump x = total := !total + x; !total end)\n\
+     let inject t = let module M = (val counter) in M.bump t\n"
+  in
+  let cg, sums = graph_of ~filename:"lib/fixture/pump.ml" ~modname:"Pump" src in
+  check Alcotest.bool "inject -> counter edge through the unpack" true
+    (CG.SS.mem "Pump.counter" (CG.succs cg "Pump.inject"));
+  check Alcotest.bool "packed body's write attributed to counter" true
+    (S.SS.mem "Pump.total" (S.get sums.S.base "Pump.counter").S.writes_shared);
+  let dirty = typed ~modname:"Pump" src in
+  check Alcotest.int "write through a first-class module flagged" 1
+    (count_rule "domain-unsafe-write" dirty)
+
+(* --- determinism taint ------------------------------------------------ *)
+
+let test_taint_reaches_surface () =
+  let dirty =
+    typed ~modname:"Experiments"
+      "let clock () = Sys.time ()\n\
+       let e1_demo (xs : float list) = List.map (fun x -> x +. clock ()) xs\n"
+  in
+  check Alcotest.int "flagged at the surface, not the helper" 1
+    (count_rule "determinism-taint" dirty);
+  let d =
+    List.find (fun (d : L.diag) -> d.L.rule = "determinism-taint") dirty
+  in
+  check
+    Alcotest.(option string)
+    "keyed at the surface"
+    (Some "lib/fixture/experiments.ml:e1_demo")
+    d.L.key;
+  check Alcotest.bool "witness names the originating source" true
+    (contains_sub d.L.msg "Sys.time");
+  let fixed =
+    typed ~modname:"Experiments"
+      "let clock () = 0.0\n\
+       let e1_demo (xs : float list) = List.map (fun x -> x +. clock ()) xs\n"
+  in
+  check Alcotest.int "clean helper passes" 0
+    (count_rule "determinism-taint" fixed)
+
+let test_taint_report_generate_surface () =
+  let dirty =
+    typed ~modname:"Report"
+      "let stamp () = Sys.time ()\nlet generate () = stamp ()\n"
+  in
+  check Alcotest.int "Report.generate is a surface" 1
+    (count_rule "determinism-taint" dirty);
+  let quiet =
+    typed ~modname:"Report"
+      "let stamp () = Sys.time ()\nlet helper () = stamp ()\n"
+  in
+  check Alcotest.int "non-surface bindings stay quiet" 0
+    (count_rule "determinism-taint" quiet)
+
 let test_baseline_suppresses_then_goes_stale () =
   let baseline =
     L.Allowlist.parse ~path:"baseline"
@@ -342,6 +598,20 @@ let test_to_string_one_based () =
     (Printf.sprintf "%s:%d:%d: [%s] %s" d.L.file d.L.line d.L.col d.L.rule
        d.L.msg)
     (L.to_string d)
+
+let test_dedupe_same_site () =
+  (* the untyped and typed passes can both flag one site under one
+     rule; the merged stream must carry it once *)
+  let a = mk_diag ~file:"a.ml" ~line:3 ~col:1 ~rule:"r" "alpha" in
+  let b = mk_diag ~file:"a.ml" ~line:3 ~col:1 ~rule:"r" "beta" in
+  let other = mk_diag ~file:"a.ml" ~line:3 ~col:1 ~rule:"other" "gamma" in
+  let out = L.dedupe_diags [ b; a; a; other ] in
+  check Alcotest.int "same site+rule collapses, other rule survives" 2
+    (List.length out);
+  check
+    Alcotest.(list string)
+    "sorted, first message per site kept" [ "gamma"; "alpha" ]
+    (List.map (fun (d : L.diag) -> d.L.msg) out)
 
 let test_compare_diag_total () =
   let a = mk_diag ~file:"a.ml" ~line:1 ~col:1 ~rule:"r" "m" in
@@ -417,6 +687,29 @@ let test_clean_tree_passes () =
     "evolvelint is clean on the committed tree" []
     (List.map L.to_string diags)
 
+let test_outputs_byte_identical () =
+  let load f = L.Allowlist.load (Filename.concat repo_root f) in
+  let run () =
+    L.run ~root:repo_root
+      ~allow:(load "tools/lint/allowlist")
+      ~baseline:(load "tools/lint/baseline")
+  in
+  let d1 = run () and d2 = run () in
+  check Alcotest.string "json byte-identical across runs" (L.to_json d1)
+    (L.to_json d2);
+  check Alcotest.string "sarif byte-identical across runs" (L.to_sarif d1)
+    (L.to_sarif d2)
+
+let test_summary_dump_deterministic () =
+  let j1 = L.summary_dump ~root:repo_root ~json:true in
+  let j2 = L.summary_dump ~root:repo_root ~json:true in
+  check Alcotest.string "json dump byte-identical across runs" j1 j2;
+  check Alcotest.bool "covers the pump entry point" true
+    (contains_sub j1 "Pump.inject");
+  let t = L.summary_dump ~root:repo_root ~json:false in
+  check Alcotest.bool "text dump lists the shared-state inventory" true
+    (contains_sub t "# shared state")
+
 let () =
   Alcotest.run "lint"
     [
@@ -487,6 +780,44 @@ let () =
           Alcotest.test_case "reachability carries the hot set" `Quick
             test_hot_path_reachability;
         ] );
+      ( "effect-summaries",
+        [
+          Alcotest.test_case "per-binding effect classes" `Quick
+            test_summary_effects;
+          Alcotest.test_case "mutual recursion reaches the fixpoint" `Quick
+            test_summary_scc_fixpoint;
+          Alcotest.test_case "rng.ml is a sanctioned source" `Quick
+            test_rng_sanctioned_source;
+        ] );
+      ( "shared-state",
+        [
+          Alcotest.test_case "toplevel container fires then fixed" `Quick
+            test_shared_state_fires_then_fixed;
+          Alcotest.test_case "mutable record flagged, immutables quiet" `Quick
+            test_shared_state_record_and_immutables;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "shared write fires then fixed" `Quick
+            test_domain_unsafe_fires_then_fixed;
+          Alcotest.test_case "instance-owned mutation proven" `Quick
+            test_domain_instance_owned_proven;
+          Alcotest.test_case "alias laundering caught" `Quick
+            test_domain_alias_laundering;
+          Alcotest.test_case "cold module stays quiet" `Quick
+            test_domain_cold_module_quiet;
+          Alcotest.test_case "functor application edges" `Quick
+            test_callgraph_functor_application;
+          Alcotest.test_case "first-class module edges" `Quick
+            test_callgraph_first_class_module;
+        ] );
+      ( "determinism-taint",
+        [
+          Alcotest.test_case "taint surfaces at eN" `Quick
+            test_taint_reaches_surface;
+          Alcotest.test_case "Report.generate is a surface" `Quick
+            test_taint_report_generate_surface;
+        ] );
       ( "baseline",
         [
           Alcotest.test_case "baseline suppresses live debt" `Quick
@@ -500,6 +831,8 @@ let () =
         [
           Alcotest.test_case "to_string is 1-based" `Quick
             test_to_string_one_based;
+          Alcotest.test_case "same-site diagnostics dedupe" `Quick
+            test_dedupe_same_site;
           Alcotest.test_case "compare_diag is total" `Quick
             test_compare_diag_total;
           Alcotest.test_case "json shape and escaping" `Quick test_json_output;
@@ -507,5 +840,11 @@ let () =
           Alcotest.test_case "doc/LINT.md in sync" `Quick test_catalog_in_sync;
         ] );
       ( "whole-tree",
-        [ Alcotest.test_case "clean tree passes" `Quick test_clean_tree_passes ] );
+        [
+          Alcotest.test_case "clean tree passes" `Quick test_clean_tree_passes;
+          Alcotest.test_case "lint output is deterministic" `Quick
+            test_outputs_byte_identical;
+          Alcotest.test_case "summary dump is deterministic" `Quick
+            test_summary_dump_deterministic;
+        ] );
     ]

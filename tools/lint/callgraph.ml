@@ -1,12 +1,24 @@
 (* Cross-module call graph over the typed tree.
 
-   Nodes are top-level value bindings, named "Module.binding". An edge
-   A -> B is recorded when A's body references B — either a local
-   reference to another top-level binding of the same module (matched
-   by Ident.same, so shadowing cannot confuse it) or a dotted path
-   whose normalized (module, value) pair lands in one of the analyzed
-   modules. References from inside nested modules are not attributed
-   (the repo convention keeps public API at the top level).
+   Nodes are value bindings, named "Module.binding". Since v3 the graph
+   also attributes one level of nested modules: a binding inside
+   `module F (X : S) = struct let go () = ... end` in pump.ml is the
+   node "Pump.F.go", and `module A = F (Arg)` registers A as an alias
+   of F so a later `A.go ()` resolves to "Pump.F.go". A module alias to
+   another analyzed library module (`module W = Netcore.Wire`) resolves
+   dotted uses through the local name to the target's own nodes.
+
+   An edge A -> B is recorded when A's body references B — either a
+   local reference to a binding in scope (matched by Ident.same, so
+   shadowing cannot confuse it) or a dotted path whose normalized
+   (module, value) pair lands in one of the analyzed modules.
+   First-class modules need no special casing: a packed struct's body
+   is part of the enclosing binding's expression, so its references are
+   attributed to that binding by the default traversal.
+
+   [binds] lists every attributed binding with the static scope it was
+   resolved against — the summary engine (Summary) consumes it so the
+   effect analysis and the graph can never disagree about scoping.
 
    [reachable] computes the transitive closure from a set of root
    patterns; a trailing '*' in a root is a prefix wildcard, so
@@ -14,14 +26,65 @@
 
 module SS = Set.Make (String)
 
-type t = { edges : (string, SS.t) Hashtbl.t; nodes : SS.t }
+type bind = {
+  b_node : string;  (* "Pump.inject" or "Pump.F.go" *)
+  b_mod : Typed.modinfo;
+  b_statics : (Ident.t * string) list;
+      (* idents in scope that resolve to module-level bindings, keyed
+         to their node names — the binding's own scope chain *)
+  b_vb : Typedtree.value_binding;
+}
+
+type t = {
+  edges : (string, SS.t) Hashtbl.t;
+  nodes : SS.t;
+  binds : bind list;  (* deterministic: file order, then source order *)
+}
 
 let node m v = m ^ "." ^ v
+
+(* Values bound at the top of a structure, in source order. A binding
+   with a type annotation (`let x : t = e`) typechecks to an alias
+   pattern wrapping the constraint, so both shapes name a value. *)
+let struct_values (items : Typedtree.structure_item list) =
+  List.concat_map
+    (fun (it : Typedtree.structure_item) ->
+      match it.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.filter_map
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, name) | Tpat_alias (_, id, name) ->
+                  Some (id, name.txt, vb)
+              | _ -> None)
+            vbs
+      | _ -> [])
+    items
+
+(* What a module expression amounts to for attribution: its own
+   structure (looking through functor parameters and constraints), an
+   alias of a locally bound module, an alias of another analyzed
+   module, or something opaque. A functor application aliases the
+   functor itself — the applied copy shares the functor body's nodes,
+   which is the right over-approximation for effect analysis. *)
+let rec mod_shape (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> `Structure s
+  | Tmod_functor (_, body) -> mod_shape body
+  | Tmod_constraint (me, _, _, _) -> mod_shape me
+  | Tmod_apply (f, _, _) -> mod_shape f
+  | Tmod_ident (Path.Pident id, _) -> `Local id
+  | Tmod_ident (p, _) -> (
+      match List.rev (Typed.path_components p []) with
+      | last :: _ -> `Global (Typed.plain_module last)
+      | [] -> `Opaque)
+  | _ -> `Opaque
 
 let build (mods : Typed.modinfo list) =
   let module_set = SS.of_list (List.map (fun m -> m.Typed.ti_module) mods) in
   let edges = Hashtbl.create 256 in
   let nodes = ref SS.empty in
+  let binds = ref [] in
   let add_node n = nodes := SS.add n !nodes in
   let add_edge src dst =
     add_node src;
@@ -32,35 +95,108 @@ let build (mods : Typed.modinfo list) =
   List.iter
     (fun (m : Typed.modinfo) ->
       let self = m.Typed.ti_module in
-      let tops = Typed.top_value_idents m.Typed.ti_str in
-      Typed.iter_top_bindings m.Typed.ti_str ~f:(fun ~id:_ ~name vb ->
-          let src = node self name in
-          add_node src;
-          let open Tast_iterator in
-          let iter =
-            {
-              default_iterator with
-              expr =
-                (fun it (e : Typedtree.expression) ->
-                  (match e.exp_desc with
-                  | Texp_ident (Path.Pident id, _, _) -> (
+      (* pass 1: enumerate scopes — outer bindings, nested structures,
+         and the module-ident -> node-prefix alias map *)
+      let outer_vals = struct_values m.Typed.ti_str.str_items in
+      let outer_binds =
+        List.map (fun (id, nm, _) -> (id, node self nm)) outer_vals
+      in
+      let declared = ref SS.empty in
+      List.iter
+        (fun (_, nm, _) -> declared := SS.add (node self nm) !declared)
+        outer_vals;
+      let prefixes : (Ident.t * string) list ref = ref [] in
+      let nested_structs = ref [] in
+      List.iter
+        (fun (it : Typedtree.structure_item) ->
+          match it.str_desc with
+          | Tstr_module mb -> (
+              match mb.mb_id with
+              | None -> ()
+              | Some mid -> (
+                  match mod_shape mb.mb_expr with
+                  | `Structure s ->
+                      let prefix = node self (Ident.name mid) in
+                      prefixes := (mid, prefix) :: !prefixes;
+                      let vals = struct_values s.Typedtree.str_items in
+                      List.iter
+                        (fun (_, nm, _) ->
+                          declared := SS.add (node prefix nm) !declared)
+                        vals;
+                      nested_structs := (prefix, vals) :: !nested_structs
+                  | `Local aid -> (
                       match
-                        List.find_opt (fun (i, _) -> Ident.same i id) tops
+                        List.find_opt
+                          (fun (i, _) -> Ident.same i aid)
+                          !prefixes
                       with
-                      | Some (_, n) -> add_edge src (node self n)
+                      | Some (_, prefix) -> prefixes := (mid, prefix) :: !prefixes
                       | None -> ())
-                  | Texp_ident (p, _, _) -> (
-                      match Typed.norm_target p with
-                      | Some (tm, tv) when SS.mem tm module_set ->
-                          add_edge src (node tm tv)
+                  | `Global g ->
+                      if SS.mem g module_set then
+                        prefixes := (mid, g) :: !prefixes
+                  | `Opaque -> ()))
+          | _ -> ())
+        m.Typed.ti_str.str_items;
+      let nested_structs = List.rev !nested_structs in
+      (* pass 2: walk every attributed binding against its scope *)
+      let walk ~statics src vb =
+        add_node src;
+        binds := { b_node = src; b_mod = m; b_statics = statics; b_vb = vb }
+                 :: !binds;
+        let open Tast_iterator in
+        let iter =
+          {
+            default_iterator with
+            expr =
+              (fun it (e : Typedtree.expression) ->
+                (match e.exp_desc with
+                | Texp_ident (Path.Pident id, _, _) -> (
+                    match
+                      List.find_opt (fun (i, _) -> Ident.same i id) statics
+                    with
+                    | Some (_, dst) -> add_edge src dst
+                    | None -> ())
+                | Texp_ident (Path.Pdot (Path.Pident mid, v), _, _)
+                  when List.exists
+                         (fun (i, _) -> Ident.same i mid)
+                         !prefixes -> (
+                    let _, prefix =
+                      List.find (fun (i, _) -> Ident.same i mid) !prefixes
+                    in
+                    let dst = node prefix v in
+                    if SS.mem dst !declared then add_edge src dst
+                    else
+                      (* alias of another analyzed module: its own
+                         top-level bindings are nodes already *)
+                      match String.index_opt prefix '.' with
+                      | None when SS.mem prefix module_set ->
+                          add_edge src dst
                       | _ -> ())
-                  | _ -> ());
-                  default_iterator.expr it e);
-            }
-          in
-          iter.value_binding iter vb))
+                | Texp_ident (p, _, _) -> (
+                    match Typed.norm_target p with
+                    | Some (tm, tv) when SS.mem tm module_set ->
+                        add_edge src (node tm tv)
+                    | _ -> ())
+                | _ -> ());
+                default_iterator.expr it e);
+          }
+        in
+        iter.value_binding iter vb
+      in
+      List.iter
+        (fun (_, nm, vb) -> walk ~statics:outer_binds (node self nm) vb)
+        outer_vals;
+      List.iter
+        (fun (prefix, vals) ->
+          let own = List.map (fun (id, nm, _) -> (id, node prefix nm)) vals in
+          let statics = own @ outer_binds in
+          List.iter
+            (fun (_, nm, vb) -> walk ~statics (node prefix nm) vb)
+            vals)
+        nested_structs)
     mods;
-  { edges; nodes = !nodes }
+  { edges; nodes = !nodes; binds = List.rev !binds }
 
 let expand_roots t roots =
   List.concat_map
@@ -91,3 +227,18 @@ let reachable t ~roots =
   !seen
 
 let mem set n = SS.mem n set
+
+let succs t n = Option.value (Hashtbl.find_opt t.edges n) ~default:SS.empty
+
+(* "Pump.F.go" -> "Pump"; "Pump.inject" -> "Pump". *)
+let module_of_node n =
+  match String.index_opt n '.' with
+  | Some i -> String.sub n 0 i
+  | None -> n
+
+(* "Pump.F.go" -> "F.go" — the within-module binding name used in
+   suppression keys. *)
+let binding_of_node n =
+  match String.index_opt n '.' with
+  | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+  | None -> n

@@ -126,6 +126,43 @@ let rules =
        tools/lint/baseline. Provenance: DESIGN.md data-plane section \
        (\u{00A7}3.3.2 forwarding treats payloads as opaque bytes — the \
        per-hop budget is header reads, not allocation)." );
+    ( "shared-state",
+      "Every toplevel mutable container in lib/ (ref, array, bytes, \
+       Hashtbl, Buffer/Queue/Stack/Atomic, record with mutable fields) is \
+       catalogued with its escape class — module-private < crosses-module \
+       < crosses-library < pump-reachable — and flagged: module-level \
+       state is process-global, so it cannot be owned by one pump instance \
+       once the data plane shards across OCaml 5 domains (ROADMAP 1), and \
+       it couples experiments the determinism conventions assume \
+       independent. Thread it through a constructor; deliberate exceptions \
+       go in tools/lint/allowlist with an ownership argument. Mutable \
+       record fields on instance types are the sanctioned idiom and are \
+       inventory-only (`--summaries`). Provenance: DESIGN.md \u{00A7}9.4; \
+       ROADMAP item 1." );
+    ( "domain-unsafe-write",
+      "Functions reachable from the pump entry points (Pump.inject / \
+       Pump.step, Flowcache.lookup) must not write state that is not \
+       provably owned by a single pump instance. The summary engine traces \
+       every mutation to the root of the written lvalue — through record \
+       fields, `!` and array reads — and classifies it: rooted in a \
+       parameter, local or fresh value is instance-owned (today's \
+       telemetry bumps and cache counters pass this way, not via \
+       allowlist); rooted in module-level state is a finding, because it \
+       becomes a cross-domain data race when the data plane shards \
+       (ROADMAP 1). This gate must read zero before and after that \
+       refactor. Provenance: DESIGN.md \u{00A7}9.4; the paper's \u{00A7}3-4 \
+       argument that the cost of change be explicit before deploying it." );
+    ( "determinism-taint",
+      "Flow-based complement to random-direct/forbidden-call: the effect \
+       summaries propagate a nondeterminism witness (unseeded Random.*, \
+       wall clock, Hashtbl.randomize) through the call graph, and any \
+       witness reaching a determinism surface — an Experiments.eN entry \
+       point or Report.generate, whose outputs tests compare for byte \
+       equality — is flagged at the surface with the originating source \
+       named. A seeded Topology.Rng draw laundered through helpers stays \
+       clean; an unseeded source two hops away does not. Provenance: \
+       DESIGN.md \u{00A7}7 determinism; CLAUDE.md ('experiments must be \
+       deterministic')." );
     ( "stale-baseline",
       "A baseline entry that no longer matches any finding means the debt \
        it recorded was paid; delete the line so the baseline only shrinks. \
@@ -144,6 +181,12 @@ let rules =
    alias kept for forward compatibility. *)
 let hot_path_roots =
   [ "Pump.inject"; "Pump.step"; "Flowcache.lookup"; "Wire.peek_*" ]
+
+(* Roots of the domain-safety gate: the entry points a sharded data
+   plane would run concurrently, one pump instance per domain
+   (ROADMAP 1). Narrower than the hot path — Wire.peek_* are pure
+   header reads and are covered transitively anyway. *)
+let domain_safety_roots = [ "Pump.inject"; "Pump.step"; "Flowcache.lookup" ]
 
 (* ------------------------------------------------------------------ *)
 (* Small string helpers                                                *)
@@ -959,9 +1002,16 @@ let catalog_md () =
      evolvelint runs two passes. The untyped pass parses every source \
      file into the Parsetree and checks repo-shape invariants; the typed \
      pass loads the `.cmt`/`.cmti` artifacts dune emits, builds a \
-     cross-module call graph over the nine libraries, and runs the \
-     comparison-safety, exception-hygiene and hot-path allocation rule \
-     packs over the Typedtree.\n\n\
+     cross-module call graph over the nine libraries (nested modules and \
+     functor applications included), infers an interprocedural effect \
+     summary per binding — pure / reads-mutable / writes-own / \
+     reads-shared / writes-shared / io / raises / nondet — propagated \
+     bottom-up to a fixpoint with recursive SCCs collapsed, and runs the \
+     comparison-safety, exception-hygiene, hot-path allocation, \
+     shared-state, domain-safety and determinism-taint rule packs over \
+     the Typedtree. `--summaries` dumps the summaries and the \
+     shared-state inventory (text or `--format json`); DESIGN.md \
+     \u{00A7}9.4 documents the lattice and the ownership rule.\n\n\
      Suppression: diagnostics carrying a `RULE FILE:BINDING` key honor \
      two files. `tools/lint/allowlist` records deliberate, justified \
      exceptions and is meant to be permanent; `tools/lint/baseline` \
@@ -971,6 +1021,9 @@ let catalog_md () =
      Hot-path roots: "
     ;
   Buffer.add_string b (String.concat ", " (List.map (fun r -> "`" ^ r ^ "`") hot_path_roots));
+  Buffer.add_string b ".\n\nDomain-safety roots: ";
+  Buffer.add_string b
+    (String.concat ", " (List.map (fun r -> "`" ^ r ^ "`") domain_safety_roots));
   Buffer.add_string b ".\n";
   List.iter
     (fun (id, why) ->
@@ -996,20 +1049,45 @@ let rec walk root rel =
 let files_with_suffix root dir suffix =
   List.filter (fun f -> Filename.check_suffix f suffix) (walk root dir)
 
-(* The typed pass over a loaded tree: call graph, reachability from
-   the hot-path roots, then the three rule packs per module. Shared by
-   [run] and the fixture tests (which build one-module trees). *)
+(* The typed pass over a loaded tree: call graph, effect summaries,
+   reachability from the hot-path and domain-safety roots, then the
+   per-module packs (comparison safety, exception hygiene, hot-path
+   allocation) and the whole-graph v3 packs (shared-state inventory,
+   domain-safety, determinism taint). Shared by [run] and the fixture
+   tests (which build one-module trees). *)
 let typed_pass ~decls mods =
   let cg = Callgraph.build mods in
+  let sums = Summary.compute cg in
   let hot = Callgraph.reachable cg ~roots:hot_path_roots in
+  let dom = Callgraph.reachable cg ~roots:domain_safety_roots in
   List.concat_map
     (fun (m : Typed.modinfo) ->
       Rules_compare.check ~decls m
       @ Rules_exn.check m
       @ Rules_alloc.check ~hot ~roots:hot_path_roots m)
     mods
+  @ Rules_state.check ~decls ~sums ~dom cg mods
+  @ Rules_domain.check ~sums ~dom ~roots:domain_safety_roots cg
+  @ Rules_taint.check ~sums cg
 
-let run ~root ~allow ~baseline =
+(* Two diagnostics at the same rule+site — one from the untyped pass,
+   one from the typed pass — are the same finding worded twice; keep
+   the compare_diag-first one. Input need not be sorted. *)
+let dedupe_diags diags =
+  let sorted = List.sort_uniq compare_diag diags in
+  let same (a : diag) (b : diag) =
+    a.file = b.file && a.line = b.line && a.col = b.col && a.rule = b.rule
+  in
+  List.rev
+    (List.fold_left
+       (fun acc d ->
+         match acc with p :: _ when same p d -> acc | _ -> d :: acc)
+       [] sorted)
+
+(* The untyped pass alone — sections 1-4 of [run]; also timed
+   separately by `bench --json`. Marks [allow] entries used, so the
+   staleness check belongs to the caller once every pass has run. *)
+let run_untyped ~root ~allow =
   let read rel = read_file (Filename.concat root rel) in
   let diags = ref [] in
   let add ds = diags := ds @ !diags in
@@ -1081,8 +1159,13 @@ let run ~root ~allow ~baseline =
              experiments_md;
            })
   | _ -> ());
+  List.sort compare_diag !diags
+
+let run ~root ~allow ~baseline =
+  let diags = ref (run_untyped ~root ~allow) in
+  let add ds = diags := ds @ !diags in
   (* 5. typed pass: comparison safety, exception hygiene, hot-path
-     allocation over the .cmt tree *)
+     allocation, effect summaries and the v3 packs over the .cmt tree *)
   let tree = Typed.load_tree ~root in
   add tree.Typed.tdiags;
   add
@@ -1090,4 +1173,113 @@ let run ~root ~allow ~baseline =
        (typed_pass ~decls:tree.Typed.tdecls tree.Typed.tmods));
   add (Allowlist.stale allow);
   add (Allowlist.stale ~rule:"stale-baseline" baseline);
-  List.sort_uniq compare_diag !diags
+  dedupe_diags !diags
+
+(* ------------------------------------------------------------------ *)
+(* `--summaries`: dump the effect summaries and shared-state inventory *)
+
+let summary_dump ~root ~json =
+  let tree = Typed.load_tree ~root in
+  let cg = Callgraph.build tree.Typed.tmods in
+  let sums = Summary.compute cg in
+  let dom = Callgraph.reachable cg ~roots:domain_safety_roots in
+  let items, fields =
+    Rules_state.inventory ~decls:tree.Typed.tdecls ~sums ~dom cg
+      tree.Typed.tmods
+  in
+  let nodes =
+    List.sort_uniq String.compare
+      (List.map (fun (b : Callgraph.bind) -> b.Callgraph.b_node)
+         cg.Callgraph.binds)
+  in
+  let effects n = Summary.describe (Summary.get sums.Summary.full n) in
+  if json then
+    jobj
+      [
+        ("tool", jstr "evolvelint");
+        ("roots", jarr (List.map jstr domain_safety_roots));
+        ( "summaries",
+          jarr
+            (List.map
+               (fun n ->
+                 jobj
+                   [
+                     ("node", jstr n);
+                     ("effects", jarr (List.map jstr (effects n)));
+                     ( "pump_reachable",
+                       if Callgraph.mem dom n then "true" else "false" );
+                   ])
+               nodes) );
+        ( "shared_state",
+          jarr
+            (List.map
+               (fun (it : Rules_state.item) ->
+                 jobj
+                   [
+                     ("node", jstr it.Rules_state.it_node);
+                     ("kind", jstr it.Rules_state.it_kind);
+                     ("file", jstr it.Rules_state.it_file);
+                     ("line", string_of_int it.Rules_state.it_line);
+                     ("escape", jstr it.Rules_state.it_class);
+                     ( "writers",
+                       jarr (List.map jstr it.Rules_state.it_writers) );
+                   ])
+               items) );
+        ( "mutable_fields",
+          jarr
+            (List.map
+               (fun (f : Rules_state.field_item) ->
+                 jobj
+                   [
+                     ("field", jstr f.Rules_state.fi_id);
+                     ("file", jstr f.Rules_state.fi_file);
+                     ("line", string_of_int f.Rules_state.fi_line);
+                     ( "writers",
+                       jarr (List.map jstr f.Rules_state.fi_writers) );
+                     ( "pump_reachable",
+                       if f.Rules_state.fi_pump then "true" else "false" );
+                   ])
+               fields) );
+      ]
+  else begin
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "# effect summaries (%d bindings; roots: %s)\n"
+         (List.length nodes)
+         (String.concat ", " domain_safety_roots));
+    List.iter
+      (fun n ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s  %s\n" n
+             (if Callgraph.mem dom n then "  [pump]" else "")
+             (String.concat ", " (effects n))))
+      nodes;
+    Buffer.add_string b
+      (Printf.sprintf "\n# shared state (%d toplevel items)\n"
+         (List.length items));
+    List.iter
+      (fun (it : Rules_state.item) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s  %s  escape:%s  (%s:%d)%s\n"
+             it.Rules_state.it_node it.Rules_state.it_kind
+             it.Rules_state.it_class it.Rules_state.it_file
+             it.Rules_state.it_line
+             (match it.Rules_state.it_writers with
+             | [] -> ""
+             | ws -> "  written-by: " ^ String.concat ", " ws)))
+      items;
+    Buffer.add_string b
+      (Printf.sprintf "\n# mutable record fields (%d)\n"
+         (List.length fields));
+    List.iter
+      (fun (f : Rules_state.field_item) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s  (%s:%d)%s\n" f.Rules_state.fi_id
+             (if f.Rules_state.fi_pump then "  [pump]" else "")
+             f.Rules_state.fi_file f.Rules_state.fi_line
+             (match f.Rules_state.fi_writers with
+             | [] -> ""
+             | ws -> "  written-by: " ^ String.concat ", " ws)))
+      fields;
+    Buffer.contents b
+  end

@@ -38,6 +38,10 @@ val hot_path_roots : string list
 (** Roots of the data-plane hot path for the allocation lint; a
     trailing ['*'] is a prefix wildcard. *)
 
+val domain_safety_roots : string list
+(** Roots of the domain-safety gate: the entry points a sharded data
+    plane runs concurrently, one pump instance per domain. *)
+
 (** Sites exempted from a rule. One entry per line: [RULE FILE:KEY]
     ([#] starts a comment). For [hashtbl-order] and the typed rules the
     key is [file.ml:binding]; for [experiment-artifacts] it is
@@ -99,10 +103,17 @@ val check_experiments : allow:Allowlist.t -> exp_sources -> diag list
 
 val typed_pass : decls:Typed.decls -> Typed.modinfo list -> diag list
 (** The typed rule packs over an already-loaded module set: build the
-    call graph, compute reachability from {!hot_path_roots}, then run
-    comparison safety, exception hygiene and hot-path allocation on
-    each module. Unfiltered — pass the result through
-    {!filter_suppressed}. *)
+    call graph, compute the effect summaries (Summary), compute
+    reachability from {!hot_path_roots} and {!domain_safety_roots},
+    then run comparison safety, exception hygiene and hot-path
+    allocation per module plus the whole-graph v3 packs (shared-state
+    inventory, domain-safety race detector, determinism taint).
+    Unfiltered — pass the result through {!filter_suppressed}. *)
+
+val dedupe_diags : diag list -> diag list
+(** Sort by {!compare_diag}, drop exact duplicates, and collapse
+    diagnostics from different passes at the same rule+site (same
+    file, line, column and rule) to the first in compare order. *)
 
 val to_json : diag list -> string
 (** Machine-readable findings:
@@ -117,8 +128,19 @@ val catalog_md : unit -> string
     committed file matches, so the catalog cannot drift from
     {!rules}. *)
 
+val run_untyped : root:string -> allow:Allowlist.t -> diag list
+(** The untyped pass alone (layering, determinism, interfaces,
+    experiment artifacts), sorted. Marks allowlist entries used;
+    staleness is checked by {!run} once every pass has run. *)
+
 val run : root:string -> allow:Allowlist.t -> baseline:Allowlist.t -> diag list
 (** Both passes over a repo checkout; sorted, deduplicated. The typed
     pass needs [dune build] artifacts (in-tree or under
     [_build/default]) and reports their absence as [typed-engine]
     diagnostics rather than passing vacuously. *)
+
+val summary_dump : root:string -> json:bool -> string
+(** The `--summaries` report over a built checkout: every binding's
+    propagated effect summary, the toplevel shared-state inventory
+    with escape classes, and the mutable-field inventory with writers.
+    Deterministic: same tree, byte-identical output. *)

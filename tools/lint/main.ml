@@ -2,6 +2,8 @@
 
    evolvelint [--root DIR] [--allowlist FILE] [--baseline FILE]
               [--format text|json|sarif]        run all checks
+   evolvelint --summaries [--format text|json]  dump effect summaries
+                                                and shared-state inventory
    evolvelint --explain RULE|all                print a rule's rationale
    evolvelint --catalog                         print doc/LINT.md *)
 
@@ -9,7 +11,8 @@ module Lint = Lintcore.Lint
 
 let usage =
   "evolvelint [--root DIR] [--allowlist FILE] [--baseline FILE] \
-   [--format text|json|sarif] [--explain RULE|all] [--catalog]"
+   [--format text|json|sarif] [--summaries] [--explain RULE|all] \
+   [--catalog]"
 
 let () =
   let root = ref "." in
@@ -18,6 +21,7 @@ let () =
   let format = ref "text" in
   let explain = ref "" in
   let catalog = ref false in
+  let summaries = ref false in
   Arg.parse
     [
       ("--root", Arg.Set_string root, "DIR repository root (default .)");
@@ -32,6 +36,10 @@ let () =
       ( "--format",
         Arg.Set_string format,
         "FMT output format: text (default), json, or sarif" );
+      ( "--summaries",
+        Arg.Set summaries,
+        " dump per-binding effect summaries and the shared-state \
+         inventory (text or --format json)" );
       ( "--explain",
         Arg.Set_string explain,
         "RULE print the rule's rationale and provenance ('all' for every \
@@ -50,11 +58,29 @@ let () =
       match List.assoc_opt !explain Lint.rules with
       | Some text -> print_rule (!explain, text)
       | None ->
-          Printf.eprintf "unknown rule '%s'; known rules: %s\n" !explain
-            (String.concat ", " (List.map fst Lint.rules));
+          Printf.eprintf "unknown rule '%s'; known rules: %s\nusage: %s\n"
+            !explain
+            (String.concat ", " (List.map fst Lint.rules))
+            usage;
           exit 2
   end
+  else if !summaries then begin
+    match !format with
+    | "text" -> print_string (Lint.summary_dump ~root:!root ~json:false)
+    | "json" -> print_endline (Lint.summary_dump ~root:!root ~json:true)
+    | other ->
+        Printf.eprintf
+          "--summaries supports text and json, not '%s'\nusage: %s\n" other
+          usage;
+        exit 2
+  end
   else begin
+    (* reject a bad format before the (expensive) scan *)
+    if not (List.mem !format [ "text"; "json"; "sarif" ]) then begin
+      Printf.eprintf "unknown format '%s' (text|json|sarif)\nusage: %s\n"
+        !format usage;
+      exit 2
+    end;
     let load ~flag ~default =
       let path =
         if !flag <> "" then !flag else Filename.concat !root default
@@ -75,10 +101,9 @@ let () =
             print_endline
               "evolvelint: OK (layering, determinism, interfaces, \
                experiment artifacts, comparison safety, exception \
-               hygiene, hot-path allocation)"
+               hygiene, hot-path allocation, shared state, domain \
+               safety, determinism taint)"
         | _ -> Printf.printf "evolvelint: %d violation(s)\n" (List.length diags))
-    | other ->
-        Printf.eprintf "unknown format '%s' (text|json|sarif)\n" other;
-        exit 2);
+    | _ -> assert false (* validated above *));
     if diags <> [] then exit 1
   end

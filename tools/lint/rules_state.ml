@@ -1,0 +1,257 @@
+(* Shared-state inventory.
+
+   Catalogue every module-level mutable container in the nine
+   libraries — toplevel `ref`s, arrays, `bytes`, `Hashtbl.t`s,
+   `Buffer`/`Queue`/`Stack`/`Atomic`s and records with mutable fields —
+   and classify how far each escapes:
+
+     module-private   < crosses-module < crosses-library < pump-reachable
+
+   Every toplevel item is also a finding (rule `shared-state`):
+   module-level mutable state is process-global, so it cannot be owned
+   by one pump instance when the data plane shards across OCaml 5
+   domains (ROADMAP 1), and it silently couples experiments that the
+   determinism conventions assume independent. Thread it through a
+   constructor instead, or allowlist it with an ownership argument.
+
+   Mutable *record fields* are inventory-only: a mutable field on an
+   instance type (Telemetry.counters, Flowcache.t) is the sanctioned
+   instance-state idiom, and the domain-safety rule already checks that
+   every write to one is rooted in an instance. The inventory (dumped
+   by `--summaries`) records which bindings assign each field and
+   whether any of them sits on the pump path. *)
+
+module SS = Set.Make (String)
+
+type item = {
+  it_node : string;  (* "Module.binding" *)
+  it_kind : string;  (* "ref", "Hashtbl.t", "record with mutable fields" *)
+  it_file : string;
+  it_line : int;
+  it_class : string;
+  it_writers : string list;  (* bindings whose summary writes this target *)
+}
+
+type field_item = {
+  fi_id : string;  (* "Telemetry.counters.packets" *)
+  fi_file : string;
+  fi_line : int;
+  fi_writers : string list;  (* bindings that assign this field *)
+  fi_pump : bool;  (* some writer is reachable from the pump roots *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Mutable-container detection, on the binding's type                  *)
+
+let rec container ~(decls : Typed.decls) ~self (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Ttuple tys -> List.find_map (container ~decls ~self) tys
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (Typed.path_components p []) with
+      | [] -> None
+      | t :: rest -> (
+          let m =
+            match rest with m :: _ -> Typed.plain_module m | [] -> self
+          in
+          match (m, t) with
+          | _, "ref" -> Some "ref"
+          | _, "array" -> Some "array"
+          | _, "bytes" -> Some "bytes"
+          | "Hashtbl", "t" -> Some "Hashtbl.t"
+          | "Buffer", "t" -> Some "Buffer.t"
+          | "Queue", "t" -> Some "Queue.t"
+          | "Stack", "t" -> Some "Stack.t"
+          | "Atomic", "t" -> Some "Atomic.t"
+          | _ -> (
+              let decl =
+                match Hashtbl.find_opt decls.Typed.impl (m, t) with
+                | Some d -> Some d
+                | None -> Hashtbl.find_opt decls.Typed.intf (m, t)
+              in
+              match decl with
+              | Some { Types.type_kind = Type_record (lds, _); _ }
+                when List.exists
+                       (fun (ld : Types.label_declaration) ->
+                         ld.Types.ld_mutable = Asttypes.Mutable)
+                       lds ->
+                  Some (Printf.sprintf "record %s.%s with mutable fields" m t)
+              | _ -> None)))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Inventory                                                           *)
+
+let inventory ~(decls : Typed.decls) ~(sums : Summary.info) ~dom
+    (cg : Callgraph.t) (mods : Typed.modinfo list) =
+  (* node -> owning library, and reverse reference edges *)
+  let lib_of = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      if not (Hashtbl.mem lib_of b.Callgraph.b_node) then
+        Hashtbl.replace lib_of b.Callgraph.b_node
+          b.Callgraph.b_mod.Typed.ti_lib)
+    cg.Callgraph.binds;
+  let referrers node =
+    List.filter
+      (fun (b : Callgraph.bind) ->
+        b.Callgraph.b_node <> node
+        && SS.mem node (Callgraph.succs cg b.Callgraph.b_node))
+      cg.Callgraph.binds
+  in
+  let writers_of node =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (b : Callgraph.bind) ->
+           let s = Summary.get sums.Summary.base b.Callgraph.b_node in
+           if Summary.SS.mem node s.Summary.writes_shared then
+             Some b.Callgraph.b_node
+           else None)
+         cg.Callgraph.binds)
+  in
+  let items =
+    List.filter_map
+      (fun (b : Callgraph.bind) ->
+        let node = b.Callgraph.b_node in
+        let m = b.Callgraph.b_mod in
+        let ty = b.Callgraph.b_vb.Typedtree.vb_expr.Typedtree.exp_type in
+        match Types.get_desc ty with
+        | Types.Tarrow _ -> None (* functions are not state *)
+        | _ -> (
+            match container ~decls ~self:m.Typed.ti_module ty with
+            | None -> None
+            | Some kind ->
+                let refs = referrers node in
+                let owner_mod = Callgraph.module_of_node node in
+                let owner_lib = m.Typed.ti_lib in
+                let cross_lib =
+                  List.exists
+                    (fun (r : Callgraph.bind) ->
+                      r.Callgraph.b_mod.Typed.ti_lib <> owner_lib)
+                    refs
+                in
+                let exported =
+                  match m.Typed.ti_intf with
+                  | Some intf ->
+                      let want =
+                        "val " ^ Callgraph.binding_of_node node
+                      in
+                      let n = String.length intf
+                      and w = String.length want in
+                      let rec go i =
+                        i + w <= n
+                        && (String.sub intf i w = want || go (i + 1))
+                      in
+                      go 0
+                  | None -> false
+                in
+                let cross_mod =
+                  exported
+                  || List.exists
+                       (fun (r : Callgraph.bind) ->
+                         Callgraph.module_of_node r.Callgraph.b_node
+                         <> owner_mod)
+                       refs
+                in
+                let cls =
+                  if Callgraph.mem dom node then "pump-reachable"
+                  else if cross_lib then "crosses-library"
+                  else if cross_mod then "crosses-module"
+                  else "module-private"
+                in
+                let line, _ =
+                  Diag.loc_pos b.Callgraph.b_vb.Typedtree.vb_loc
+                in
+                Some
+                  {
+                    it_node = node;
+                    it_kind = kind;
+                    it_file = m.Typed.ti_file;
+                    it_line = line;
+                    it_class = cls;
+                    it_writers = writers_of node;
+                  }))
+      cg.Callgraph.binds
+  in
+  (* mutable record fields, per defining module, with their writers *)
+  let field_writers = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun node fields ->
+      Summary.SS.iter
+        (fun f ->
+          let cur =
+            Option.value (Hashtbl.find_opt field_writers f) ~default:[]
+          in
+          Hashtbl.replace field_writers f (node :: cur))
+        fields)
+    sums.Summary.field_writes;
+  let fields =
+    List.concat_map
+      (fun (m : Typed.modinfo) ->
+        List.concat_map
+          (fun (it : Typedtree.structure_item) ->
+            match it.Typedtree.str_desc with
+            | Tstr_type (_, tds) ->
+                List.concat_map
+                  (fun (td : Typedtree.type_declaration) ->
+                    match td.Typedtree.typ_type.Types.type_kind with
+                    | Type_record (lds, _) ->
+                        List.filter_map
+                          (fun (ld : Types.label_declaration) ->
+                            if ld.Types.ld_mutable <> Asttypes.Mutable then
+                              None
+                            else
+                              let fi_id =
+                                Printf.sprintf "%s.%s.%s" m.Typed.ti_module
+                                  td.Typedtree.typ_name.Location.txt
+                                  (Ident.name ld.Types.ld_id)
+                              in
+                              let writers =
+                                List.sort_uniq String.compare
+                                  (Option.value
+                                     (Hashtbl.find_opt field_writers fi_id)
+                                     ~default:[])
+                              in
+                              let line, _ = Diag.loc_pos ld.Types.ld_loc in
+                              Some
+                                {
+                                  fi_id;
+                                  fi_file = m.Typed.ti_file;
+                                  fi_line = line;
+                                  fi_writers = writers;
+                                  fi_pump =
+                                    List.exists
+                                      (fun w -> Callgraph.mem dom w)
+                                      writers;
+                                })
+                          lds
+                    | _ -> [])
+                  tds
+            | _ -> [])
+          m.Typed.ti_str.Typedtree.str_items)
+      mods
+  in
+  (items, fields)
+
+(* ------------------------------------------------------------------ *)
+(* The rule: every toplevel mutable container is a finding             *)
+
+let check ~decls ~sums ~dom (cg : Callgraph.t) mods =
+  let items, _ = inventory ~decls ~sums ~dom cg mods in
+  List.map
+    (fun it ->
+      let binding = Callgraph.binding_of_node it.it_node in
+      let key = it.it_file ^ ":" ^ binding in
+      Diag.make ~line:it.it_line ~key ~file:it.it_file ~rule:"shared-state"
+        (Printf.sprintf
+           "toplevel mutable state `%s` (%s, escape: %s%s): module-level \
+            state is process-global — it cannot be owned by one pump \
+            instance once the data plane shards across domains (ROADMAP 1) \
+            and it couples experiments; thread it through a constructor, or \
+            add `shared-state %s` to tools/lint/allowlist with an ownership \
+            argument"
+           binding it.it_kind it.it_class
+           (match it.it_writers with
+           | [] -> ""
+           | ws -> "; written by " ^ String.concat ", " ws)
+           key))
+    items

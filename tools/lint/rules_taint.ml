@@ -1,0 +1,64 @@
+(* Flow-based determinism taint.
+
+   The untyped pass flags nondeterminism sources at their sites
+   (random-direct, forbidden-call). This pack is the flow-based
+   complement: the effect summaries carry a nondeterminism *witness*
+   (an unseeded Random.*, a wall-clock read, Hashtbl.randomize) through
+   any chain of calls, so the taint is reported where it surfaces —
+   at an `Experiments.eN` entry point or at `Report.generate`, whose
+   outputs the test suite compares for byte equality (DESIGN.md §7).
+
+   A seeded Topology.Rng draw laundered through any number of helpers
+   stays clean: lib/topology/rng.ml is the sanctioned source and its
+   summaries never carry a witness. Conversely, an unseeded source
+   reaching a surface through helpers the syntactic rules cannot see
+   (e.g. a fixture module calling Sys.time two hops away) is flagged
+   here even though the surface itself looks innocent. *)
+
+(* The bindings whose determinism the repo's tests rely on: every
+   experiment row producer in lib/core/experiments.ml, and the report
+   generator compared for equality. *)
+let surface node =
+  match String.index_opt node '.' with
+  | None -> false
+  | Some i -> (
+      let m = String.sub node 0 i in
+      let b = String.sub node (i + 1) (String.length node - i - 1) in
+      match m with
+      | "Report" -> b = "generate"
+      | "Experiments" ->
+          String.length b >= 3
+          && b.[0] = 'e'
+          && (match String.index_opt b '_' with
+             | Some j when j > 1 ->
+                 let digits = String.sub b 1 (j - 1) in
+                 String.for_all (fun c -> c >= '0' && c <= '9') digits
+             | _ -> false)
+      | _ -> false)
+
+let check ~(sums : Summary.info) (cg : Callgraph.t) =
+  List.filter_map
+    (fun (b : Callgraph.bind) ->
+      let node = b.Callgraph.b_node in
+      if not (surface node) then None
+      else
+        match (Summary.get sums.Summary.full node).Summary.nondet with
+        | None -> None
+        | Some witness ->
+            let m = b.Callgraph.b_mod in
+            let binding = Callgraph.binding_of_node node in
+            let key = m.Typed.ti_file ^ ":" ^ binding in
+            let line, col =
+              Diag.loc_pos b.Callgraph.b_vb.Typedtree.vb_loc
+            in
+            Some
+              (Diag.make ~line ~col ~key ~file:m.Typed.ti_file
+                 ~rule:"determinism-taint"
+                 (Printf.sprintf
+                    "`%s` is a determinism surface (its output is compared \
+                     for equality) but a nondeterminism source reaches it \
+                     through the call graph: %s; route the value through a \
+                     seeded Topology.Rng, or add `determinism-taint %s` to \
+                     tools/lint/allowlist with a justification"
+                    binding witness key)))
+    cg.Callgraph.binds

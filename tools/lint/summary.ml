@@ -1,0 +1,462 @@
+(* Interprocedural effect summaries (evolvelint v3).
+
+   For every binding the call graph attributes, infer a base effect
+   summary from its body, then propagate callee summaries bottom-up to
+   a fixpoint: the graph is condensed into strongly connected
+   components (Tarjan), and because the summary domain is a pure union
+   lattice, one reverse-topological pass — each SCC joining its
+   members' base summaries with its successors' final summaries — is
+   the exact fixpoint, recursion included.
+
+   The summary per binding:
+
+     pure / reads-mutable / writes-own / reads-shared{targets} /
+     writes-shared{targets} / performs-IO / raises / nondet(witness)
+
+   The own/shared split is the ownership rule the domain-safety gate
+   builds on. Every mutation site is traced to the *root* of the
+   written lvalue — through record fields, `!`, and Array/Bytes.get —
+   and classified:
+
+   - rooted in a function parameter, a local let, or a freshly built
+     value: *instance-owned*. A pump instance mutating state handed to
+     it (telemetry bumps, cache hit counters) stays safe when the data
+     plane shards across domains, because each domain holds its own
+     instance.
+   - rooted in a module-level binding (of this or another module):
+     *shared*. Module-level state is process-global; a write to it from
+     the packet path is tomorrow's cross-domain race.
+
+   A local alias of shared state (`let g = glob in g := ...`) is
+   traced through a per-binding alias map, so laundering a global
+   through a let does not change its class. Stored closures and
+   shared state returned by calls are the analysis' blind spots —
+   documented in DESIGN.md §9.4 — and are over-approximated on the
+   read side only.
+
+   Nondeterminism witnesses name the source site ("Random.int at
+   file:line"); lib/topology/rng.ml is the sanctioned seeded source
+   and is never a witness (DESIGN.md §7). *)
+
+module SS = Set.Make (String)
+
+type t = {
+  reads_mut : bool;  (* reads owned mutable state *)
+  writes_own : bool;  (* writes instance-owned state *)
+  reads_shared : SS.t;  (* module-level targets read, node-named *)
+  writes_shared : SS.t;  (* module-level targets written, node-named *)
+  io : bool;
+  raises : bool;
+  nondet : string option;  (* witness of the first nondeterminism source *)
+}
+
+let empty =
+  {
+    reads_mut = false;
+    writes_own = false;
+    reads_shared = SS.empty;
+    writes_shared = SS.empty;
+    io = false;
+    raises = false;
+    nondet = None;
+  }
+
+let pure s =
+  (not s.reads_mut) && (not s.writes_own)
+  && SS.is_empty s.reads_shared
+  && SS.is_empty s.writes_shared
+  && (not s.io) && (not s.raises)
+  && s.nondet = None
+
+let join a b =
+  {
+    reads_mut = a.reads_mut || b.reads_mut;
+    writes_own = a.writes_own || b.writes_own;
+    reads_shared = SS.union a.reads_shared b.reads_shared;
+    writes_shared = SS.union a.writes_shared b.writes_shared;
+    io = a.io || b.io;
+    raises = a.raises || b.raises;
+    nondet =
+      (* deterministic join: the lexicographically first witness *)
+      (match (a.nondet, b.nondet) with
+      | Some x, Some y -> Some (min x y)
+      | (Some _ as w), None | None, (Some _ as w) -> w
+      | None, None -> None);
+  }
+
+(* Effect tags in a fixed order, for dumps and messages. *)
+let describe s =
+  if pure s then [ "pure" ]
+  else
+    (if s.reads_mut then [ "reads-mutable" ] else [])
+    @ (if s.writes_own then [ "writes-own" ] else [])
+    @ List.map (fun t -> "reads-shared:" ^ t) (SS.elements s.reads_shared)
+    @ List.map (fun t -> "writes-shared:" ^ t) (SS.elements s.writes_shared)
+    @ (if s.io then [ "io" ] else [])
+    @ (if s.raises then [ "raises" ] else [])
+    @ (match s.nondet with Some w -> [ "nondet:" ^ w ] | None -> [])
+
+(* A shared-write site, kept per binding for precise diagnostics. *)
+type site = { s_target : string; s_loc : Location.t }
+
+type info = {
+  base : (string, t) Hashtbl.t;  (* intraprocedural, per node *)
+  full : (string, t) Hashtbl.t;  (* propagated to fixpoint *)
+  sites : (string, site list) Hashtbl.t;  (* shared-write sites per node *)
+  field_writes : (string, SS.t) Hashtbl.t;
+      (* node -> "Module.type.field" mutable fields it assigns *)
+}
+
+let get_opt tbl n = Hashtbl.find_opt tbl n
+let get tbl n = Option.value (get_opt tbl n) ~default:empty
+
+(* ------------------------------------------------------------------ *)
+(* Classifying stdlib calls                                            *)
+
+(* Normalized (module, value) head of an applied or referenced path;
+   single-component (local) paths classify as nothing. *)
+let target_of_path p =
+  match List.rev (Typed.path_components p []) with
+  | v :: m :: _ -> Some (Typed.plain_module m, v)
+  | _ -> None
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Indices (into the positional argument list) an application writes
+   through. *)
+let write_args = function
+  | "Stdlib", (":=" | "incr" | "decr") -> [ 0 ]
+  | "Array", ("set" | "unsafe_set" | "fill") -> [ 0 ]
+  | "Array", ("sort" | "fast_sort" | "stable_sort") -> [ 1 ]
+  | "Array", "blit" -> [ 2 ]
+  | "Bytes", ("set" | "unsafe_set" | "fill") -> [ 0 ]
+  | "Bytes", ("blit" | "blit_string") -> [ 2 ]
+  | "Hashtbl", ("replace" | "add" | "remove" | "reset" | "clear") -> [ 0 ]
+  | "Hashtbl", "filter_map_inplace" -> [ 1 ]
+  | "Queue", ("push" | "add") -> [ 1 ]
+  | "Queue", ("pop" | "take" | "clear") -> [ 0 ]
+  | "Queue", "transfer" -> [ 0; 1 ]
+  | "Stack", "push" -> [ 1 ]
+  | "Stack", ("pop" | "clear") -> [ 0 ]
+  | "Buffer", ("clear" | "reset" | "truncate") -> [ 0 ]
+  | "Buffer", f when has_prefix "add_" f -> [ 0 ]
+  | ( "Atomic",
+      ("set" | "exchange" | "incr" | "decr" | "compare_and_set"
+      | "fetch_and_add") ) ->
+      [ 0 ]
+  | _ -> []
+
+(* Indices an application reads mutable state through. Immutable
+   observations (Array.length) don't count. *)
+let read_args = function
+  | "Stdlib", "!" -> [ 0 ]
+  | "Array", ("get" | "unsafe_get" | "copy" | "to_list" | "sub") -> [ 0 ]
+  | "Array", ("iter" | "iteri" | "map" | "mapi" | "exists" | "for_all"
+             | "mem" | "fold_right") ->
+      [ 1 ]
+  | "Array", "fold_left" -> [ 2 ]
+  | "Bytes", ("get" | "unsafe_get" | "sub" | "sub_string" | "to_string") ->
+      [ 0 ]
+  | ( "Hashtbl",
+      ("find" | "find_opt" | "find_all" | "mem" | "length" | "copy"
+      | "to_seq" | "to_seq_keys" | "to_seq_values" | "stats") ) ->
+      [ 0 ]
+  | "Hashtbl", ("fold" | "iter") -> [ 1 ]
+  | "Queue", ("peek" | "top" | "length" | "is_empty") -> [ 0 ]
+  | "Queue", "iter" -> [ 1 ]
+  | "Queue", "fold" -> [ 2 ]
+  | "Stack", ("top" | "length" | "is_empty") -> [ 0 ]
+  | "Stack", "iter" -> [ 1 ]
+  | "Stack", "fold" -> [ 2 ]
+  | "Buffer", ("contents" | "length" | "sub" | "nth" | "to_bytes") -> [ 0 ]
+  | "Atomic", "get" -> [ 0 ]
+  | _ -> []
+
+let pure_sys =
+  [
+    "opaque_identity"; "word_size"; "int_size"; "big_endian";
+    "max_string_length"; "max_array_length"; "max_floatarray_length";
+    "ocaml_version"; "backend_type";
+  ]
+
+let is_io = function
+  | "Printf", ("printf" | "eprintf" | "fprintf" | "ifprintf") -> true
+  | "Format", f ->
+      has_prefix "print_" f || has_prefix "pp_print_" f
+      || List.mem f [ "printf"; "eprintf"; "fprintf"; "force_newline" ]
+  | "Stdlib", f ->
+      List.exists
+        (fun p -> has_prefix p f)
+        [
+          "print_"; "prerr_"; "output"; "input"; "open_"; "close_"; "read_";
+          "seek_"; "pos_";
+        ]
+      || List.mem f [ "flush"; "flush_all"; "exit"; "at_exit"; "really_input";
+                      "really_input_string"; "in_channel_length";
+                      "out_channel_length"; "set_binary_mode_in";
+                      "set_binary_mode_out" ]
+  | "Sys", f -> not (List.mem f pure_sys)
+  | ("Unix" | "In_channel" | "Out_channel"), _ -> true
+  | "Filename", ("temp_file" | "open_temp_file" | "temp_dir") -> true
+  | _ -> false
+
+let nondet_why = function
+  | "Random", f -> Some (Printf.sprintf "Random.%s (unseeded)" f)
+  | "Sys", "time" -> Some "Sys.time (wall clock)"
+  | "Unix", (("gettimeofday" | "time") as f) ->
+      Some (Printf.sprintf "Unix.%s (wall clock)" f)
+  | "Hashtbl", "randomize" -> Some "Hashtbl.randomize"
+  | _ -> None
+
+let is_raise = function
+  | "Stdlib", ("raise" | "raise_notrace" | "failwith" | "invalid_arg") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Ownership: tracing an lvalue to its root                            *)
+
+type root = Owned | Shared of string
+
+(* Root of the value [e] denotes, through record fields, derefs and
+   array reads. [statics] is the binding's scope chain from the call
+   graph; [aliases] maps local lets bound to shared-rooted values. *)
+let rec root_of ~statics ~aliases (e : Typedtree.expression) =
+  let is_function =
+    match Types.get_desc e.exp_type with
+    | Types.Tarrow _ -> true
+    | _ -> false
+  in
+  match e.exp_desc with
+  | _ when is_function -> Owned (* functions are code, not mutable state *)
+  | Texp_ident (Path.Pident id, _, _) -> (
+      match List.find_opt (fun (i, _) -> Ident.same i id) statics with
+      | Some (_, node) -> Shared node
+      | None -> (
+          match
+            List.find_opt (fun (i, _) -> Ident.same i id) !aliases
+          with
+          | Some (_, g) -> Shared g
+          | None -> Owned (* parameter or local *)))
+  | Texp_ident (p, _, _) ->
+      (* dotted path: module-level state of this or another module *)
+      Shared
+        (String.concat "."
+           (match Typed.path_components p [] with
+           | m :: rest -> Typed.plain_module m :: rest
+           | [] -> []))
+  | Texp_field (b, _, _) -> root_of ~statics ~aliases b
+  | Texp_apply (f, args) -> (
+      let accessor =
+        match f.exp_desc with
+        | Texp_ident (p, _, _) -> (
+            match target_of_path p with
+            | Some (("Array" | "Bytes"), ("get" | "unsafe_get"))
+            | Some ("Stdlib", "!") ->
+                true
+            | _ -> false)
+        | _ -> false
+      in
+      if accessor then
+        match List.filter_map snd args with
+        | a :: _ -> root_of ~statics ~aliases a
+        | [] -> Owned
+      else Owned (* fresh value returned by a call *))
+  | _ -> Owned (* literals, fresh constructions, matches, ... *)
+
+(* ------------------------------------------------------------------ *)
+(* Base (intraprocedural) scan of one binding                          *)
+
+(* "Module.type.field" for a mutable label; the defining module comes
+   from the label's result type when it is a dotted constructor, else
+   the module under scan. *)
+let field_id ~self (ld : Types.label_description) =
+  let tmod, tname =
+    match Types.get_desc ld.lbl_res with
+    | Types.Tconstr (p, _, _) -> (
+        match List.rev (Typed.path_components p []) with
+        | t :: m :: _ -> (Typed.plain_module m, t)
+        | [ t ] -> (self, t)
+        | [] -> (self, "?"))
+    | _ -> (self, "?")
+  in
+  Printf.sprintf "%s.%s.%s" tmod tname ld.lbl_name
+
+let scan (b : Callgraph.bind) =
+  let m = b.Callgraph.b_mod in
+  let statics = b.Callgraph.b_statics in
+  (* lib/topology/rng.ml is the sanctioned seeded randomness source *)
+  let sanctioned = m.Typed.ti_file = "lib/topology/rng.ml" in
+  let s = ref empty in
+  let sites = ref [] in
+  let fields = ref SS.empty in
+  let aliases : (Ident.t * string) list ref = ref [] in
+  let set f = s := f !s in
+  let note_write root loc =
+    match root with
+    | Owned -> set (fun s -> { s with writes_own = true })
+    | Shared g ->
+        set (fun s -> { s with writes_shared = SS.add g s.writes_shared });
+        sites := { s_target = g; s_loc = loc } :: !sites
+  in
+  let note_read = function
+    | Owned -> set (fun s -> { s with reads_mut = true })
+    | Shared g ->
+        set (fun s -> { s with reads_shared = SS.add g s.reads_shared })
+  in
+  let root_of e = root_of ~statics ~aliases e in
+  let classify_head (mf : string * string) loc =
+    if is_io mf then set (fun s -> { s with io = true });
+    if is_raise mf then set (fun s -> { s with raises = true });
+    match nondet_why mf with
+    | Some why when not sanctioned ->
+        let line, _ = Diag.loc_pos loc in
+        let w = Printf.sprintf "%s at %s:%d" why m.Typed.ti_file line in
+        set (fun s ->
+            { s with nondet = (join s { empty with nondet = Some w }).nondet })
+    | _ -> ()
+  in
+  let open Tast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun it (e : Typedtree.expression) ->
+          (match e.exp_desc with
+          | Texp_let (_, vbs, _) ->
+              (* record local aliases of shared state before the body
+                 (children are visited after this node) *)
+              List.iter
+                (fun (vb : Typedtree.value_binding) ->
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_var (id, _) -> (
+                      match root_of vb.vb_expr with
+                      | Shared g -> aliases := (id, g) :: !aliases
+                      | Owned -> ())
+                  | _ -> ())
+                vbs
+          | Texp_setfield (obj, _, ld, _) ->
+              note_write (root_of obj) e.exp_loc;
+              fields := SS.add (field_id ~self:m.Typed.ti_module ld) !fields
+          | Texp_field (obj, _, ld) when ld.Types.lbl_mut = Asttypes.Mutable
+            ->
+              note_read (root_of obj)
+          | Texp_setinstvar _ -> set (fun s -> { s with writes_own = true })
+          | Texp_assert _ -> set (fun s -> { s with raises = true })
+          | Texp_ident (p, _, _) -> (
+              match target_of_path p with
+              | Some mf -> classify_head mf e.exp_loc
+              | None -> ())
+          | Texp_apply (f, args) -> (
+              match f.exp_desc with
+              | Texp_ident (p, _, _) -> (
+                  match target_of_path p with
+                  | Some mf ->
+                      let pos = List.filter_map snd args in
+                      let at i = List.nth_opt pos i in
+                      List.iter
+                        (fun i ->
+                          match at i with
+                          | Some a -> note_write (root_of a) a.exp_loc
+                          | None ->
+                              (* partial application of a mutator:
+                                 assume the eventual target is owned *)
+                              set (fun s -> { s with writes_own = true }))
+                        (write_args mf);
+                      List.iter
+                        (fun i ->
+                          match at i with
+                          | Some a -> note_read (root_of a)
+                          | None -> ())
+                        (read_args mf)
+                  | None -> ())
+              | _ -> ())
+          | _ -> ());
+          default_iterator.expr it e);
+    }
+  in
+  iter.value_binding iter b.Callgraph.b_vb;
+  (!s, List.rev !sites, !fields)
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint: Tarjan SCC condensation, reverse-topological join         *)
+
+let sccs_of (cg : Callgraph.t) =
+  let order = SS.elements cg.Callgraph.nodes in
+  let index = Hashtbl.create 256 in
+  let lowlink = Hashtbl.create 256 in
+  let on_stack = Hashtbl.create 256 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    SS.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Callgraph.succs cg v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) order;
+  (* Tarjan emits SCCs in reverse topological order (callees before
+     callers); !sccs is the reversal of emission order, so re-reverse *)
+  List.rev !sccs
+
+let compute (cg : Callgraph.t) =
+  let base = Hashtbl.create 256 in
+  let sites = Hashtbl.create 64 in
+  let field_writes = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      let s, ws, fw = scan b in
+      let n = b.Callgraph.b_node in
+      (* a name bound twice in one module (shadowing at the top level)
+         joins; last write of sites appends *)
+      Hashtbl.replace base n (join (get base n) s);
+      if ws <> [] then
+        Hashtbl.replace sites n
+          (Option.value (Hashtbl.find_opt sites n) ~default:[] @ ws);
+      if not (SS.is_empty fw) then
+        Hashtbl.replace field_writes n
+          (SS.union
+             (Option.value (Hashtbl.find_opt field_writes n) ~default:SS.empty)
+             fw))
+    cg.Callgraph.binds;
+  let full = Hashtbl.create 256 in
+  List.iter
+    (fun scc ->
+      let members = SS.of_list scc in
+      let s =
+        List.fold_left
+          (fun acc v ->
+            let acc = join acc (get base v) in
+            SS.fold
+              (fun w acc ->
+                if SS.mem w members then acc else join acc (get full w))
+              (Callgraph.succs cg v) acc)
+          empty scc
+      in
+      List.iter (fun v -> Hashtbl.replace full v s) scc)
+    (sccs_of cg);
+  { base; full; sites; field_writes }
