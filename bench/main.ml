@@ -25,6 +25,7 @@ module Fib = Simcore.Fib
 module Pump = Dataplane.Pump
 module Workload = Dataplane.Workload
 module Flowcache = Dataplane.Flowcache
+module Domainpool = Multicore.Domainpool
 
 let section title =
   print_newline ();
@@ -75,7 +76,8 @@ let experiments () =
   E.print_e29 (E.e29_dataplane_cost ());
   E.print_e30 (E.e30_churn_traffic ());
   E.print_e31 (E.e31_fault_convergence ());
-  E.print_e32 (E.e32_flap_traffic ())
+  E.print_e32 (E.e32_flap_traffic ());
+  E.print_e33 (E.e33_shard_invariance ())
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -352,6 +354,37 @@ let time_ns ~warmup ~iters f =
   let t1 = Unix.gettimeofday () in
   (t1 -. t0) *. 1e9 /. float_of_int iters
 
+(* BENCH_*.json are CI artifacts diffed across runs: a truncated or
+   non-finite document is worse than a missing one. Render the whole
+   string first, refuse NaN/inf (what %f prints for them), then write
+   to a temp path and rename, so a crash mid-write can never leave a
+   partial file behind — and any failure exits nonzero instead of
+   letting the bench report success. *)
+let emit_json path json =
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i =
+      i + nl <= hl && (String.sub json i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  if contains "nan" || contains "inf" then begin
+    Printf.eprintf "refusing to write %s: non-finite value in output\n%!" path;
+    exit 1
+  end;
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc json);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Printf.eprintf "failed to write %s: %s\n%!" path (Printexc.to_string e);
+     exit 1);
+  Printf.printf "wrote %s\n%s" path json
+
 let write_bench_json path =
   let inet, pump, uncached, fib, flows = Lazy.force dataplane_fixture in
   let table = Fib.table fib ~router:0 in
@@ -394,11 +427,7 @@ let write_bench_json path =
       (1e9 /. ns_send) (Pump.cache_hit_rate pump) ns_lpm ns_cached
       (ns_lpm /. ns_cached) ns_send_lpm ns_send
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc json);
-  Printf.printf "wrote %s\n%s" path json
+  emit_json path json
 
 (* The robustness machinery's cost sheet: raw fabric throughput plus
    what loss-hardened convergence costs each protocol (messages, the
@@ -459,11 +488,7 @@ let write_faults_json path =
       ls.Simcore.Lsproto.retransmits ls_ms bgp_loss bgp.Simcore.Bgpdyn.updates
       bgp.Simcore.Bgpdyn.resets bgp_ms
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc json);
-  Printf.printf "wrote %s\n%s" path json
+  emit_json path json
 
 (* The evolvelint cost sheet: what the repo gate costs per run — the
    untyped Parsetree pass, the typed pass (call graph + rule packs) and
@@ -510,17 +535,83 @@ let write_lint_json path =
       untyped_ms typed_ms fixpoint_ms bindings (List.length untyped)
       (List.length typed_diags) (List.length findings)
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc json);
-  Printf.printf "wrote %s\n%s" path json
+  emit_json path json
+
+
+(* The sharded data plane's headline: packets/sec as the domain pool
+   widens, against the serial pump on the identical batch. One-byte
+   payloads and the e21 gravity workload, matching the
+   BENCH_dataplane.json baseline; best-of-5 runs because a loaded CI
+   box jitters far more than the pool does. The pool walks flowlets
+   (DESIGN.md §11), which is where the single-worker speedup over the
+   per-packet pump comes from; extra domains then scale the walk until
+   the core count caps them. *)
+let write_shard_json path =
+  let inet, _, _, _, _ = Lazy.force dataplane_fixture in
+  let env = Forward.make_env inet in
+  let wl =
+    Workload.create ~packets_per_flow:16 inet
+      (Workload.Gravity { zipf_s = 1.2 })
+      ~seed:7L
+  in
+  let flows =
+    List.map
+      (fun (f : Workload.flow) -> { f with Workload.bytes_per_packet = 1 })
+      (Workload.batch wl ~count:16384)
+  in
+  let npackets =
+    List.fold_left (fun a (f : Workload.flow) -> a + f.Workload.packets) 0 flows
+  in
+  let best_of n run =
+    run ();
+    (* warm: fill caches, fault in the arena *)
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      run ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    float_of_int npackets /. !best
+  in
+  let pool_pps shards =
+    let pool =
+      Domainpool.create ~cache_slots:4096 ~ring_capacity:65536 env ~shards
+        ~seed:7L
+    in
+    let pps = best_of 5 (fun () -> Domainpool.run pool flows) in
+    Domainpool.close pool;
+    pps
+  in
+  let p1 = pool_pps 1 in
+  let p2 = pool_pps 2 in
+  let p4 = pool_pps 4 in
+  let p8 = pool_pps 8 in
+  let pump = Pump.create ~cache_slots:4096 env in
+  let baseline = best_of 3 (fun () -> Pump.run_batch pump flows) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"topology\": \"e21-large-internet (12 transits x 6 stubs)\",\n\
+      \  \"mode\": \"flowlet-batched domain pool vs per-packet serial pump\",\n\
+      \  \"packets_per_batch\": %d,\n\
+      \  \"baseline_pump_pps\": %.0f,\n\
+      \  \"pps_domains_1\": %.0f,\n\
+      \  \"pps_domains_2\": %.0f,\n\
+      \  \"pps_domains_4\": %.0f,\n\
+      \  \"pps_domains_8\": %.0f,\n\
+      \  \"speedup_domains_4\": %.2f\n\
+       }\n"
+      npackets baseline p1 p2 p4 p8 (p4 /. baseline)
+  in
+  emit_json path json
 
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
     write_bench_json "BENCH_dataplane.json";
     write_faults_json "BENCH_faults.json";
-    write_lint_json "BENCH_lint.json"
+    write_lint_json "BENCH_lint.json";
+    write_shard_json "BENCH_shard.json"
   end
   else begin
     figures ();

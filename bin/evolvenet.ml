@@ -70,8 +70,9 @@ let run_exp name seed transit stubs =
   | "e30" -> E.print_e30 (E.e30_churn_traffic ~params ())
   | "e31" -> E.print_e31 (E.e31_fault_convergence ~params ())
   | "e32" -> E.print_e32 (E.e32_flap_traffic ~params ())
+  | "e33" -> E.print_e33 (E.e33_shard_invariance ~params ())
   | other ->
-      usage_error "no such experiment: %s\nusage: evolvenet exp <e1-e32>" other
+      usage_error "no such experiment: %s\nusage: evolvenet exp <e1-e33>" other
 
 let default_seed = Int64.to_int Topology.Internet.default_params.Topology.Internet.seed
 let default_transit = Topology.Internet.default_params.Topology.Internet.transit_domains
@@ -81,7 +82,7 @@ let run_all () =
   List.iter run_fig [ 1; 2; 3; 4 ];
   List.iter
     (fun e -> run_exp e default_seed default_transit default_stubs)
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30"; "e31"; "e32" ]
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30"; "e31"; "e32"; "e33" ]
 
 let run_demo () =
   let module Setup = Evolve.Setup in
@@ -231,7 +232,7 @@ let exp_cmd =
     Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
            ~doc:"Stub domains per transit.")
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e32)")
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e33)")
     Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
 
 let run_report path =

@@ -15,6 +15,8 @@ module Prefix = Netcore.Prefix
 module Addressing = Netcore.Addressing
 module Pump = Dataplane.Pump
 module Workload = Dataplane.Workload
+module Telemetry = Dataplane.Telemetry
+module Domainpool = Multicore.Domainpool
 
 let all_endhosts (inet : Internet.t) =
   List.init (Array.length inet.Internet.endhosts) Fun.id
@@ -2610,5 +2612,100 @@ let print_e32 rows =
              Table.fpct r.stale32;
              Table.fpct r.lost32;
              Table.fpct r.looped32;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E33                                                                 *)
+
+type e33_row = {
+  shards33 : int;
+  packets33 : int;  (** packets injected = terminal verdicts *)
+  hops33 : int;  (** per-hop handlings, summed over routers *)
+  bytes33 : int;  (** wire bytes handled *)
+  delivered33 : int;
+  dropped33 : int;
+  ttl33 : int;
+  crossings33 : int;  (** cross-shard ring handoffs *)
+  identical33 : bool;  (** verdict counts equal the one-shard run's *)
+}
+
+let e33_shard_invariance ?(params = Internet.default_params)
+    ?(shard_counts = [ 1; 2; 4; 8 ]) ?(flows = 2048) ?(packets_per_flow = 16)
+    () =
+  let inet = Internet.build params in
+  let env = Forward.make_env inet in
+  let seed = Int64.add params.Internet.seed 33L in
+  let wl =
+    Workload.create inet (Workload.Gravity { zipf_s = 1.2 }) ~seed
+      ~packets_per_flow
+  in
+  let batch = Workload.batch wl ~count:flows in
+  let baseline = ref None in
+  List.map
+    (fun shards ->
+      let pool = Domainpool.create env ~shards ~seed in
+      Domainpool.run pool batch;
+      let c = Telemetry.total (Domainpool.telemetry pool) in
+      let crossings = Domainpool.crossings pool in
+      Domainpool.close pool;
+      let verdict =
+        ( c.Telemetry.packets,
+          c.Telemetry.bytes,
+          c.Telemetry.delivered,
+          c.Telemetry.dropped,
+          c.Telemetry.ttl_expired )
+      in
+      let identical =
+        match !baseline with
+        | None ->
+            baseline := Some verdict;
+            true
+        | Some v -> v = verdict
+      in
+      {
+        shards33 = shards;
+        packets33 =
+          c.Telemetry.delivered + c.Telemetry.dropped + c.Telemetry.ttl_expired;
+        hops33 = c.Telemetry.packets;
+        bytes33 = c.Telemetry.bytes;
+        delivered33 = c.Telemetry.delivered;
+        dropped33 = c.Telemetry.dropped;
+        ttl33 = c.Telemetry.ttl_expired;
+        crossings33 = crossings;
+        identical33 = identical;
+      })
+    shard_counts
+
+let print_e33 rows =
+  Table.print
+    ~title:
+      "E33: shard-count invariance — the domain pool's delivery verdicts on \
+       one seed, one to eight shards"
+    ~header:
+      [
+        "shards";
+        "packets";
+        "hops";
+        "bytes";
+        "delivered";
+        "dropped";
+        "ttl";
+        "crossings";
+        "identical";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.shards33;
+             Table.fi r.packets33;
+             Table.fi r.hops33;
+             Table.fi r.bytes33;
+             Table.fi r.delivered33;
+             Table.fi r.dropped33;
+             Table.fi r.ttl33;
+             Table.fi r.crossings33;
+             Table.fb r.identical33;
            ])
          rows)

@@ -703,3 +703,38 @@ val e32_flap_traffic :
   e32_row list
 
 val print_e32 : e32_row list -> unit
+
+(** {1 E33 — shard-count invariance of the multicore data plane}
+
+    The determinism claim behind DESIGN.md §11: shard the packet pump
+    across OCaml 5 domains ({!Multicore.Domainpool}) and the delivery
+    verdicts must not move. One gravity-model batch is forwarded to a
+    terminal verdict at every shard count on the same seed; everything
+    order-dependent is shard-private and everything shared is
+    read-only or commutative, so packets, bytes, delivered, dropped
+    and TTL-expired counts are byte-identical from one shard to
+    eight. Crossings counts the ring handoffs — the work parallelism
+    adds — and is itself deterministic because the shard map is fixed
+    by router id, not by load. *)
+
+type e33_row = {
+  shards33 : int;
+  packets33 : int;  (** packets injected = terminal verdicts *)
+  hops33 : int;  (** per-hop handlings, summed over routers *)
+  bytes33 : int;  (** wire bytes handled *)
+  delivered33 : int;
+  dropped33 : int;
+  ttl33 : int;
+  crossings33 : int;  (** cross-shard ring handoffs *)
+  identical33 : bool;  (** verdict counts equal the one-shard run's *)
+}
+
+val e33_shard_invariance :
+  ?params:Topology.Internet.params ->
+  ?shard_counts:int list ->
+  ?flows:int ->
+  ?packets_per_flow:int ->
+  unit ->
+  e33_row list
+
+val print_e33 : e33_row list -> unit

@@ -451,7 +451,34 @@ let experiment_section buf =
               Table.fpct r.E.lost32;
               Table.fpct r.E.looped32;
             ])
-          (E.e32_flap_traffic ())))
+          (E.e32_flap_traffic ())));
+  add "E33 — shard-count invariance of the multicore data plane"
+    (table
+       [
+         "shards";
+         "packets";
+         "hops";
+         "bytes";
+         "delivered";
+         "dropped";
+         "ttl";
+         "crossings";
+         "identical";
+       ]
+       (List.map
+          (fun (r : E.e33_row) ->
+            [
+              Table.fi r.E.shards33;
+              Table.fi r.E.packets33;
+              Table.fi r.E.hops33;
+              Table.fi r.E.bytes33;
+              Table.fi r.E.delivered33;
+              Table.fi r.E.dropped33;
+              Table.fi r.E.ttl33;
+              Table.fi r.E.crossings33;
+              Table.fb r.E.identical33;
+            ])
+          (E.e33_shard_invariance ())))
 
 let generate () =
   let buf = Buffer.create 16384 in

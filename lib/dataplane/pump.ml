@@ -141,6 +141,74 @@ let run_flow t (f : Workload.flow) =
 
 let run_batch t flows = List.iter (run_flow t) flows
 
+(* --- arena-backed batch entry points --------------------------------- *)
+
+type buffer = Heap | Slab of Netcore.Arena.t
+
+(* Trace-free hop loop over an arena view: same forwarding decisions
+   and telemetry bumps as [hop_loop], minus the per-hop cons and the
+   delivery-side decode, so a steady-state batch does zero GC work. *)
+let rec step_loop t tel ~cls ~dst ~len ~encap_bytes r ttl =
+  Telemetry.record_hop tel ~router:r ~cls ~bytes:len ~encap_bytes;
+  match lookup_action t ~router:r ~cls dst with
+  | None ->
+      Telemetry.record_drop tel ~router:r ~cls;
+      Forward.Dropped Forward.No_route
+  | Some Fib.Local ->
+      Telemetry.record_delivered tel ~router:r ~cls;
+      Forward.Router_accepted r
+  | Some (Fib.Attached h) ->
+      Telemetry.record_delivered tel ~router:r ~cls;
+      Forward.Endhost_accepted h
+  | Some (Fib.Next_hop nh) ->
+      if ttl <= 1 then begin
+        Telemetry.record_ttl_expired tel ~router:r ~cls;
+        Forward.Dropped Forward.Ttl_expired
+      end
+      else if nh = r then begin
+        Telemetry.record_drop tel ~router:r ~cls;
+        Forward.Dropped Forward.Stuck
+      end
+      else if not (t.link_up r nh) then begin
+        Telemetry.record_drop tel ~router:r ~cls;
+        Forward.Dropped Forward.Link_down
+      end
+      else step_loop t tel ~cls ~dst ~len ~encap_bytes nh (ttl - 1)
+
+let step t ~buf ~off ~len ~cls ~encap_bytes ~entry =
+  let dst =
+    Wire.peek_dst_big buf ~off ~len ~default:(Netcore.Ipv4.of_int 0)
+  in
+  let ttl = Wire.peek_ttl_big buf ~off ~len ~default:0 in
+  step_loop t t.telemetry ~cls ~dst ~len ~encap_bytes entry ttl
+
+let run_flow_in t buffer (f : Workload.flow) =
+  match buffer with
+  | Heap -> run_flow t f
+  | Slab arena ->
+      let inet = t.env.Forward.inet in
+      let hs = Internet.endhost inet f.Workload.src
+      and hd = Internet.endhost inet f.Workload.dst in
+      let payload = String.make f.Workload.bytes_per_packet 'x' in
+      let p =
+        Packet.make_data ~src:hs.Internet.haddr ~dst:hd.Internet.haddr payload
+      in
+      let len = Wire.wire_length p in
+      (* the slab is scratch space: rewind and reuse it per flow, so
+         capacity only ever needs one encoded packet *)
+      Netcore.Arena.reset arena;
+      Netcore.Arena.ensure arena ~bytes:len;
+      let off = Wire.encode_into p arena in
+      let buf = Netcore.Arena.buf arena in
+      for _ = 1 to f.Workload.packets do
+        ignore
+          (step t ~buf ~off ~len ~cls:Telemetry.Native ~encap_bytes:0
+             ~entry:hs.Internet.access_router
+            : Forward.outcome)
+      done
+
+let run_batch_in t buffer flows = List.iter (run_flow_in t buffer) flows
+
 (* --- the IPvN journey over compiled tables -------------------------- *)
 
 type vn_outcome =

@@ -66,6 +66,40 @@ val run_flow : t -> Workload.flow -> unit
 
 val run_batch : t -> Workload.flow list -> unit
 
+(** {2 Arena entry points} — the zero-copy path of the sharded data
+    plane (DESIGN.md §11). Packet bytes live in a pre-allocated
+    {!Netcore.Arena} slab; forwarding reads the fixed header straight
+    out of the slab (§3.3.2's opaque-payload rule) and builds no
+    trace, so a steady-state batch does zero GC work. *)
+
+val step :
+  t ->
+  buf:Netcore.Arena.buf ->
+  off:int ->
+  len:int ->
+  cls:Telemetry.cls ->
+  encap_bytes:int ->
+  entry:int ->
+  Simcore.Forward.outcome
+(** Forward one encoded packet — the [(off, len)] view of [buf], as
+    produced by {!Netcore.Wire.encode_into} — hop by hop from router
+    [entry]. Telemetry-equivalent to {!inject} on the decoded packet
+    (asserted by the test-suite); differs only in building no trace
+    and skipping the delivery-side decode. A malformed view reads a
+    zero destination and TTL and is dropped accordingly. *)
+
+type buffer = Heap | Slab of Netcore.Arena.t
+    (** Buffer provider for batch runs: [Heap] is the classic
+        {!run_batch} path (encode to a fresh string per packet);
+        [Slab] rewinds and reuses the given arena, keeping the whole
+        batch off the OCaml heap. Both record identical telemetry. *)
+
+val run_flow_in : t -> buffer -> Workload.flow -> unit
+(** {!run_flow} parameterized over the buffer provider. *)
+
+val run_batch_in : t -> buffer -> Workload.flow list -> unit
+(** {!run_batch} parameterized over the buffer provider. *)
+
 (** {2 IPvN journeys} — the §3.3.2 universal-access data path
     (access anycast leg, vN-Bone tunnel legs, IPv(N-1) exit leg),
     with every underlay leg forwarded by {!inject} instead of the

@@ -62,6 +62,32 @@ let record_ttl_expired t ~router ~cls:c =
   t.per_router.(router).ttl_expired <- t.per_router.(router).ttl_expired + 1;
   (cls t c).ttl_expired <- (cls t c).ttl_expired + 1
 
+(* Count-weighted variants for flowlet batching (DESIGN.md §11): a
+   shard walks [count] byte-identical packets of one flow as a unit
+   and bumps each counter once with the multiplier. Field-for-field
+   equal to calling the per-packet recorder [count] times. *)
+let bump_hop_n (x : counters) ~bytes ~encap_bytes ~count =
+  x.packets <- x.packets + count;
+  x.bytes <- x.bytes + (bytes * count);
+  x.encap_bytes <- x.encap_bytes + (encap_bytes * count)
+
+let record_hop_n t ~router ~cls:c ~bytes ~encap_bytes ~count =
+  bump_hop_n t.per_router.(router) ~bytes ~encap_bytes ~count;
+  bump_hop_n (cls t c) ~bytes ~encap_bytes ~count
+
+let record_delivered_n t ~router ~cls:c ~count =
+  t.per_router.(router).delivered <- t.per_router.(router).delivered + count;
+  (cls t c).delivered <- (cls t c).delivered + count
+
+let record_drop_n t ~router ~cls:c ~count =
+  t.per_router.(router).dropped <- t.per_router.(router).dropped + count;
+  (cls t c).dropped <- (cls t c).dropped + count
+
+let record_ttl_expired_n t ~router ~cls:c ~count =
+  t.per_router.(router).ttl_expired <-
+    t.per_router.(router).ttl_expired + count;
+  (cls t c).ttl_expired <- (cls t c).ttl_expired + count
+
 let bump_cache (x : counters) ~hit =
   if hit then x.cache_hits <- x.cache_hits + 1
   else x.cache_misses <- x.cache_misses + 1
@@ -69,6 +95,14 @@ let bump_cache (x : counters) ~hit =
 let record_cache t ~router ~cls:c ~hit =
   bump_cache t.per_router.(router) ~hit;
   bump_cache (cls t c) ~hit
+
+let bump_cache_n (x : counters) ~hits ~misses =
+  x.cache_hits <- x.cache_hits + hits;
+  x.cache_misses <- x.cache_misses + misses
+
+let record_cache_n t ~router ~cls:c ~hits ~misses =
+  bump_cache_n t.per_router.(router) ~hits ~misses;
+  bump_cache_n (cls t c) ~hits ~misses
 
 let add_into (dst : counters) (src : counters) =
   dst.packets <- dst.packets + src.packets;

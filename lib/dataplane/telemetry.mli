@@ -59,6 +59,25 @@ val record_drop : t -> router:int -> cls:cls -> unit
 val record_ttl_expired : t -> router:int -> cls:cls -> unit
 val record_cache : t -> router:int -> cls:cls -> hit:bool -> unit
 
+(** {2 Count-weighted recording} — the flowlet-batched sharded data
+    plane (DESIGN.md §11) walks the [count] byte-identical packets of
+    one flow as a unit and records each event once with the
+    multiplier. Each [_n] recorder leaves the counters exactly as
+    [count] calls of its per-packet sibling would. *)
+
+val record_hop_n :
+  t -> router:int -> cls:cls -> bytes:int -> encap_bytes:int -> count:int -> unit
+
+val record_delivered_n : t -> router:int -> cls:cls -> count:int -> unit
+val record_drop_n : t -> router:int -> cls:cls -> count:int -> unit
+val record_ttl_expired_n : t -> router:int -> cls:cls -> count:int -> unit
+
+val record_cache_n : t -> router:int -> cls:cls -> hits:int -> misses:int -> unit
+(** [hits] + [misses] probes' worth of cache statistics in one bump —
+    a batched walk probes once but accounts for every packet (a miss
+    followed by an insert makes the remaining [count - 1] packets
+    hits, exactly as they would serially). *)
+
 val merge : t -> t -> t
 (** Field-wise sum; inputs are unchanged.
     @raise Invalid_argument when router counts differ. *)

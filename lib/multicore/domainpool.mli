@@ -1,0 +1,62 @@
+(** The sharded packet pump: one OCaml 5 domain per shard, rings in
+    between, verdicts identical to the serial {!Dataplane.Pump}.
+
+    This is the ROADMAP's millions-of-users unlock: the paper's
+    Option-1/Option-2 comparison (§3.2, §3.3.2) only carries weight at
+    realistic traffic volumes, and a single pump tops out at a couple
+    of million packets per second. The pool shards the router id space
+    with a fixed {!Shardmap}, gives every {!Shard} its own caches,
+    telemetry, arena and rng stream, and hands packets between shards
+    through SPSC {!Ring}s. Determinism survives parallelism because
+    everything order-dependent is shard-private and everything shared
+    is read-only or commutative — experiment E33 asserts the delivery
+    verdict counts are byte-identical for 1/2/4/8 shards on one seed
+    (DESIGN.md §11 has the full argument). *)
+
+type t
+
+val create :
+  ?cache_slots:int ->
+  ?ring_capacity:int ->
+  Simcore.Forward.env ->
+  shards:int ->
+  seed:int64 ->
+  t
+(** Compile one FIB snapshot of the env's control plane (shared
+    read-only by all workers) and stand up [shards] workers with
+    [cache_slots] flow-cache slots per router (default 256, as
+    {!Dataplane.Pump.create}) and [ring_capacity]-slot handoff rings
+    (default 1024). [seed] feeds one {!Topology.Rng} per shard via
+    deterministic splits.
+    @raise Invalid_argument unless [0 < shards <= routers]. *)
+
+val env : t -> Simcore.Forward.env
+val map : t -> Shardmap.t
+val num_shards : t -> int
+
+val shard : t -> int -> Shard.t
+(** Direct access to a worker, for tests and per-shard telemetry. *)
+
+val run : t -> Dataplane.Workload.flow list -> unit
+(** Forward every packet of every flow to a terminal verdict: expand
+    flows into per-shard injection queues (by entry router), size the
+    arenas, then run one worker per shard — inline for one shard,
+    [Domain.spawn]/[join] otherwise. Returns when all packets have
+    terminated. Telemetry accumulates across runs, like the pump's. *)
+
+val telemetry : t -> Dataplane.Telemetry.t
+(** Pool-wide counters: per-shard telemetries merged in fixed shard
+    order. The merge is a commutative field-wise sum, so the result
+    is independent of execution interleaving — the heart of E33's
+    shard-invariance claim. With one shard this is the shard's own
+    telemetry, which equals the serial pump's field for field on the
+    same batch (asserted by the test-suite). *)
+
+val crossings : t -> int
+(** Total cross-shard handoffs over all runs — the traffic the rings
+    carried. Zero with one shard. *)
+
+val close : t -> unit
+(** Release every shard's doorbell pipe. Call when the pool will not
+    {!run} again (benchmarks and experiments create many pools; the
+    descriptors otherwise live until process exit). *)

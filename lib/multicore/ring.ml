@@ -1,0 +1,47 @@
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t; (* next slot to pop; written only by the consumer *)
+  tail : int Atomic.t; (* next slot to push; written only by the producer *)
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let n = pow2 1 in
+  {
+    buf = Array.make n dummy;
+    mask = n - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+
+(* Publication order is what makes this safe across domains: the slot
+   write happens before the Atomic.set on tail (a seq_cst store), and
+   the consumer reads tail (seq_cst load) before touching the slot.
+   Head mirrors the argument for slot reuse in the other direction. *)
+let push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head >= Array.length t.buf then false
+  else begin
+    t.buf.(tl land t.mask) <- x;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let pop t =
+  let hd = Atomic.get t.head in
+  if Atomic.get t.tail - hd <= 0 then invalid_arg "Ring.pop: empty";
+  let i = hd land t.mask in
+  let x = t.buf.(i) in
+  (* drop the slot's reference so popped elements don't leak through
+     the ring; the dummy write also keeps pop allocation-free *)
+  t.buf.(i) <- t.dummy;
+  Atomic.set t.head (hd + 1);
+  x

@@ -1,0 +1,320 @@
+module Wire = Netcore.Wire
+module Arena = Netcore.Arena
+module Ipv4 = Netcore.Ipv4
+module Lpm = Netcore.Lpm
+module Packet = Netcore.Packet
+module Rng = Topology.Rng
+module Fib = Simcore.Fib
+module Flowcache = Dataplane.Flowcache
+module Telemetry = Dataplane.Telemetry
+
+(* A cross-shard handoff: an (off, len) view into the producing
+   shard's arena plus the pre-peeked header fields the next hop
+   needs. Immutable — published through a Ring, read by one consumer. *)
+type msg = {
+  m_buf : Arena.buf;
+  m_off : int;
+  m_len : int;
+  m_dst : Ipv4.t;
+  m_ttl : int;
+  m_router : int; (* next hop — owned by the receiving shard *)
+  m_cls : Telemetry.cls;
+  m_encap : int;
+  m_count : int; (* flowlet width: byte-identical packets in this handoff *)
+}
+
+let dummy_msg =
+  {
+    m_buf = Arena.buf (Arena.create ~bytes:0);
+    m_off = 0;
+    m_len = 0;
+    m_dst = Ipv4.of_int 0;
+    m_ttl = 0;
+    m_router = 0;
+    m_cls = Telemetry.Native;
+    m_encap = 0;
+    m_count = 0;
+  }
+
+(* A pending injection: one flow's packet encoded once, walked
+   [i_count] times (the packets of a flow are byte-identical). *)
+type inj = { i_packet : Packet.t; i_entry : int; i_count : int }
+
+type t = {
+  sid : int;
+  lo : int;
+  hi : int;
+  map : Shardmap.t;
+  tables : Fib.action Lpm.t array;
+      (* shared read-only snapshots — Lpm is persistent, safe across domains *)
+  caches : Fib.action Flowcache.t array; (* own block only, index [r - lo] *)
+  telemetry : Telemetry.t;
+  rng : Rng.t; (* per-shard stream, split from the pool seed *)
+  arena : Arena.t;
+  pending : inj Queue.t;
+  overflow : msg Queue.t; (* handoffs that hit a full ring *)
+  mutable inbox : msg Ring.t array; (* inbox.(p): ring from producer shard p *)
+  mutable outbox : msg Ring.t array; (* outbox.(c): ring to consumer shard c *)
+  live : int Atomic.t; (* pool-wide in-flight packets *)
+  asleep : bool Atomic.t; (* published before blocking on the doorbell *)
+  wake_r : Unix.file_descr; (* this worker blocks here when idle *)
+  wake_w : Unix.file_descr; (* peers ring it to wake this worker *)
+  bell : Bytes.t; (* scratch byte for doorbell writes/drains *)
+  mutable peer_asleep : bool Atomic.t array;
+  mutable peer_wake : Unix.file_descr array;
+  mutable crossings : int;
+  mutable naps : int;
+  mutable passes : int;
+}
+
+let create ~sid ~map ~tables ~cache_slots ~rng ~live =
+  let lo, hi = Shardmap.range map sid in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    sid;
+    lo;
+    hi;
+    map;
+    tables;
+    caches = Array.init (hi - lo) (fun _ -> Flowcache.create ~slots:cache_slots);
+    telemetry = Telemetry.create ~routers:(Shardmap.routers map);
+    rng;
+    arena = Arena.create ~bytes:0;
+    pending = Queue.create ();
+    overflow = Queue.create ();
+    inbox = [||];
+    outbox = [||];
+    live;
+    asleep = Atomic.make false;
+    wake_r;
+    wake_w;
+    bell = Bytes.make 64 '!';
+    peer_asleep = [||];
+    peer_wake = [||];
+    crossings = 0;
+    naps = 0;
+    passes = 0;
+  }
+
+let set_channels t ~inbox ~outbox =
+  t.inbox <- inbox;
+  t.outbox <- outbox
+
+let set_doorbells t ~peer_asleep ~peer_wake =
+  t.peer_asleep <- peer_asleep;
+  t.peer_wake <- peer_wake
+
+let asleep_flag t = t.asleep
+let wake_fd t = t.wake_w
+
+let close t =
+  Unix.close t.wake_r;
+  Unix.close t.wake_w
+
+let naps t = t.naps
+let passes t = t.passes
+let sid t = t.sid
+let telemetry t = t.telemetry
+let crossings t = t.crossings
+let arena t = t.arena
+let rng t = t.rng
+let enqueue t j = Queue.add j t.pending
+
+(* One forwarding decision at owned router [r] for a flowlet of
+   [count] byte-identical packets: probe the flow cache once, account
+   for every packet. A miss followed by an insert makes the remaining
+   [count - 1] packets hits — exactly the statistics the per-packet
+   serial pump records, since nothing else touches this router's cache
+   between the packets of one flow (mirrors Pump.lookup_action). *)
+let lookup_n st r ~cls ~count dst =
+  let c = st.caches.(r - st.lo) in
+  match Flowcache.lookup c dst with
+  | Some _ as hit ->
+      Telemetry.record_cache_n st.telemetry ~router:r ~cls ~hits:count
+        ~misses:0;
+      hit
+  | None -> (
+      match Lpm.lookup_value dst st.tables.(r) with
+      | Some a as res ->
+          Telemetry.record_cache_n st.telemetry ~router:r ~cls
+            ~hits:(count - 1) ~misses:1;
+          Flowcache.insert c dst a;
+          res
+      | None ->
+          Telemetry.record_cache_n st.telemetry ~router:r ~cls ~hits:0
+            ~misses:count;
+          None)
+
+(* Ring shard [c]'s doorbell. Nonblocking: a full pipe just means the
+   consumer already has plenty of reasons to wake, so the byte can be
+   dropped. The asleep flag is re-read after the ring push (both are
+   seq_cst), which closes the lost-wakeup race: if the consumer's
+   final emptiness check preceded our push, it had already published
+   asleep = true, so we see it here and ring. *)
+let ring_doorbell st c =
+  if Atomic.get st.peer_asleep.(c) then
+    try ignore (Unix.write st.peer_wake.(c) st.bell 0 1)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+(* Retire [count] packets from the pool-wide live count; whoever
+   drains it to zero wakes every sleeping peer so they can observe
+   termination without waiting out their backstop timeout. *)
+let retire st count =
+  if Atomic.fetch_and_add st.live (-count) = count then
+    for c = 0 to Array.length st.peer_wake - 1 do
+      if c <> st.sid then ring_doorbell st c
+    done
+
+(* Walk a flowlet — [count] byte-identical packets of one flow — from
+   owned router [r] until it terminates or reaches a router owned by
+   another shard. The packets of a flow take the same route (the FIB
+   snapshot is immutable during a run), so one walk with count-weighted
+   telemetry leaves every counter exactly as [count] per-packet walks
+   would. Terminal outcomes retire the flowlet from the pool-wide live
+   count; a handoff does not. Same decisions as Pump's hop loop (minus
+   the link filter — the pool forwards with every link up). *)
+let rec walk st ~buf ~off ~len ~cls ~encap ~dst ~count r ttl =
+  Telemetry.record_hop_n st.telemetry ~router:r ~cls ~bytes:len
+    ~encap_bytes:encap ~count;
+  match lookup_n st r ~cls ~count dst with
+  | None ->
+      Telemetry.record_drop_n st.telemetry ~router:r ~cls ~count;
+      retire st count
+  | Some Fib.Local | Some (Fib.Attached _) ->
+      Telemetry.record_delivered_n st.telemetry ~router:r ~cls ~count;
+      retire st count
+  | Some (Fib.Next_hop nh) ->
+      if ttl <= 1 then begin
+        Telemetry.record_ttl_expired_n st.telemetry ~router:r ~cls ~count;
+        retire st count
+      end
+      else if nh = r then begin
+        Telemetry.record_drop_n st.telemetry ~router:r ~cls ~count;
+        retire st count
+      end
+      else if nh >= st.lo && nh < st.hi then
+        (* ownership is a block test — no division on the per-hop path *)
+        walk st ~buf ~off ~len ~cls ~encap ~dst ~count nh (ttl - 1)
+      else begin
+        st.crossings <- st.crossings + 1;
+        let m =
+          {
+            m_buf = buf;
+            m_off = off;
+            m_len = len;
+            m_dst = dst;
+            m_ttl = ttl - 1;
+            m_router = nh;
+            m_cls = cls;
+            m_encap = encap;
+            m_count = count;
+          }
+        in
+        let c = Shardmap.shard_of st.map nh in
+        (* overflow drains strictly first, so per-pair FIFO holds *)
+        if not (Queue.is_empty st.overflow) || not (Ring.push st.outbox.(c) m)
+        then Queue.add m st.overflow
+        else ring_doorbell st c
+      end
+
+let handle st (m : msg) =
+  walk st ~buf:m.m_buf ~off:m.m_off ~len:m.m_len ~cls:m.m_cls ~encap:m.m_encap
+    ~dst:m.m_dst ~count:m.m_count m.m_router m.m_ttl
+
+let inject_flow st (j : inj) =
+  let len = Wire.wire_length j.i_packet in
+  let off = Wire.encode_into j.i_packet st.arena in
+  let buf = Arena.buf st.arena in
+  let dst = Wire.peek_dst_big buf ~off ~len ~default:j.i_packet.Packet.dst in
+  let ttl = j.i_packet.Packet.ttl in
+  let cls =
+    match j.i_packet.Packet.payload with
+    | Packet.Data _ -> Telemetry.Native
+    | Packet.Encap _ -> Telemetry.Encap
+  in
+  let encap =
+    match j.i_packet.Packet.payload with
+    | Packet.Data _ -> 0
+    | Packet.Encap vn -> len - (13 + String.length vn.Packet.body)
+  in
+  walk st ~buf ~off ~len ~cls ~encap ~dst ~count:j.i_count j.i_entry ttl
+
+(* Retry stalled handoffs in strict FIFO order; stop at the first
+   still-full ring. Returns whether anything moved. *)
+let flush_overflow st =
+  let n = Queue.length st.overflow in
+  let moved = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !moved < n do
+    let m = Queue.peek st.overflow in
+    let c = Shardmap.shard_of st.map m.m_router in
+    if Ring.push st.outbox.(c) m then begin
+      ignore (Queue.take st.overflow);
+      ring_doorbell st c;
+      incr moved
+    end
+    else stop := true
+  done;
+  !moved > 0
+
+let inboxes_empty st =
+  let empty = ref true in
+  for p = 0 to Array.length st.inbox - 1 do
+    if p <> st.sid && not (Ring.is_empty st.inbox.(p)) then empty := false
+  done;
+  !empty
+
+(* Block until a peer rings the doorbell or the backstop timeout
+   passes, then drain the pipe. Runs only when the worker is provably
+   idle, so its allocations (select's fd lists) are off the per-packet
+   path (allowlisted with this justification). *)
+let nap st =
+  st.naps <- st.naps + 1;
+  Atomic.set st.asleep true;
+  (* re-check after publishing the flag: a producer that pushed before
+     reading the flag is now visible to us; one that pushed after will
+     see the flag and ring *)
+  if inboxes_empty st && Atomic.get st.live > 0 then
+    ignore (Unix.select [ st.wake_r ] [] [] 2e-3);
+  Atomic.set st.asleep false;
+  try ignore (Unix.read st.wake_r st.bell 0 (Bytes.length st.bell))
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let run st =
+  let idle = ref 0 in
+  let running = ref true in
+  while !running do
+    st.passes <- st.passes + 1;
+    let progress = ref false in
+    (* 1. cross-shard arrivals — consumers always drain, so producers
+       blocked on a full ring are guaranteed eventual room. No burst
+       cap: draining everything available minimizes scheduling rounds,
+       which dominate when workers outnumber cores. *)
+    for p = 0 to Array.length st.inbox - 1 do
+      if p <> st.sid then begin
+        let r = st.inbox.(p) in
+        while not (Ring.is_empty r) do
+          handle st (Ring.pop r);
+          progress := true
+        done
+      end
+    done;
+    (* 2. stalled handoffs *)
+    if flush_overflow st then progress := true;
+    (* 3. fresh injections *)
+    while not (Queue.is_empty st.pending) do
+      inject_flow st (Queue.take st.pending);
+      progress := true
+    done;
+    if Atomic.get st.live = 0 then running := false
+    else if !progress then idle := 0
+    else begin
+      (* all workers share one core in the smallest deployments: spin
+         briefly, then block on the doorbell so idle workers stop
+         stealing timeslices from the one making progress *)
+      incr idle;
+      if !idle < 4 then Domain.cpu_relax () else nap st
+    end
+  done

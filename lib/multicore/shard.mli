@@ -1,0 +1,100 @@
+(** One worker of the sharded data plane: a block of routers, their
+    flow caches and telemetry, and the run loop that forwards packets
+    until the pool-wide live count drains (DESIGN.md §11).
+
+    Each shard owns every piece of state it writes — caches for its
+    router block, its own {!Dataplane.Telemetry}, arena, rng stream
+    and counters — which is what lets the evolvelint domain-safety
+    pack prove the sharded hot path race-free from the {!run} root,
+    the same §9.4 proof that covers the serial pump. Routing state is
+    shared read-only: compiled {!Simcore.Fib} snapshots (§3.2's
+    per-router data-plane state) are persistent maps, safe across
+    domains without locks. *)
+
+type msg
+(** A cross-shard handoff: an arena view plus pre-peeked header
+    fields, published through a {!Ring} to the owning shard. *)
+
+val dummy_msg : msg
+(** Filler for empty ring slots ({!Ring.create}'s [dummy]). *)
+
+type inj = { i_packet : Netcore.Packet.t; i_entry : int; i_count : int }
+(** A pending injection: [i_count] byte-identical packets of one flow,
+    entering at router [i_entry]. Encoded into the shard's arena once. *)
+
+type t
+
+val create :
+  sid:int ->
+  map:Shardmap.t ->
+  tables:Simcore.Fib.action Netcore.Lpm.t array ->
+  cache_slots:int ->
+  rng:Topology.Rng.t ->
+  live:int Atomic.t ->
+  t
+(** A worker for shard [sid] of [map]. [tables] is the shared FIB
+    snapshot array indexed by router id; [live] is the pool-wide
+    in-flight packet count this worker decrements on every terminal
+    outcome. Rings are wired separately via {!set_channels} once all
+    shards exist. *)
+
+val set_channels : t -> inbox:msg Ring.t array -> outbox:msg Ring.t array -> unit
+(** Wire the per-pair rings: [inbox.(p)] carries handoffs from shard
+    [p] to this one, [outbox.(c)] to shard [c]. Setup-time only. *)
+
+val set_doorbells :
+  t -> peer_asleep:bool Atomic.t array -> peer_wake:Unix.file_descr array -> unit
+(** Wire the wakeup fabric: [peer_asleep.(c)] is shard [c]'s published
+    sleep flag and [peer_wake.(c)] the write end of its doorbell pipe.
+    A producer that pushes a handoff to a sleeping consumer writes one
+    byte there, so idle workers block in [select] instead of burning
+    timer slack — the flag is re-read after the ring push (both
+    seq_cst), which closes the lost-wakeup race. Setup-time only. *)
+
+val asleep_flag : t -> bool Atomic.t
+(** This shard's published sleep flag (for {!set_doorbells} wiring). *)
+
+val wake_fd : t -> Unix.file_descr
+(** Write end of this shard's doorbell pipe (for {!set_doorbells}). *)
+
+val close : t -> unit
+(** Release the doorbell pipe's file descriptors. Call once the worker
+    will never {!run} again; the pool's [close] does this for every
+    shard. *)
+
+val sid : t -> int
+
+val telemetry : t -> Dataplane.Telemetry.t
+(** This shard's own counters; merge across shards in fixed order for
+    the pool-wide view (commutative — see {!Domainpool.telemetry}). *)
+
+val crossings : t -> int
+(** Handoffs this shard initiated (lifetime total). *)
+
+val arena : t -> Netcore.Arena.t
+(** The slab this shard encodes injected packets into. The pool
+    rewinds and resizes it between batches, never mid-flight. *)
+
+val rng : t -> Topology.Rng.t
+(** The shard's private randomness stream, split from the pool seed —
+    the only randomness a worker may use (CLAUDE.md). *)
+
+val enqueue : t -> inj -> unit
+(** Queue a flow for injection. Setup-time only (before {!run}). *)
+
+val run : t -> unit
+(** The worker loop: drain cross-shard arrivals, retry stalled
+    handoffs, inject pending flows; exit when the pool-wide live
+    count reaches zero. Safe to run one domain per shard — this is
+    the root the evolvelint domain-safety and hot-path-allocation
+    packs scan. Idles politely — a short spin, then blocking on the
+    doorbell pipe with a backstop timeout — so worker counts above the
+    core count still make progress: sleepers stop stealing timeslices
+    and wake the moment a producer hands them traffic. *)
+
+(**/**)
+
+val naps : t -> int
+val passes : t -> int
+(** Scheduling diagnostics: idle sleeps taken and main-loop passes,
+    lifetime totals. *)

@@ -183,3 +183,101 @@ let wire_length (p : Packet.t) =
       + (match vn.Packet.dest_v4_hint with Some _ -> 5 | None -> 1)
       + 2
       + String.length vn.Packet.body
+
+(* --- arena views ---------------------------------------------------- *)
+
+(* Offsets handed out by Arena.alloc are in bounds by construction and
+   the view length is checked once per packet (big_peek_ok), so the
+   field reads and writes use the unchecked bigarray accessors. *)
+
+let big_put8 (b : Arena.buf) i v =
+  Bigarray.Array1.unsafe_set b i (Char.unsafe_chr (v land 0xFF))
+
+let big_put16 b i v =
+  big_put8 b i (v lsr 8);
+  big_put8 b (i + 1) v
+
+let big_put32 b i v =
+  big_put16 b i (v lsr 16);
+  big_put16 b (i + 2) v
+
+let big_put_body b i body =
+  if String.length body > 0xFFFF then
+    invalid_arg "Wire.encode_into: body exceeds 65535 bytes";
+  let n = String.length body in
+  big_put16 b i n;
+  for k = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set b (i + 2 + k) (String.unsafe_get body k)
+  done;
+  i + 2 + n
+
+let big_put_ipvn b i a =
+  if Ipvn.is_self a then begin
+    big_put8 b i 0;
+    big_put32 b (i + 1) (Ipv4.to_int (Ipvn.raw_ipv4 a));
+    i + 5
+  end
+  else begin
+    big_put8 b i 1;
+    big_put32 b (i + 1) (Ipvn.raw_domain a);
+    big_put32 b (i + 5) (Ipvn.raw_host a);
+    i + 9
+  end
+
+let encode_into (p : Packet.t) arena =
+  check_ttl p.Packet.ttl;
+  let len = wire_length p in
+  let off = Arena.alloc arena len in
+  if off < 0 then invalid_arg "Wire.encode_into: arena exhausted";
+  let b = Arena.buf arena in
+  big_put8 b off format_version;
+  (match p.Packet.payload with
+  | Packet.Data _ -> big_put8 b (off + 1) 0
+  | Packet.Encap _ -> big_put8 b (off + 1) 1);
+  big_put32 b (off + 2) (Ipv4.to_int p.Packet.src);
+  big_put32 b (off + 6) (Ipv4.to_int p.Packet.dst);
+  big_put8 b (off + 10) p.Packet.ttl;
+  (match p.Packet.payload with
+  | Packet.Data body -> ignore (big_put_body b (off + 11) body : int)
+  | Packet.Encap vn ->
+      check_ttl vn.Packet.vttl;
+      big_put8 b (off + 11) vn.Packet.version;
+      big_put8 b (off + 12) vn.Packet.vttl;
+      let i = big_put_ipvn b (off + 13) vn.Packet.vsrc in
+      let i = big_put_ipvn b i vn.Packet.vdst in
+      let i =
+        match vn.Packet.dest_v4_hint with
+        | Some a ->
+            big_put8 b i 1;
+            big_put32 b (i + 1) (Ipv4.to_int a);
+            i + 5
+        | None ->
+            big_put8 b i 0;
+            i + 1
+      in
+      ignore (big_put_body b i vn.Packet.body : int));
+  off
+
+let big_u32 (b : Arena.buf) i =
+  (Char.code (Bigarray.Array1.unsafe_get b i) lsl 24)
+  lor (Char.code (Bigarray.Array1.unsafe_get b (i + 1)) lsl 16)
+  lor (Char.code (Bigarray.Array1.unsafe_get b (i + 2)) lsl 8)
+  lor Char.code (Bigarray.Array1.unsafe_get b (i + 3))
+
+let big_peek_ok (b : Arena.buf) ~off ~len =
+  len >= header_bytes && off >= 0
+  && off + len <= Bigarray.Array1.dim b
+  && Char.code (Bigarray.Array1.unsafe_get b off) = format_version
+
+let peek_dst_big b ~off ~len ~default =
+  if big_peek_ok b ~off ~len then Ipv4.of_int (big_u32 b (off + 6)) else default
+
+let peek_ttl_big b ~off ~len ~default =
+  if big_peek_ok b ~off ~len then
+    Char.code (Bigarray.Array1.unsafe_get b (off + 10))
+  else default
+
+let decode_big b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bigarray.Array1.dim b then
+    Error "view out of bounds"
+  else decode (String.init len (fun i -> Bigarray.Array1.get b (off + i)))

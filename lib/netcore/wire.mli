@@ -59,3 +59,32 @@ val peek_ttl : string -> int option
 
 val peek_kind : string -> [ `Data | `Encap ] option
 (** Payload kind (byte 1): plain data or encapsulated IPvN. *)
+
+(** {2 Arena views}
+
+    The sharded data plane (DESIGN.md §11) keeps packet bytes in
+    pre-allocated {!Arena} slabs so the steady-state forwarding loop
+    never touches the GC. These variants encode into and peek out of
+    an [(off, len)] view of a slab instead of a heap string; §3.3.2's
+    opaque-payload rule means per-hop forwarding only ever reads the
+    fixed 11-byte header of the view. *)
+
+val encode_into : Packet.t -> Arena.t -> int
+(** [encode_into p arena] serializes [p] into freshly bump-allocated
+    arena bytes and returns the slab offset; the view length is
+    {!wire_length}[ p]. Byte-for-byte identical to {!encode}.
+    @raise Invalid_argument when the arena is exhausted, a body
+    exceeds 65535 bytes, or a TTL is outside [\[0, 255\]]. *)
+
+val peek_dst_big : Arena.buf -> off:int -> len:int -> default:Ipv4.t -> Ipv4.t
+(** IPv4 destination of the encoded packet at [(off, len)], or
+    [default] when the view is out of bounds, shorter than the fixed
+    header, or not format version 1. Allocation-free. *)
+
+val peek_ttl_big : Arena.buf -> off:int -> len:int -> default:int -> int
+(** TTL (byte 10) of the encoded packet at [(off, len)], or [default]
+    under the same conditions as {!peek_dst_big}. Allocation-free. *)
+
+val decode_big : Arena.buf -> off:int -> len:int -> (Packet.t, string) result
+(** Copying decode of the view — the boundary/test-suite counterpart
+    proving {!encode_into} round-trips; not for the per-hop path. *)

@@ -389,7 +389,14 @@ let test_staged_rollout_is_continuous () =
 (* Report                                                              *)
 
 let test_report_deterministic_and_complete () =
+  (* byte-identical across reruns AND across shard counts: the
+     EVOLVENET_SHARDS knob (CI runs the suite once with it set to 4)
+     must never leak into a generated report — everything the sharded
+     data plane contributes to E33 is order-independent (DESIGN.md
+     §11), so the report cannot depend on how many domains ran it *)
+  Unix.putenv "EVOLVENET_SHARDS" "1";
   let a = Evolve.Report.generate () in
+  Unix.putenv "EVOLVENET_SHARDS" "4";
   let b = Evolve.Report.generate () in
   check Alcotest.bool "deterministic" true (a = b);
   List.iter
@@ -400,7 +407,7 @@ let test_report_deterministic_and_complete () =
            i + nl <= hl && (String.sub a i nl = needle || go (i + 1))
          in
          go 0))
-    [ "Figure 1"; "Figure 4"; "E1 "; "E23 "; "advertise-by-proxy" ]
+    [ "Figure 1"; "Figure 4"; "E1 "; "E23 "; "E33 "; "advertise-by-proxy" ]
 
 (* ------------------------------------------------------------------ *)
 (* Table                                                               *)

@@ -765,6 +765,66 @@ let test_e31_e32_deterministic () =
     Alcotest.(list string)
     "e32 rows identical across runs" (e32_run ()) (e32_run ())
 
+let e33_args = (small_params, [ 1; 2; 4; 8 ], 256, 8)
+
+let e33_row_str (r : E.e33_row) =
+  Printf.sprintf "%d %d %d %d %d %d %d %d %b" r.E.shards33 r.E.packets33
+    r.E.hops33 r.E.bytes33 r.E.delivered33 r.E.dropped33 r.E.ttl33
+    r.E.crossings33 r.E.identical33
+
+let e33 =
+  lazy
+    (let params, shard_counts, flows, packets_per_flow = e33_args in
+     E.e33_shard_invariance ~params ~shard_counts ~flows ~packets_per_flow ())
+
+let test_e33_shard_invariance () =
+  let rows = Lazy.force e33 in
+  let _, shard_counts, _, _ = e33_args in
+  check Alcotest.int "one row per shard count" (List.length shard_counts)
+    (List.length rows);
+  List.iter
+    (fun (r : E.e33_row) ->
+      check Alcotest.bool
+        (Printf.sprintf "verdict at %d shards matches one shard" r.E.shards33)
+        true r.E.identical33;
+      check Alcotest.int
+        (Printf.sprintf "terminal verdicts account for every packet at %d"
+           r.E.shards33)
+        r.E.packets33
+        (r.E.delivered33 + r.E.dropped33 + r.E.ttl33);
+      check Alcotest.bool "packets forwarded" true (r.E.packets33 > 0);
+      check Alcotest.bool "hops at least one per packet" true
+        (r.E.hops33 >= r.E.packets33))
+    rows;
+  let base = List.hd rows in
+  List.iter
+    (fun (r : E.e33_row) ->
+      check Alcotest.int "hops invariant" base.E.hops33 r.E.hops33;
+      check Alcotest.int "bytes invariant" base.E.bytes33 r.E.bytes33;
+      check Alcotest.int "delivered invariant" base.E.delivered33
+        r.E.delivered33)
+    rows;
+  check Alcotest.int "one shard never crosses" 0 base.E.crossings33;
+  List.iter
+    (fun (r : E.e33_row) ->
+      if r.E.shards33 > 1 then
+        check Alcotest.bool
+          (Printf.sprintf "%d shards hand packets across rings" r.E.shards33)
+          true
+          (r.E.crossings33 > 0))
+    rows
+
+let test_e33_deterministic () =
+  let run () =
+    let params, shard_counts, flows, packets_per_flow = e33_args in
+    List.map e33_row_str
+      (E.e33_shard_invariance ~params ~shard_counts ~flows ~packets_per_flow
+         ())
+  in
+  check
+    Alcotest.(list string)
+    "e33 rows identical across runs" (run ()) (run ())
+
 let () =
   Alcotest.run "experiments"
     [
@@ -931,5 +991,12 @@ let () =
             test_e32_recovery_beats_waiting;
           Alcotest.test_case "same seed, same rows" `Quick
             test_e31_e32_deterministic;
+        ] );
+      ( "e33",
+        [
+          Alcotest.test_case "shard-count invariance" `Quick
+            test_e33_shard_invariance;
+          Alcotest.test_case "same seed, same rows" `Quick
+            test_e33_deterministic;
         ] );
     ]

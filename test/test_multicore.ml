@@ -1,0 +1,330 @@
+(* Tests for the sharded multicore data plane (DESIGN.md §11): the
+   SPSC ring must be a faithful FIFO under concurrent producers and
+   consumers, the shard map a total contiguous partition, the arena
+   wire path byte-equal to the string encoder, and the domain pool's
+   verdicts identical to the serial pump oracle at every shard
+   count — with a one-shard pool matching the pump's telemetry field
+   for field, cache statistics included. *)
+
+module Internet = Topology.Internet
+module Forward = Simcore.Forward
+module Workload = Dataplane.Workload
+module Telemetry = Dataplane.Telemetry
+module Pump = Dataplane.Pump
+module Packet = Netcore.Packet
+module Ipv4 = Netcore.Ipv4
+module Wire = Netcore.Wire
+module Arena = Netcore.Arena
+module Ring = Multicore.Ring
+module Shardmap = Multicore.Shardmap
+module Domainpool = Multicore.Domainpool
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---------------------------------------------------------------- *)
+(* Ring                                                              *)
+
+let test_ring_fifo_serial () =
+  let r = Ring.create ~capacity:8 ~dummy:(-1) in
+  check Alcotest.bool "fresh ring is empty" true (Ring.is_empty r);
+  for i = 0 to 7 do
+    check Alcotest.bool (Printf.sprintf "push %d" i) true (Ring.push r i)
+  done;
+  check Alcotest.int "full length" 8 (Ring.length r);
+  check Alcotest.bool "push beyond capacity refused" false (Ring.push r 99);
+  for i = 0 to 7 do
+    check Alcotest.int (Printf.sprintf "pop %d in order" i) i (Ring.pop r)
+  done;
+  check Alcotest.bool "drained" true (Ring.is_empty r);
+  Alcotest.check_raises "pop on empty raises"
+    (Invalid_argument "Ring.pop: empty") (fun () -> ignore (Ring.pop r))
+
+let test_ring_capacity_rounding () =
+  let r = Ring.create ~capacity:5 ~dummy:0 in
+  check Alcotest.int "capacity rounds up to a power of two" 8 (Ring.capacity r)
+
+let test_ring_backpressure () =
+  (* a producer against a full ring must spin, not lose items: the
+     consumer drains one, exactly one push succeeds *)
+  let r = Ring.create ~capacity:4 ~dummy:(-1) in
+  for i = 0 to 3 do
+    ignore (Ring.push r i)
+  done;
+  check Alcotest.bool "full ring refuses" false (Ring.push r 4);
+  check Alcotest.int "head preserved" 0 (Ring.pop r);
+  check Alcotest.bool "freed slot accepts" true (Ring.push r 4);
+  check Alcotest.bool "full again refuses" false (Ring.push r 5);
+  let got = List.init 4 (fun _ -> Ring.pop r) in
+  check Alcotest.(list int) "FIFO across the wrap" [ 1; 2; 3; 4 ] got
+
+(* The SPSC contract under real parallelism: one producer domain, one
+   consumer domain, every pushed value arrives exactly once and in
+   order. Retries on both sides exercise the full/empty transitions. *)
+let prop_ring_spsc =
+  QCheck.Test.make ~name:"ring: concurrent SPSC keeps FIFO, no loss/dup"
+    ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 1 512))
+    (fun (cap_log, n) ->
+      let r = Ring.create ~capacity:(1 lsl cap_log) ~dummy:(-1) in
+      let producer =
+        Domain.spawn (fun () ->
+            for i = 0 to n - 1 do
+              while not (Ring.push r i) do
+                Domain.cpu_relax ()
+              done
+            done)
+      in
+      let got = ref [] in
+      let remaining = ref n in
+      while !remaining > 0 do
+        if Ring.is_empty r then Domain.cpu_relax ()
+        else begin
+          got := Ring.pop r :: !got;
+          decr remaining
+        end
+      done;
+      Domain.join producer;
+      Ring.is_empty r && List.rev !got = List.init n Fun.id)
+
+(* ---------------------------------------------------------------- *)
+(* Shardmap                                                          *)
+
+let test_shardmap_partition () =
+  List.iter
+    (fun (routers, shards) ->
+      let m = Shardmap.create ~routers ~shards in
+      (* totality: every router lands in exactly the shard whose
+         contiguous range contains it *)
+      for r = 0 to routers - 1 do
+        let s = Shardmap.shard_of m r in
+        check Alcotest.bool "shard id in range" true (s >= 0 && s < shards);
+        let lo, hi = Shardmap.range m s in
+        check Alcotest.bool
+          (Printf.sprintf "router %d inside its shard's range" r)
+          true
+          (r >= lo && r < hi)
+      done;
+      (* contiguity: ranges tile [0, routers) without gap or overlap *)
+      let covered = ref 0 in
+      for s = 0 to shards - 1 do
+        let lo, hi = Shardmap.range m s in
+        check Alcotest.int
+          (Printf.sprintf "shard %d starts where %d ended" s (s - 1))
+          !covered lo;
+        check Alcotest.bool "range non-decreasing" true (hi >= lo);
+        covered := hi
+      done;
+      check Alcotest.int "ranges cover every router" routers !covered)
+    [ (1, 1); (7, 3); (8, 8); (72, 8); (100, 7); (64, 4) ]
+
+let test_shardmap_validation () =
+  Alcotest.check_raises "zero shards refused"
+    (Invalid_argument "Shardmap.create: shards must be in [1, routers]")
+    (fun () -> ignore (Shardmap.create ~routers:4 ~shards:0));
+  Alcotest.check_raises "more shards than routers refused"
+    (Invalid_argument "Shardmap.create: shards must be in [1, routers]")
+    (fun () -> ignore (Shardmap.create ~routers:4 ~shards:5))
+
+(* ---------------------------------------------------------------- *)
+(* Arena wire path                                                   *)
+
+let test_arena_roundtrip () =
+  let a = Arena.create ~bytes:4096 in
+  let packets =
+    [
+      Packet.make_data ~src:(Ipv4.of_int 1) ~dst:(Ipv4.of_int 2) "hello";
+      Packet.make_data ~src:(Ipv4.of_int 3) ~dst:(Ipv4.of_int 4) "";
+      Packet.make_data ~src:(Ipv4.of_int 0xCAFE) ~dst:(Ipv4.of_int 0xBEEF)
+        (String.make 200 'z');
+    ]
+  in
+  List.iter
+    (fun p ->
+      let len = Wire.wire_length p in
+      let off = Wire.encode_into p a in
+      let buf = Arena.buf a in
+      (* the slab bytes are exactly the string encoding *)
+      let s = Wire.encode p in
+      check Alcotest.int "wire_length matches encoding" (String.length s) len;
+      for i = 0 to len - 1 do
+        check Alcotest.char
+          (Printf.sprintf "byte %d" i)
+          s.[i]
+          (Bigarray.Array1.get buf (off + i))
+      done;
+      (* peeks agree with the decoded packet *)
+      check Alcotest.int "peeked dst"
+        (Ipv4.to_int p.Packet.dst)
+        (Ipv4.to_int (Wire.peek_dst_big buf ~off ~len ~default:(Ipv4.of_int 0)));
+      check Alcotest.int "peeked ttl" p.Packet.ttl
+        (Wire.peek_ttl_big buf ~off ~len ~default:(-1));
+      match Wire.decode_big buf ~off ~len with
+      | Ok q -> check Alcotest.bool "decode_big roundtrips" true (p = q)
+      | Error e -> Alcotest.failf "decode_big failed: %s" e)
+    packets
+
+let test_arena_exhaustion () =
+  let a = Arena.create ~bytes:8 in
+  check Alcotest.int "first alloc at offset 0" 0 (Arena.alloc a 8);
+  check Alcotest.int "exhausted alloc returns -1" (-1) (Arena.alloc a 1);
+  Arena.reset a;
+  check Alcotest.int "reset rewinds the cursor" 0 (Arena.alloc a 4);
+  Alcotest.check_raises "ensure with bytes in flight raises"
+    (Invalid_argument "Arena.ensure: arena in use") (fun () ->
+      Arena.ensure a ~bytes:1024)
+
+let test_pump_slab_equals_heap () =
+  (* the arena-backed pump path must leave telemetry exactly where the
+     string path does — same verdicts, same cache statistics *)
+  let inet = Internet.build Internet.default_params in
+  let env = Forward.make_env inet in
+  let wl =
+    Workload.create inet (Workload.Gravity { zipf_s = 1.2 }) ~seed:5L
+      ~packets_per_flow:4
+  in
+  let flows = Workload.batch wl ~count:64 in
+  let heap = Pump.create env in
+  Pump.run_batch_in heap Pump.Heap flows;
+  let slab = Pump.create env in
+  Pump.run_batch_in slab (Pump.Slab (Arena.create ~bytes:0)) flows;
+  let th = Pump.telemetry heap and ts = Pump.telemetry slab in
+  check Alcotest.int "router counts" (Telemetry.num_routers th)
+    (Telemetry.num_routers ts);
+  for r = 0 to Telemetry.num_routers th - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "router %d counters equal" r)
+      true
+      (Telemetry.router th r = Telemetry.router ts r)
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Domainpool vs the serial pump oracle                              *)
+
+let pool_fixture =
+  lazy
+    (let inet = Internet.build Internet.default_params in
+     let env = Forward.make_env inet in
+     let wl =
+       Workload.create inet (Workload.Gravity { zipf_s = 1.2 }) ~seed:11L
+         ~packets_per_flow:8
+     in
+     let flows = Workload.batch wl ~count:512 in
+     let pump = Pump.create env in
+     Pump.run_batch pump flows;
+     (env, flows, pump))
+
+let verdict t =
+  let c = Telemetry.total t in
+  ( c.Telemetry.packets,
+    c.Telemetry.bytes,
+    c.Telemetry.encap_bytes,
+    c.Telemetry.delivered,
+    c.Telemetry.dropped,
+    c.Telemetry.ttl_expired )
+
+let test_pool_one_shard_equals_pump () =
+  let env, flows, pump = Lazy.force pool_fixture in
+  let pool = Domainpool.create env ~shards:1 ~seed:11L in
+  Domainpool.run pool flows;
+  let pt = Domainpool.telemetry pool and st = Pump.telemetry pump in
+  (* full structural equality, cache statistics included: one shard
+     forwards in exactly the serial order *)
+  for r = 0 to Telemetry.num_routers st - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "router %d counters equal pump's" r)
+      true
+      (Telemetry.router pt r = Telemetry.router st r)
+  done;
+  check Alcotest.bool "native class equals pump's" true
+    (Telemetry.cls pt Telemetry.Native = Telemetry.cls st Telemetry.Native);
+  check Alcotest.int "no crossings with one shard" 0
+    (Domainpool.crossings pool);
+  Domainpool.close pool
+
+let test_pool_verdicts_shard_invariant () =
+  let env, flows, pump = Lazy.force pool_fixture in
+  let oracle = verdict (Pump.telemetry pump) in
+  List.iter
+    (fun shards ->
+      let pool = Domainpool.create env ~shards ~seed:11L in
+      Domainpool.run pool flows;
+      let v = verdict (Domainpool.telemetry pool) in
+      Domainpool.close pool;
+      check Alcotest.bool
+        (Printf.sprintf "verdict at %d shards equals the serial pump" shards)
+        true (v = oracle))
+    [ 1; 2; 3; 4; 8 ]
+
+(* CI runs the whole suite a second time with EVOLVENET_SHARDS=4, so
+   the oracle comparison below actually executes a parallel pool on
+   that pass; unset, a modest default still covers the ring path *)
+let test_pool_env_shard_count () =
+  let env, flows, pump = Lazy.force pool_fixture in
+  let shards =
+    match Sys.getenv_opt "EVOLVENET_SHARDS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+    | None -> 2
+  in
+  let pool = Domainpool.create env ~shards ~seed:11L in
+  Domainpool.run pool flows;
+  let v = verdict (Domainpool.telemetry pool) in
+  Domainpool.close pool;
+  check Alcotest.bool
+    (Printf.sprintf "EVOLVENET_SHARDS=%d verdict equals the serial pump"
+       shards)
+    true
+    (v = verdict (Pump.telemetry pump))
+
+let test_pool_telemetry_accumulates () =
+  (* two runs of the same batch double every counter, like the pump *)
+  let env, flows, _ = Lazy.force pool_fixture in
+  let once = Domainpool.create env ~shards:4 ~seed:11L in
+  Domainpool.run once flows;
+  let p1, b1, e1, d1, r1, t1 = verdict (Domainpool.telemetry once) in
+  Domainpool.close once;
+  let twice = Domainpool.create env ~shards:4 ~seed:11L in
+  Domainpool.run twice flows;
+  Domainpool.run twice flows;
+  let p2, b2, e2, d2, r2, t2 = verdict (Domainpool.telemetry twice) in
+  Domainpool.close twice;
+  check Alcotest.bool "all counters doubled" true
+    ((p2, b2, e2, d2, r2, t2) = (2 * p1, 2 * b1, 2 * e1, 2 * d1, 2 * r1, 2 * t1))
+
+let () =
+  Alcotest.run "multicore"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "serial FIFO" `Quick test_ring_fifo_serial;
+          Alcotest.test_case "capacity rounding" `Quick
+            test_ring_capacity_rounding;
+          Alcotest.test_case "backpressure" `Quick test_ring_backpressure;
+          qcheck prop_ring_spsc;
+        ] );
+      ( "shardmap",
+        [
+          Alcotest.test_case "total contiguous partition" `Quick
+            test_shardmap_partition;
+          Alcotest.test_case "validation" `Quick test_shardmap_validation;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_arena_roundtrip;
+          Alcotest.test_case "exhaustion and reset" `Quick
+            test_arena_exhaustion;
+          Alcotest.test_case "pump slab equals heap" `Quick
+            test_pump_slab_equals_heap;
+        ] );
+      ( "domainpool",
+        [
+          Alcotest.test_case "one shard equals the pump" `Quick
+            test_pool_one_shard_equals_pump;
+          Alcotest.test_case "verdicts shard-invariant" `Quick
+            test_pool_verdicts_shard_invariant;
+          Alcotest.test_case "env-selected shard count" `Quick
+            test_pool_env_shard_count;
+          Alcotest.test_case "telemetry accumulates" `Quick
+            test_pool_telemetry_accumulates;
+        ] );
+    ]

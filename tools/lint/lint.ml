@@ -29,7 +29,7 @@ let compare_diag = Diag.compare
 
 let layer_order =
   [| "netcore"; "topology"; "routing"; "interdomain"; "simcore"; "anycast";
-     "vnbone"; "dataplane"; "evolve" |]
+     "vnbone"; "dataplane"; "multicore"; "evolve" |]
 
 let layer_order_str = String.concat " < " (Array.to_list layer_order)
 
@@ -118,7 +118,9 @@ let rules =
        with doc comments')." );
     ( "hot-path-alloc",
       "Functions transitively reachable from the data-plane roots \
-       (Pump.inject/Pump.step, Flowcache.lookup, Wire.peek_*) must not \
+       (Pump.inject/Pump.step, Flowcache.lookup, Wire.peek_*, and the \
+       sharded pool's Shard.run worker loop with its Ring.push/Ring.pop \
+       handoffs) must not \
        allocate per call: capturing closures, tuple/option/list cells and \
        partial applications are flagged, one aggregated diagnostic per \
        function. Deliberate allocations (the trace a function exists to \
@@ -141,7 +143,9 @@ let rules =
        ROADMAP item 1." );
     ( "domain-unsafe-write",
       "Functions reachable from the pump entry points (Pump.inject / \
-       Pump.step, Flowcache.lookup) must not write state that is not \
+       Pump.step, Flowcache.lookup) and the multicore worker roots \
+       (Shard.run, Ring.push, Ring.pop — the code one domain per shard \
+       executes concurrently) must not write state that is not \
        provably owned by a single pump instance. The summary engine traces \
        every mutation to the root of the written lvalue — through record \
        fields, `!` and array reads — and classifies it: rooted in a \
@@ -178,15 +182,35 @@ let rules =
 
 (* Roots of the data-plane hot path for the allocation lint; a
    trailing '*' is a prefix wildcard. Pump.step is the paper-facing
-   alias kept for forward compatibility. *)
+   alias kept for forward compatibility. Shard.run is the multicore
+   worker loop (one per domain) and Ring.push/Ring.pop the SPSC
+   handoff it drives — per-packet code, so alloc-free. *)
 let hot_path_roots =
-  [ "Pump.inject"; "Pump.step"; "Flowcache.lookup"; "Wire.peek_*" ]
+  [
+    "Pump.inject";
+    "Pump.step";
+    "Flowcache.lookup";
+    "Wire.peek_*";
+    "Shard.run";
+    "Ring.push";
+    "Ring.pop";
+  ]
 
 (* Roots of the domain-safety gate: the entry points a sharded data
-   plane would run concurrently, one pump instance per domain
-   (ROADMAP 1). Narrower than the hot path — Wire.peek_* are pure
-   header reads and are covered transitively anyway. *)
-let domain_safety_roots = [ "Pump.inject"; "Pump.step"; "Flowcache.lookup" ]
+   plane runs concurrently — the serial pump's (one pump instance per
+   domain) plus the multicore pool's worker loop and ring operations,
+   which execute on every domain at once. Narrower than the hot
+   path — Wire.peek_* are pure header reads and are covered
+   transitively anyway. *)
+let domain_safety_roots =
+  [
+    "Pump.inject";
+    "Pump.step";
+    "Flowcache.lookup";
+    "Shard.run";
+    "Ring.push";
+    "Ring.pop";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Small string helpers                                                *)
