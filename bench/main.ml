@@ -491,9 +491,10 @@ let write_faults_json path =
   emit_json path json
 
 (* The evolvelint cost sheet: what the repo gate costs per run — the
-   untyped Parsetree pass, the typed pass (call graph + rule packs) and
-   the interprocedural effect fixpoint alone — plus the finding counts,
-   so CI can watch both the gate's latency and its signal. *)
+   untyped Parsetree pass, the typed pass (call graph + rule packs),
+   the interprocedural effect fixpoint alone, and the arena-bounds
+   prover alone — plus the finding counts, so CI can watch both the
+   gate's latency and its signal. *)
 let write_lint_json path =
   let module L = Lintcore.Lint in
   let module T = Lintcore.Typed in
@@ -515,6 +516,16 @@ let write_lint_json path =
   let fixpoint_ms, sums =
     ms (fun () -> Lintcore.Summary.compute (Lintcore.Callgraph.build tree.T.tmods))
   in
+  let bounds_ms, (bounds_sites, _) =
+    let cg = Lintcore.Callgraph.build tree.T.tmods in
+    ms (fun () -> Lintcore.Rules_bounds.analyze ~roots:L.bounds_roots cg)
+  in
+  let bounds_proven =
+    List.length
+      (List.filter
+         (fun s -> s.Lintcore.Rules_bounds.sp_proven)
+         bounds_sites)
+  in
   let bindings = Hashtbl.length sums.Lintcore.Summary.full in
   let findings =
     L.run ~root
@@ -527,12 +538,16 @@ let write_lint_json path =
       \  \"untyped_ms\": %.1f,\n\
       \  \"typed_ms\": %.1f,\n\
       \  \"fixpoint_ms\": %.1f,\n\
+      \  \"bounds_ms\": %.1f,\n\
       \  \"bindings\": %d,\n\
+      \  \"bounds_sites\": %d,\n\
+      \  \"bounds_proven\": %d,\n\
       \  \"untyped_findings\": %d,\n\
       \  \"typed_findings_raw\": %d,\n\
       \  \"findings\": %d\n\
        }\n"
-      untyped_ms typed_ms fixpoint_ms bindings (List.length untyped)
+      untyped_ms typed_ms fixpoint_ms bounds_ms bindings
+      (List.length bounds_sites) bounds_proven (List.length untyped)
       (List.length typed_diags) (List.length findings)
   in
   emit_json path json

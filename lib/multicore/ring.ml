@@ -19,7 +19,19 @@ let create ~capacity ~dummy =
   }
 
 let capacity t = Array.length t.buf
-let length t = Atomic.get t.tail - Atomic.get t.head
+
+(* tail and head are read in two separate loads, not a snapshot: a
+   cross-domain caller can observe a tail from before a concurrent push
+   paired with a head from after a concurrent pop (or vice versa), so
+   the raw difference can transiently be negative or exceed the
+   capacity. Clamp into [0, capacity] — the only honest answer a
+   non-owner can give. Each endpoint's own side stays exact. *)
+let length t =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0
+  else if n > Array.length t.buf then Array.length t.buf
+  else n
+
 let is_empty t = length t = 0
 
 (* Publication order is what makes this safe across domains: the slot
@@ -28,7 +40,11 @@ let is_empty t = length t = 0
    Head mirrors the argument for slot reuse in the other direction. *)
 let push t x =
   let tl = Atomic.get t.tail in
-  if tl - Atomic.get t.head >= Array.length t.buf then false
+  let occ = tl - Atomic.get t.head in
+  (* producer owns tail, and head only advances: a stale head read can
+     only overstate occupancy, never make it negative *)
+  assert (occ >= 0);
+  if occ >= Array.length t.buf then false
   else begin
     t.buf.(tl land t.mask) <- x;
     Atomic.set t.tail (tl + 1);
@@ -37,7 +53,12 @@ let push t x =
 
 let pop t =
   let hd = Atomic.get t.head in
-  if Atomic.get t.tail - hd <= 0 then invalid_arg "Ring.pop: empty";
+  let occ = Atomic.get t.tail - hd in
+  (* consumer owns head and never advances it past an observed tail;
+     tail is monotonic, so the occupancy it computes is never negative
+     and never exceeds what the producer was allowed to publish *)
+  assert (occ >= 0 && occ <= Array.length t.buf);
+  if occ <= 0 then invalid_arg "Ring.pop: empty";
   let i = hd land t.mask in
   let x = t.buf.(i) in
   (* drop the slot's reference so popped elements don't leak through

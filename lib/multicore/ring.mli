@@ -27,8 +27,14 @@ val capacity : 'a t -> int
     of two). *)
 
 val length : 'a t -> int
-(** Elements currently queued. Exact from either endpoint's own side;
-    a momentarily stale lower/upper bound from the other. *)
+(** Elements currently queued, clamped to [[0, capacity t]]. The two
+    endpoint counters are read in separate loads, not a snapshot, so a
+    cross-domain observer can pair a stale [tail] with a fresh [head]
+    (or vice versa); the raw difference can transiently fall outside
+    the representable range and is clamped. Exact when called from an
+    endpoint's own domain; from any other domain it is only an
+    approximation that was accurate at some instant between the two
+    loads' bounds. *)
 
 val is_empty : 'a t -> bool
 (** [length t = 0]. Exact for the consumer: once it observes

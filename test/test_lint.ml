@@ -550,6 +550,323 @@ let test_taint_report_generate_surface () =
   check Alcotest.int "non-surface bindings stay quiet" 0
     (count_rule "determinism-taint" quiet)
 
+(* --- atomics protocol (v4) ------------------------------------------- *)
+
+module RA = Lintcore.Rules_atomic
+module RB = Lintcore.Rules_bounds
+
+(* Run the atomics pack alone over one fixture with a custom role
+   table, exactly as typed_pass drives it with Lint.atomic_roles. *)
+let atomic ?(scope = L.atomic_scope) ~roles ~modname src =
+  let filename =
+    Printf.sprintf "lib/fixture/%s.ml" (String.lowercase_ascii modname)
+  in
+  match Lintcore.Typed.of_string ~filename ~modname src with
+  | Error d -> Alcotest.failf "fixture rejected: %s" (L.to_string d)
+  | Ok m ->
+      let cg = CG.build [ m ] in
+      let sums = S.compute cg in
+      RA.check ~roles ~scope sums cg [ m ]
+
+let test_atomic_wrong_writer_fires_then_fixed () =
+  let roles =
+    [
+      ( "Ringfx.t.head",
+        RA.Single_writer { writers = [ "Ringfx.pop" ]; publishes = None } );
+    ]
+  in
+  let dirty =
+    atomic ~roles ~modname:"Ringfx"
+      "type t = { head : int Atomic.t }\n\
+       let pop t = Atomic.set t.head 1\n\
+       let rogue t = Atomic.set t.head 2\n"
+  in
+  check Alcotest.int "write outside the declared writer flagged" 1
+    (count_rule "atomic-protocol" dirty);
+  let d = List.hd dirty in
+  check
+    Alcotest.(option string)
+    "keyed at the rogue binding"
+    (Some "lib/fixture/ringfx.ml:rogue")
+    d.L.key;
+  let fixed =
+    atomic ~roles ~modname:"Ringfx"
+      "type t = { head : int Atomic.t }\n\
+       let pop t = Atomic.set t.head 1\n\
+       let rogue t = pop t\n"
+  in
+  check Alcotest.int "routing through the writer passes" 0
+    (count_rule "atomic-protocol" fixed)
+
+let test_atomic_publish_ordering_fires_then_fixed () =
+  let roles =
+    [
+      ( "Pubfx.t.tail",
+        RA.Single_writer
+          { writers = [ "Pubfx.push" ]; publishes = Some "Pubfx.t.buf" } );
+    ]
+  in
+  let dirty =
+    atomic ~roles ~modname:"Pubfx"
+      "type t = { buf : int array; mask : int; tail : int Atomic.t }\n\
+       let push t x =\n\
+      \  let tl = Atomic.get t.tail in\n\
+      \  Atomic.set t.tail (tl + 1);\n\
+      \  t.buf.(tl land t.mask) <- x\n"
+  in
+  check Alcotest.int "slot write after the publish flagged" 1
+    (count_rule "atomic-protocol" dirty);
+  check Alcotest.bool "message explains the happens-before edge" true
+    (contains_sub (List.hd dirty).L.msg "publishes");
+  let fixed =
+    atomic ~roles ~modname:"Pubfx"
+      "type t = { buf : int array; mask : int; tail : int Atomic.t }\n\
+       let push t x =\n\
+      \  let tl = Atomic.get t.tail in\n\
+      \  t.buf.(tl land t.mask) <- x;\n\
+      \  Atomic.set t.tail (tl + 1)\n"
+  in
+  check Alcotest.int "slot write before the publish passes" 0
+    (count_rule "atomic-protocol" fixed)
+
+let test_atomic_counter_store_and_spawn_order () =
+  let src =
+    "type t = { live : int Atomic.t }\n\
+     let retire t = ignore (Atomic.fetch_and_add t.live (-1) : int)\n\
+     let reset t = Atomic.set t.live 0\n"
+  in
+  let strict =
+    atomic
+      ~roles:[ ("Ctrfx.t.live", RA.Counter { setters = [] }) ]
+      ~modname:"Ctrfx" src
+  in
+  check Alcotest.int "store outside declared setters flagged" 1
+    (count_rule "atomic-protocol" strict);
+  let declared =
+    atomic
+      ~roles:[ ("Ctrfx.t.live", RA.Counter { setters = [ "Ctrfx.reset" ] }) ]
+      ~modname:"Ctrfx" src
+  in
+  check Alcotest.int "fetch_and_add free, declared setter passes" 0
+    (count_rule "atomic-protocol" declared);
+  let late =
+    atomic
+      ~roles:[ ("Spawnfx.t.live", RA.Counter { setters = [ "Spawnfx.run" ] }) ]
+      ~modname:"Spawnfx"
+      "type t = { live : int Atomic.t }\n\
+       let run t =\n\
+      \  let d = Domain.spawn (fun () -> Atomic.get t.live) in\n\
+      \  Atomic.set t.live 1;\n\
+      \  ignore (Domain.join d : int)\n"
+  in
+  check Alcotest.int "counter set after Domain.spawn flagged" 1
+    (count_rule "atomic-protocol" late)
+
+let snapfx_roles =
+  [
+    ( "Snapfx.t.head",
+      RA.Single_writer { writers = [ "Snapfx.pop" ]; publishes = None } );
+    ( "Snapfx.t.tail",
+      RA.Single_writer { writers = [ "Snapfx.push" ]; publishes = None } );
+  ]
+
+let snapfx_src =
+  "type t = { head : int Atomic.t; tail : int Atomic.t }\n\
+   let size t = Atomic.get t.tail - Atomic.get t.head\n\
+   let pop t =\n\
+  \  ignore (Atomic.get t.tail - Atomic.get t.head : int);\n\
+  \  Atomic.set t.head 1\n"
+
+let test_atomic_non_snapshot_read () =
+  let diags = atomic ~roles:snapfx_roles ~modname:"Snapfx" snapfx_src in
+  (* size combines two single-writer loads from outside either writer;
+     pop makes the same pair but owns head, so only size fires *)
+  check Alcotest.int "non-snapshot pair flagged once" 1
+    (count_rule "atomic-protocol" diags);
+  check
+    Alcotest.(option string)
+    "keyed at the non-owner"
+    (Some "lib/fixture/snapfx.ml:size")
+    (List.hd diags).L.key
+
+let test_atomic_allowlist_precedence () =
+  let allow =
+    L.Allowlist.parse ~path:"allowlist"
+      "atomic-protocol lib/fixture/snapfx.ml:size  # clamped downstream\n"
+  in
+  let diags =
+    L.filter_suppressed ~allow ~baseline:empty
+      (atomic ~roles:snapfx_roles ~modname:"Snapfx" snapfx_src)
+  in
+  check Alcotest.int "allowlisted non-snapshot suppressed" 0
+    (List.length diags);
+  check Alcotest.int "entry is live, not stale" 0
+    (List.length (L.Allowlist.stale allow))
+
+let test_atomic_accessor_alias_seen_through () =
+  (* the write goes through a returned alias — the accessor map must
+     resolve it to the field so the role check still applies *)
+  let src =
+    "type t = { asleep : bool Atomic.t }\n\
+     let asleep_flag t = t.asleep\n\
+     let doze t = Atomic.set (asleep_flag t) true\n"
+  in
+  let ok =
+    atomic
+      ~roles:
+        [ ("Viewfx.t.asleep", RA.Publish_flag { writers = [ "Viewfx.doze" ] }) ]
+      ~modname:"Viewfx" src
+  in
+  check Alcotest.int "declared writer through the accessor passes" 0
+    (count_rule "atomic-protocol" ok);
+  let bad =
+    atomic
+      ~roles:
+        [ ("Viewfx.t.asleep", RA.Publish_flag { writers = [ "Viewfx.other" ] }) ]
+      ~modname:"Viewfx" src
+  in
+  check Alcotest.int "accessor write from a non-writer flagged" 1
+    (count_rule "atomic-protocol" bad)
+
+let test_atomic_read_only_view_write () =
+  let diags =
+    atomic
+      ~roles:
+        [
+          ("Rofx.t.flag", RA.Publish_flag { writers = [] });
+          ("Rofx.t.view", RA.Read_only_view { of_field = "Rofx.t.flag" });
+        ]
+      ~modname:"Rofx"
+      "type t = { flag : bool Atomic.t; view : bool Atomic.t }\n\
+       let poke t = Atomic.set t.view true\n"
+  in
+  check Alcotest.int "write to a read-only view flagged" 1
+    (count_rule "atomic-protocol" diags);
+  check Alcotest.bool "message names the viewed field" true
+    (contains_sub (List.hd diags).L.msg "Rofx.t.flag")
+
+let test_atomic_coverage_and_stale_via_real_table () =
+  (* a module named Ring goes through typed_pass against the real
+     atomic_roles table: the undeclared field is a coverage finding,
+     and the table's head/tail entries (which this Ring lacks) are
+     stale — three atomic-role findings, nothing else *)
+  let diags =
+    typed ~modname:"Ring"
+      "type t = { extra : int Atomic.t }\nlet mk () = { extra = Atomic.make 0 }\n"
+  in
+  check Alcotest.int "coverage + two stale entries" 3
+    (count_rule "atomic-role" diags);
+  check Alcotest.bool "undeclared field named" true
+    (List.exists
+       (fun (d : L.diag) -> contains_sub d.L.msg "Ring.t.extra")
+       diags);
+  check Alcotest.bool "stale table entry named" true
+    (List.exists
+       (fun (d : L.diag) -> contains_sub d.L.msg "Ring.t.head")
+       diags)
+
+(* --- arena bounds (v4) ----------------------------------------------- *)
+
+let bounds ?(roots = []) ~modname src =
+  let filename =
+    Printf.sprintf "lib/fixture/%s.ml" (String.lowercase_ascii modname)
+  in
+  match Lintcore.Typed.of_string ~filename ~modname src with
+  | Error d -> Alcotest.failf "fixture rejected: %s" (L.to_string d)
+  | Ok m -> RB.analyze ~roots (CG.build [ m ])
+
+let test_bounds_provable_vs_unprovable () =
+  let sites, diags =
+    bounds ~roots:[ "Bndfx.get" ] ~modname:"Bndfx"
+      "let get (b : Bytes.t) i =\n\
+      \  if i >= 0 && i < Bytes.length b then Bytes.unsafe_get b i else 'x'\n"
+  in
+  check Alcotest.int "one obligation site" 1 (List.length sites);
+  check Alcotest.bool "guarded unsafe access proven" true
+    (List.hd sites).RB.sp_proven;
+  check Alcotest.int "no findings on the proven site" 0 (List.length diags);
+  let sites, diags =
+    bounds ~roots:[ "Bndfx.get" ] ~modname:"Bndfx"
+      "let get (b : Bytes.t) i = Bytes.unsafe_get b i\n"
+  in
+  check Alcotest.bool "unguarded access unproven" false
+    (List.hd sites).RB.sp_proven;
+  check Alcotest.int "rooted obligation fires arena-bounds" 1
+    (count_rule "arena-bounds" diags);
+  check Alcotest.int "unsafe access fires unsafe-unproven" 1
+    (count_rule "unsafe-unproven" diags)
+
+let test_bounds_unrooted_unsafe_still_licensed () =
+  (* off the bounds roots, arena-bounds stays quiet but the unsafe
+     license is unconditional for lib/ files *)
+  let _, diags =
+    bounds ~roots:[] ~modname:"Coldfx"
+      "let get (b : Bytes.t) i = Bytes.unsafe_get b i\n"
+  in
+  check Alcotest.int "unrooted: no arena-bounds" 0
+    (count_rule "arena-bounds" diags);
+  check Alcotest.int "unsafe-unproven still fires" 1
+    (count_rule "unsafe-unproven" diags)
+
+let test_bounds_checked_access_is_an_obligation () =
+  let _, diags =
+    bounds ~roots:[ "Chkfx.get" ] ~modname:"Chkfx"
+      "let get (b : Bytes.t) i = Bytes.get b i\n"
+  in
+  check Alcotest.int "checked rooted access fires arena-bounds" 1
+    (count_rule "arena-bounds" diags);
+  check Alcotest.int "checked access is not an unsafe license" 0
+    (count_rule "unsafe-unproven" diags)
+
+let test_bounds_interprocedural_discharge () =
+  let guarded =
+    "let put (b : Bytes.t) i = Bytes.unsafe_set b i 'x'\n\
+     let run (b : Bytes.t) i =\n\
+    \  if i >= 0 && i < Bytes.length b then put b i\n"
+  in
+  let sites, diags = bounds ~roots:[ "Ipfx.run" ] ~modname:"Ipfx" guarded in
+  check Alcotest.bool "callee obligation discharged at the call site" true
+    (List.hd sites).RB.sp_proven;
+  check Alcotest.int "no findings" 0 (List.length diags);
+  let unguarded =
+    "let put (b : Bytes.t) i = Bytes.unsafe_set b i 'x'\n\
+     let run (b : Bytes.t) i = put b i\n"
+  in
+  let sites, diags = bounds ~roots:[ "Ipfx.run" ] ~modname:"Ipfx" unguarded in
+  check Alcotest.bool "obligation escapes at the root" false
+    (List.hd sites).RB.sp_proven;
+  check Alcotest.int "escape is a rooted finding" 1
+    (count_rule "arena-bounds" diags)
+
+let test_bounds_for_loop_range () =
+  let sites, diags =
+    bounds ~roots:[ "Loopfx.fill" ] ~modname:"Loopfx"
+      "let fill (b : Bytes.t) =\n\
+      \  for i = 0 to Bytes.length b - 1 do Bytes.unsafe_set b i 'x' done\n"
+  in
+  check Alcotest.bool "loop-range access proven" true
+    (List.hd sites).RB.sp_proven;
+  check Alcotest.int "no findings" 0 (List.length diags)
+
+let test_bounds_allowlist_precedence () =
+  let allow =
+    L.Allowlist.parse ~path:"allowlist"
+      "arena-bounds lib/fixture/chkfx.ml:get  # relational width\n\
+       unsafe-unproven lib/fixture/bndfx.ml:get  # measured risk\n"
+  in
+  let _, d1 =
+    bounds ~roots:[ "Chkfx.get" ] ~modname:"Chkfx"
+      "let get (b : Bytes.t) i = Bytes.get b i\n"
+  in
+  let _, d2 =
+    bounds ~roots:[] ~modname:"Bndfx"
+      "let get (b : Bytes.t) i = Bytes.unsafe_get b i\n"
+  in
+  let left = L.filter_suppressed ~allow ~baseline:empty (d1 @ d2) in
+  check Alcotest.int "both pack findings suppressed" 0 (List.length left);
+  check Alcotest.int "entries live, not stale" 0
+    (List.length (L.Allowlist.stale allow))
+
 let test_baseline_suppresses_then_goes_stale () =
   let baseline =
     L.Allowlist.parse ~path:"baseline"
@@ -706,9 +1023,36 @@ let test_summary_dump_deterministic () =
   check Alcotest.string "json dump byte-identical across runs" j1 j2;
   check Alcotest.bool "covers the pump entry point" true
     (contains_sub j1 "Pump.inject");
+  check Alcotest.bool "json carries the bounds sites" true
+    (contains_sub j1 "\"bounds_sites\"");
+  check Alcotest.bool "json carries the spawned callees" true
+    (contains_sub j1 "\"spawn_callees\"");
   let t = L.summary_dump ~root:repo_root ~json:false in
   check Alcotest.bool "text dump lists the shared-state inventory" true
-    (contains_sub t "# shared state")
+    (contains_sub t "# shared state");
+  check Alcotest.bool "accessor map sees through asleep_flag" true
+    (contains_sub t "Shard.asleep_flag -> Shard.t.asleep");
+  check Alcotest.bool "spawned-closure callees listed" true
+    (contains_sub t "# spawned-closure callees");
+  check Alcotest.bool "bounds site list present" true
+    (contains_sub t "# bounds sites")
+
+let test_proven_dump_on_tree () =
+  let p1 = L.proven_dump ~root:repo_root in
+  let p2 = L.proven_dump ~root:repo_root in
+  check Alcotest.string "proven dump byte-identical across runs" p1 p2;
+  check Alcotest.bool "data-path unsafe put proven" true
+    (contains_sub p1 "Wire.big_put8 proven");
+  check Alcotest.bool "checked encap funnel stays unproven" true
+    (contains_sub p1 "Wire.big_put8c unproven");
+  (* the license invariant CI enforces: every unsafe accessor line in
+     the committed tree must be proven *)
+  List.iter
+    (fun line ->
+      if contains_sub line "unsafe_" then
+        check Alcotest.bool ("unsafe site licensed: " ^ line) true
+          (contains_sub line " proven"))
+    (String.split_on_char '\n' p1)
 
 let () =
   Alcotest.run "lint"
@@ -818,6 +1162,40 @@ let () =
           Alcotest.test_case "Report.generate is a surface" `Quick
             test_taint_report_generate_surface;
         ] );
+      ( "atomics-protocol",
+        [
+          Alcotest.test_case "wrong-role write fires then fixed" `Quick
+            test_atomic_wrong_writer_fires_then_fixed;
+          Alcotest.test_case "publish ordering fires then fixed" `Quick
+            test_atomic_publish_ordering_fires_then_fixed;
+          Alcotest.test_case "counter stores and spawn order" `Quick
+            test_atomic_counter_store_and_spawn_order;
+          Alcotest.test_case "non-snapshot read pair fires" `Quick
+            test_atomic_non_snapshot_read;
+          Alcotest.test_case "allowlist precedence" `Quick
+            test_atomic_allowlist_precedence;
+          Alcotest.test_case "accessor alias seen through" `Quick
+            test_atomic_accessor_alias_seen_through;
+          Alcotest.test_case "read-only view write fires" `Quick
+            test_atomic_read_only_view_write;
+          Alcotest.test_case "coverage and stale table entries" `Quick
+            test_atomic_coverage_and_stale_via_real_table;
+        ] );
+      ( "arena-bounds",
+        [
+          Alcotest.test_case "provable vs unprovable offset" `Quick
+            test_bounds_provable_vs_unprovable;
+          Alcotest.test_case "unrooted unsafe still licensed" `Quick
+            test_bounds_unrooted_unsafe_still_licensed;
+          Alcotest.test_case "checked access is an obligation" `Quick
+            test_bounds_checked_access_is_an_obligation;
+          Alcotest.test_case "interprocedural discharge" `Quick
+            test_bounds_interprocedural_discharge;
+          Alcotest.test_case "for-loop range proves" `Quick
+            test_bounds_for_loop_range;
+          Alcotest.test_case "allowlist precedence" `Quick
+            test_bounds_allowlist_precedence;
+        ] );
       ( "baseline",
         [
           Alcotest.test_case "baseline suppresses live debt" `Quick
@@ -846,5 +1224,7 @@ let () =
             test_outputs_byte_identical;
           Alcotest.test_case "summary dump is deterministic" `Quick
             test_summary_dump_deterministic;
+          Alcotest.test_case "proven dump licenses every unsafe site" `Quick
+            test_proven_dump_on_tree;
         ] );
     ]

@@ -87,6 +87,55 @@ let prop_ring_spsc =
       Domain.join producer;
       Ring.is_empty r && List.rev !got = List.init n Fun.id)
 
+(* Four domains in a relay: main pushes into ring 0, three spawned
+   stages each pop their inbox and push their outbox, main drains the
+   last ring. Every ring keeps exactly one producer and one consumer
+   (the SPSC contract), but all four run concurrently, so the
+   occupancy assertions inside push/pop — the debug checks the
+   atomics-protocol roles license — are exercised under real
+   cross-domain timing, including the full/empty spins at tiny
+   capacities. *)
+let prop_ring_relay_4domains =
+  QCheck.Test.make ~name:"ring: 4-domain relay preserves FIFO end to end"
+    ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 1 256))
+    (fun (cap_log, n) ->
+      let mk () = Ring.create ~capacity:(1 lsl cap_log) ~dummy:(-1) in
+      let rings = Array.init 3 (fun _ -> mk ()) in
+      let stage inbox outbox () =
+        for _ = 0 to n - 1 do
+          while Ring.is_empty inbox do
+            Domain.cpu_relax ()
+          done;
+          let v = Ring.pop inbox in
+          while not (Ring.push outbox v) do
+            Domain.cpu_relax ()
+          done
+        done
+      in
+      let d1 = Domain.spawn (stage rings.(0) rings.(1)) in
+      let d2 = Domain.spawn (stage rings.(1) rings.(2)) in
+      let got = ref [] in
+      let d3 =
+        Domain.spawn (fun () ->
+            for _ = 0 to n - 1 do
+              while Ring.is_empty rings.(2) do
+                Domain.cpu_relax ()
+              done;
+              got := Ring.pop rings.(2) :: !got
+            done)
+      in
+      for i = 0 to n - 1 do
+        while not (Ring.push rings.(0) i) do
+          Domain.cpu_relax ()
+        done
+      done;
+      Domain.join d1;
+      Domain.join d2;
+      Domain.join d3;
+      Array.for_all Ring.is_empty rings
+      && List.rev !got = List.init n Fun.id)
+
 (* ---------------------------------------------------------------- *)
 (* Shardmap                                                          *)
 
@@ -301,6 +350,7 @@ let () =
             test_ring_capacity_rounding;
           Alcotest.test_case "backpressure" `Quick test_ring_backpressure;
           qcheck prop_ring_spsc;
+          qcheck prop_ring_relay_4domains;
         ] );
       ( "shardmap",
         [

@@ -39,6 +39,11 @@ type t = {
   edges : (string, SS.t) Hashtbl.t;
   nodes : SS.t;
   binds : bind list;  (* deterministic: file order, then source order *)
+  spawns : (string, SS.t) Hashtbl.t;
+      (* binding -> nodes it invokes inside a closure argument to
+         Domain.spawn. These callees execute on a child domain, so the
+         domain-safety gate treats them as roots — the stored-closure
+         blind spot of DESIGN.md §9.4, closed for spawned closures. *)
 }
 
 let node m v = m ^ "." ^ v
@@ -80,9 +85,16 @@ let rec mod_shape (me : Typedtree.module_expr) =
       | [] -> `Opaque)
   | _ -> `Opaque
 
+(* Is [e] a reference to Domain.spawn (or Stdlib.Domain.spawn)? *)
+let is_domain_spawn (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Typed.norm_target p = Some ("Domain", "spawn")
+  | _ -> false
+
 let build (mods : Typed.modinfo list) =
   let module_set = SS.of_list (List.map (fun m -> m.Typed.ti_module) mods) in
   let edges = Hashtbl.create 256 in
+  let spawns = Hashtbl.create 16 in
   let nodes = ref SS.empty in
   let binds = ref [] in
   let add_node n = nodes := SS.add n !nodes in
@@ -144,6 +156,53 @@ let build (mods : Typed.modinfo list) =
         add_node src;
         binds := { b_node = src; b_mod = m; b_statics = statics; b_vb = vb }
                  :: !binds;
+        (* resolve an ident expression to a node, against this
+           binding's scope — the same three cases the edge walk uses *)
+        let resolve (e : Typedtree.expression) =
+          match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+              Option.map snd
+                (List.find_opt (fun (i, _) -> Ident.same i id) statics)
+          | Texp_ident (Path.Pdot (Path.Pident mid, v), _, _)
+            when List.exists (fun (i, _) -> Ident.same i mid) !prefixes -> (
+              let _, prefix =
+                List.find (fun (i, _) -> Ident.same i mid) !prefixes
+              in
+              let dst = node prefix v in
+              if SS.mem dst !declared then Some dst
+              else
+                (* alias of another analyzed module: its own
+                   top-level bindings are nodes already *)
+                match String.index_opt prefix '.' with
+                | None when SS.mem prefix module_set -> Some dst
+                | _ -> None)
+          | Texp_ident (p, _, _) -> (
+              match Typed.norm_target p with
+              | Some (tm, tv) when SS.mem tm module_set -> Some (node tm tv)
+              | _ -> None)
+          | _ -> None
+        in
+        let note_spawn_callees (arg : Typedtree.expression) =
+          let open Tast_iterator in
+          let it =
+            {
+              default_iterator with
+              expr =
+                (fun it e ->
+                  (match resolve e with
+                  | Some dst ->
+                      let cur =
+                        Option.value
+                          (Hashtbl.find_opt spawns src)
+                          ~default:SS.empty
+                      in
+                      Hashtbl.replace spawns src (SS.add dst cur)
+                  | None -> ());
+                  default_iterator.expr it e);
+            }
+          in
+          it.expr it arg
+        in
         let open Tast_iterator in
         let iter =
           {
@@ -151,33 +210,14 @@ let build (mods : Typed.modinfo list) =
             expr =
               (fun it (e : Typedtree.expression) ->
                 (match e.exp_desc with
-                | Texp_ident (Path.Pident id, _, _) -> (
-                    match
-                      List.find_opt (fun (i, _) -> Ident.same i id) statics
-                    with
-                    | Some (_, dst) -> add_edge src dst
+                | Texp_ident _ -> (
+                    match resolve e with
+                    | Some dst -> add_edge src dst
                     | None -> ())
-                | Texp_ident (Path.Pdot (Path.Pident mid, v), _, _)
-                  when List.exists
-                         (fun (i, _) -> Ident.same i mid)
-                         !prefixes -> (
-                    let _, prefix =
-                      List.find (fun (i, _) -> Ident.same i mid) !prefixes
-                    in
-                    let dst = node prefix v in
-                    if SS.mem dst !declared then add_edge src dst
-                    else
-                      (* alias of another analyzed module: its own
-                         top-level bindings are nodes already *)
-                      match String.index_opt prefix '.' with
-                      | None when SS.mem prefix module_set ->
-                          add_edge src dst
-                      | _ -> ())
-                | Texp_ident (p, _, _) -> (
-                    match Typed.norm_target p with
-                    | Some (tm, tv) when SS.mem tm module_set ->
-                        add_edge src (node tm tv)
-                    | _ -> ())
+                | Texp_apply (f, args) when is_domain_spawn f ->
+                    List.iter
+                      (fun (_, a) -> Option.iter note_spawn_callees a)
+                      args
                 | _ -> ());
                 default_iterator.expr it e);
           }
@@ -196,7 +236,7 @@ let build (mods : Typed.modinfo list) =
             vals)
         nested_structs)
     mods;
-  { edges; nodes = !nodes; binds = List.rev !binds }
+  { edges; nodes = !nodes; binds = List.rev !binds; spawns }
 
 let expand_roots t roots =
   List.concat_map
@@ -225,6 +265,11 @@ let reachable t ~roots =
   in
   List.iter go (expand_roots t roots);
   !seen
+
+(* All nodes invoked inside Domain.spawn closures anywhere in the
+   graph — automatic extra roots for the domain-safety gate. *)
+let spawn_callees t =
+  Hashtbl.fold (fun _ s acc -> SS.union s acc) t.spawns SS.empty
 
 let mem set n = SS.mem n set
 

@@ -167,6 +167,67 @@ let rules =
        clean; an unseeded source two hops away does not. Provenance: \
        DESIGN.md \u{00A7}7 determinism; CLAUDE.md ('experiments must be \
        deterministic')." );
+    ( "atomic-role",
+      "Coverage gate for the atomics-protocol verifier: every `Atomic.t` \
+       record field in lib/multicore must carry a declared role in the \
+       atomic_roles table (single-writer, publish-flag, counter or \
+       read-only-view), and every table entry must still name a real \
+       field. A new atomic that lands without a role would silently \
+       bypass the protocol checks, and a stale entry means the table \
+       drifted from the code — both are findings, so the role table and \
+       the data structures cannot diverge. Provenance: DESIGN.md \
+       \u{00A7}9.5; the SPSC ring and doorbell protocols of the \
+       multicore plane." );
+    ( "atomic-protocol",
+      "Checks every Atomic operation in the whole call graph against the \
+       touched field's declared role. Single-writer fields accept writes \
+       only from their declared writer functions, and inside those \
+       writers every write to the published slot must precede the \
+       Atomic.set that publishes it — the seq_cst store is the \
+       happens-before edge the consuming domain relies on. Publish \
+       flags flip only from their writers; counters are \
+       fetch_and_add/incr/decr-only except from declared setters, and a \
+       setter that spawns domains must store before any spawn, because \
+       the spawned domains read the counter. Read-only views are never \
+       written; the Summary accessor map lets the checker see a view \
+       through `Array.map Shard.asleep_flag` — the returned-alias blind \
+       spot of \u{00A7}9.4, closed here. Two checks need no \
+       declaration: an Atomic write the verifier cannot resolve to a \
+       field defeats the scheme and is flagged, and a binding that \
+       combines separate loads of two single-writer fields from outside \
+       either writer observes a non-snapshot that can mix states from \
+       different instants (the Ring.length clamp exists because this \
+       pack was dogfooded on it). Provenance: DESIGN.md \u{00A7}9.5; \
+       the publication-order argument in lib/multicore/ring.ml." );
+    ( "arena-bounds",
+      "A linear-arithmetic bounds prover over the typed tree: every \
+       Bigarray/Bytes index reachable from the bounds-proof roots must \
+       be proved in-bounds from the facts that dominate it — branch \
+       guards (with \u{00B1}1 tightening on strict integer \
+       comparisons), for-loop ranges, early-exit raise guards, \
+       `&&`-chain predicates exported as postconditions, and the arena \
+       contract: `let off = Arena.alloc a len` plus a later `off >= 0` \
+       licenses `off + len <= dim(a)`. Obligations a binding cannot \
+       discharge locally are re-expressed over its formal parameters \
+       and discharged at call sites, one reverse-topological pass over \
+       the call-graph SCCs; what still escapes at a root is a finding. \
+       Checked String.get/Array.get stay out of scope by design — the \
+       decode cursor and the ring's masked indexing rely on runtime \
+       checks. Provenance: DESIGN.md \u{00A7}9.5; the paper's \
+       \u{00A7}3 requirement that the cost of a data-plane change be \
+       measured, which the unsafe flip's pps delta quantifies \
+       (BENCH_shard.json)." );
+    ( "unsafe-unproven",
+      "The license that makes `unsafe_get`/`unsafe_set` a proof \
+       artifact instead of a judgment call: any unsafe access in lib/ \
+       whose site the bounds prover did not prove in-bounds is a \
+       finding, whether or not it is reachable from the bounds roots. \
+       Together with the CI gate — every unsafe occurrence in lib/ must \
+       appear in the `--proven` site list as proven — an unsafe access \
+       can exist only where a machine-checked proof, or an allowlist \
+       entry with a written justification, stands behind it. \
+       Provenance: DESIGN.md \u{00A7}9.5; CLAUDE.md (unsafe accesses \
+       are lint-licensed only)." );
     ( "stale-baseline",
       "A baseline entry that no longer matches any finding means the debt \
        it recorded was paid; delete the line so the baseline only shrinks. \
@@ -210,6 +271,67 @@ let domain_safety_roots =
     "Shard.run";
     "Ring.push";
     "Ring.pop";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* evolvelint v4: atomic roles and bounds roots (DESIGN.md §9.5)       *)
+
+(* The declared per-field protocol for every Atomic.t in lib/multicore.
+   rules_atomic checks the whole call graph against this table, and the
+   atomic-role coverage check keeps the table total: an Atomic field
+   without an entry, or an entry without a field, is a finding. *)
+let atomic_roles : (string * Rules_atomic.role) list =
+  [
+    (* SPSC ring: the consumer owns head, the producer owns tail, and
+       each side's slot write must precede its index publish — the
+       Atomic.set is the happens-before edge to the other domain. *)
+    ( "Ring.t.head",
+      Rules_atomic.Single_writer
+        { writers = [ "Ring.pop" ]; publishes = Some "Ring.t.buf" } );
+    ( "Ring.t.tail",
+      Rules_atomic.Single_writer
+        { writers = [ "Ring.push" ]; publishes = Some "Ring.t.buf" } );
+    (* Pool-wide in-flight count, one atomic shared by the pool and
+       every shard (Shard.create receives Domainpool's). Workers only
+       fetch_and_add; the single store happens in Domainpool.run,
+       before any domain is spawned. *)
+    ("Shard.t.live", Rules_atomic.Counter { setters = [] });
+    ( "Domainpool.t.live",
+      Rules_atomic.Counter { setters = [ "Domainpool.run" ] } );
+    (* Doorbell protocol: each worker publishes its own asleep flag
+       around the blocking select; peers observe it only through the
+       read-only peer_asleep array Domainpool wires up. *)
+    ( "Shard.t.asleep",
+      Rules_atomic.Publish_flag { writers = [ "Shard.nap" ] } );
+    ( "Shard.t.peer_asleep",
+      Rules_atomic.Read_only_view { of_field = "Shard.t.asleep" } );
+  ]
+
+(* Modules whose Atomic fields the coverage check applies to: all of
+   lib/multicore, plus any module the role table itself names — so a
+   test fixture module called Ring exercises the coverage and
+   staleness checks with a custom table. *)
+let atomic_scope (m : Typed.modinfo) =
+  m.Typed.ti_lib = "multicore"
+  || List.exists
+       (fun (f, _) ->
+         match String.index_opt f '.' with
+         | Some i -> String.sub f 0 i = m.Typed.ti_module
+         | None -> false)
+       atomic_roles
+
+(* Roots of the bounds-proof obligation set: the per-packet entry
+   points plus the Wire slab codecs they drive. Wire.big_peek_ok is
+   named explicitly — the peek_* wildcard does not cover it, and its
+   &&-chain is the postcondition the peek proofs instantiate. *)
+let bounds_roots =
+  [
+    "Pump.run_batch_in";
+    "Shard.run";
+    "Wire.peek_*";
+    "Wire.encode_into";
+    "Wire.decode_big";
+    "Wire.big_peek_ok";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1032,10 +1154,15 @@ let catalog_md () =
      reads-shared / writes-shared / io / raises / nondet — propagated \
      bottom-up to a fixpoint with recursive SCCs collapsed, and runs the \
      comparison-safety, exception-hygiene, hot-path allocation, \
-     shared-state, domain-safety and determinism-taint rule packs over \
-     the Typedtree. `--summaries` dumps the summaries and the \
-     shared-state inventory (text or `--format json`); DESIGN.md \
-     \u{00A7}9.4 documents the lattice and the ownership rule.\n\n\
+     shared-state, domain-safety, determinism-taint, atomics-protocol \
+     and arena-bounds rule packs over the Typedtree. `--summaries` \
+     dumps the summaries, the shared-state inventory, the accessor \
+     aliases, the spawned-closure callees and the bounds-proof site \
+     list (text or `--format json`); `--proven` prints the site list \
+     alone, which CI joins against every `unsafe_get`/`unsafe_set` \
+     occurrence in lib/. DESIGN.md \u{00A7}9.4 documents the effect \
+     lattice and the ownership rule, \u{00A7}9.5 the role lattice and \
+     the interval domain behind the v4 packs.\n\n\
      Suppression: diagnostics carrying a `RULE FILE:BINDING` key honor \
      two files. `tools/lint/allowlist` records deliberate, justified \
      exceptions and is meant to be permanent; `tools/lint/baseline` \
@@ -1048,6 +1175,11 @@ let catalog_md () =
   Buffer.add_string b ".\n\nDomain-safety roots: ";
   Buffer.add_string b
     (String.concat ", " (List.map (fun r -> "`" ^ r ^ "`") domain_safety_roots));
+  Buffer.add_string b
+    " — plus, automatically, every callee invoked inside a \
+     `Domain.spawn` closure.\n\nBounds-proof roots: ";
+  Buffer.add_string b
+    (String.concat ", " (List.map (fun r -> "`" ^ r ^ "`") bounds_roots));
   Buffer.add_string b ".\n";
   List.iter
     (fun (id, why) ->
@@ -1083,7 +1215,15 @@ let typed_pass ~decls mods =
   let cg = Callgraph.build mods in
   let sums = Summary.compute cg in
   let hot = Callgraph.reachable cg ~roots:hot_path_roots in
-  let dom = Callgraph.reachable cg ~roots:domain_safety_roots in
+  (* closures handed to Domain.spawn execute on a child domain, so
+     their callees join the domain-safety roots — the stored-closure
+     blind spot of DESIGN.md §9.4, closed in v4 *)
+  let dom =
+    Callgraph.reachable cg
+      ~roots:
+        (domain_safety_roots
+        @ Callgraph.SS.elements (Callgraph.spawn_callees cg))
+  in
   List.concat_map
     (fun (m : Typed.modinfo) ->
       Rules_compare.check ~decls m
@@ -1093,6 +1233,8 @@ let typed_pass ~decls mods =
   @ Rules_state.check ~decls ~sums ~dom cg mods
   @ Rules_domain.check ~sums ~dom ~roots:domain_safety_roots cg
   @ Rules_taint.check ~sums cg
+  @ Rules_atomic.check ~roles:atomic_roles ~scope:atomic_scope sums cg mods
+  @ snd (Rules_bounds.analyze ~roots:bounds_roots cg)
 
 (* Two diagnostics at the same rule+site — one from the untyped pass,
    one from the typed pass — are the same finding worded twice; keep
@@ -1206,7 +1348,10 @@ let summary_dump ~root ~json =
   let tree = Typed.load_tree ~root in
   let cg = Callgraph.build tree.Typed.tmods in
   let sums = Summary.compute cg in
-  let dom = Callgraph.reachable cg ~roots:domain_safety_roots in
+  let spawned = Callgraph.SS.elements (Callgraph.spawn_callees cg) in
+  let dom =
+    Callgraph.reachable cg ~roots:(domain_safety_roots @ spawned)
+  in
   let items, fields =
     Rules_state.inventory ~decls:tree.Typed.tdecls ~sums ~dom cg
       tree.Typed.tmods
@@ -1216,6 +1361,13 @@ let summary_dump ~root ~json =
       (List.map (fun (b : Callgraph.bind) -> b.Callgraph.b_node)
          cg.Callgraph.binds)
   in
+  let accessors =
+    List.sort compare
+      (Hashtbl.fold
+         (fun k v acc -> (k, v) :: acc)
+         sums.Summary.accessors [])
+  in
+  let sites, _ = Rules_bounds.analyze ~roots:bounds_roots cg in
   let effects n = Summary.describe (Summary.get sums.Summary.full n) in
   if json then
     jobj
@@ -1264,6 +1416,34 @@ let summary_dump ~root ~json =
                        if f.Rules_state.fi_pump then "true" else "false" );
                    ])
                fields) );
+        ( "accessors",
+          jarr
+            (List.map
+               (fun (n, f) ->
+                 jobj [ ("node", jstr n); ("field", jstr f) ])
+               accessors) );
+        ("spawn_callees", jarr (List.map jstr spawned));
+        ( "bounds_sites",
+          jarr
+            (List.map
+               (fun (s : Rules_bounds.site) ->
+                 jobj
+                   [
+                     ("file", jstr s.Rules_bounds.sp_file);
+                     ("line", string_of_int s.Rules_bounds.sp_line);
+                     ("col", string_of_int s.Rules_bounds.sp_col);
+                     ("accessor", jstr s.Rules_bounds.sp_accessor);
+                     ("node", jstr s.Rules_bounds.sp_node);
+                     ( "unsafe",
+                       if s.Rules_bounds.sp_unsafe then "true" else "false"
+                     );
+                     ( "proven",
+                       if s.Rules_bounds.sp_proven then "true" else "false"
+                     );
+                     ( "reasons",
+                       jarr (List.map jstr s.Rules_bounds.sp_reasons) );
+                   ])
+               sites) );
       ]
   else begin
     let b = Buffer.create 4096 in
@@ -1305,5 +1485,51 @@ let summary_dump ~root ~json =
              | [] -> ""
              | ws -> "  written-by: " ^ String.concat ", " ws)))
       fields;
+    Buffer.add_string b
+      (Printf.sprintf "\n# accessor aliases (%d)\n" (List.length accessors));
+    List.iter
+      (fun (n, f) -> Buffer.add_string b (Printf.sprintf "%s -> %s\n" n f))
+      accessors;
+    Buffer.add_string b
+      (Printf.sprintf "\n# spawned-closure callees (%d)\n"
+         (List.length spawned));
+    List.iter (fun n -> Buffer.add_string b (n ^ "\n")) spawned;
+    Buffer.add_string b
+      (Printf.sprintf "\n# bounds sites (%d; roots: %s)\n"
+         (List.length sites)
+         (String.concat ", " bounds_roots));
+    List.iter
+      (fun (s : Rules_bounds.site) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s:%d:%d  %s  %s  %s%s\n" s.Rules_bounds.sp_file
+             s.Rules_bounds.sp_line s.Rules_bounds.sp_col
+             s.Rules_bounds.sp_accessor s.Rules_bounds.sp_node
+             (if s.Rules_bounds.sp_proven then "proven" else "unproven")
+             (match s.Rules_bounds.sp_reasons with
+             | [] -> ""
+             | rs -> "  (" ^ String.concat "; " rs ^ ")")))
+      sites;
     Buffer.contents b
   end
+
+(* ------------------------------------------------------------------ *)
+(* `--proven`: the bounds prover's site list alone, one line per
+   access — `file:line:col accessor node proven|unproven`. CI joins
+   every `unsafe_get`/`unsafe_set` occurrence in lib/ against the
+   proven lines, so an unlicensed unsafe access fails the build even
+   if the lint run itself were skipped. *)
+
+let proven_dump ~root =
+  let tree = Typed.load_tree ~root in
+  let cg = Callgraph.build tree.Typed.tmods in
+  let sites, _ = Rules_bounds.analyze ~roots:bounds_roots cg in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (s : Rules_bounds.site) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d %s %s %s\n" s.Rules_bounds.sp_file
+           s.Rules_bounds.sp_line s.Rules_bounds.sp_col
+           s.Rules_bounds.sp_accessor s.Rules_bounds.sp_node
+           (if s.Rules_bounds.sp_proven then "proven" else "unproven")))
+    sites;
+  Buffer.contents b

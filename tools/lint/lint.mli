@@ -40,7 +40,24 @@ val hot_path_roots : string list
 
 val domain_safety_roots : string list
 (** Roots of the domain-safety gate: the entry points a sharded data
-    plane runs concurrently, one pump instance per domain. *)
+    plane runs concurrently, one pump instance per domain. The typed
+    pass adds every callee invoked inside a [Domain.spawn] closure
+    automatically. *)
+
+val atomic_roles : (string * Rules_atomic.role) list
+(** The declared protocol role of every [Atomic.t] record field in
+    lib/multicore, keyed ["Module.type.field"]; what the
+    atomics-protocol verifier (rules_atomic) checks the call graph
+    against, and what the [atomic-role] coverage check keeps total. *)
+
+val atomic_scope : Typed.modinfo -> bool
+(** Modules whose Atomic fields must be covered by {!atomic_roles}:
+    lib/multicore plus any module the table itself names. *)
+
+val bounds_roots : string list
+(** Roots of the bounds-proof obligation set (rules_bounds): the
+    per-packet entry points plus the Wire slab codecs they drive; a
+    trailing ['*'] is a prefix wildcard. *)
 
 (** Sites exempted from a rule. One entry per line: [RULE FILE:KEY]
     ([#] starts a comment). For [hashtbl-order] and the typed rules the
@@ -142,5 +159,13 @@ val run : root:string -> allow:Allowlist.t -> baseline:Allowlist.t -> diag list
 val summary_dump : root:string -> json:bool -> string
 (** The `--summaries` report over a built checkout: every binding's
     propagated effect summary, the toplevel shared-state inventory
-    with escape classes, and the mutable-field inventory with writers.
-    Deterministic: same tree, byte-identical output. *)
+    with escape classes, the mutable-field inventory with writers, the
+    accessor aliases, the spawned-closure callees and the bounds-proof
+    site list. Deterministic: same tree, byte-identical output. *)
+
+val proven_dump : root:string -> string
+(** The `--proven` report: the bounds prover's site list alone, one
+    [file:line:col accessor binding proven|unproven] line per
+    Bigarray/Bytes access reached by the analysis. CI joins every
+    [unsafe_get]/[unsafe_set] occurrence in lib/ against the proven
+    lines — the unsafe-license gate. *)

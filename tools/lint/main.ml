@@ -5,14 +5,16 @@
    evolvelint --summaries [--format text|json]  dump effect summaries
                                                 and shared-state inventory
    evolvelint --explain RULE|all                print a rule's rationale
-   evolvelint --catalog                         print doc/LINT.md *)
+   evolvelint --catalog                         print doc/LINT.md
+   evolvelint --proven [--root DIR]             print the bounds prover's
+                                                site list (CI unsafe gate) *)
 
 module Lint = Lintcore.Lint
 
 let usage =
   "evolvelint [--root DIR] [--allowlist FILE] [--baseline FILE] \
    [--format text|json|sarif] [--summaries] [--explain RULE|all] \
-   [--catalog]"
+   [--catalog] [--proven]"
 
 let () =
   let root = ref "." in
@@ -22,6 +24,7 @@ let () =
   let explain = ref "" in
   let catalog = ref false in
   let summaries = ref false in
+  let proven = ref false in
   Arg.parse
     [
       ("--root", Arg.Set_string root, "DIR repository root (default .)");
@@ -47,10 +50,16 @@ let () =
       ( "--catalog",
         Arg.Set catalog,
         " print the generated rule catalog (doc/LINT.md)" );
+      ( "--proven",
+        Arg.Set proven,
+        " print the bounds prover's site list, one `file:line:col \
+         accessor binding proven|unproven` per Bigarray/Bytes access \
+         (the CI unsafe-license gate joins against it)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     usage;
   if !catalog then print_string (Lint.catalog_md ())
+  else if !proven then print_string (Lint.proven_dump ~root:!root)
   else if !explain <> "" then begin
     let print_rule (id, text) = Printf.printf "%-20s %s\n\n" id text in
     if !explain = "all" then List.iter print_rule Lint.rules
@@ -102,7 +111,8 @@ let () =
               "evolvelint: OK (layering, determinism, interfaces, \
                experiment artifacts, comparison safety, exception \
                hygiene, hot-path allocation, shared state, domain \
-               safety, determinism taint)"
+               safety, determinism taint, atomics protocol, arena \
+               bounds)"
         | _ -> Printf.printf "evolvelint: %d violation(s)\n" (List.length diags))
     | _ -> assert false (* validated above *));
     if diags <> [] then exit 1

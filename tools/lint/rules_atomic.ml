@@ -1,0 +1,441 @@
+(* Atomics-protocol verifier (evolvelint v4, DESIGN.md §9.5).
+
+   The multicore data plane's safety argument rests on per-field
+   protocols that used to live in comments — "head written only by the
+   consumer", "slot write happens before the tail publish". This pack
+   makes them declared, machine-checked roles. Every [Atomic.t] record
+   field in the scoped libraries must appear in the role table
+   (rule `atomic-role`), and every Atomic operation in the whole call
+   graph is checked against the written field's role
+   (rule `atomic-protocol`):
+
+   - [Single_writer]: only the declared writer functions may write the
+     field. When the role names a published slot field, every write to
+     the slot inside a declared writer must precede (in source order —
+     the writers are straight-line, so order is dominance) an
+     Atomic.set/exchange of the field: the seq_cst store is what
+     publishes the slot contents to the other domain.
+   - [Publish_flag]: only the declared writers may flip it.
+   - [Counter]: fetch_and_add/incr/decr are allowed anywhere;
+     set/exchange/compare_and_set only from the declared setters, and
+     a setter that also calls Domain.spawn must perform its set before
+     every spawn — the spawned domains read the counter.
+   - [Read_only_view]: never written; a stored alias of another
+     declared field. The Summary accessor map is what lets the checker
+     see through `Array.map Shard.asleep_flag ss` — the returned-alias
+     blind spot of DESIGN.md §9.4.
+
+   Two protocol checks go beyond the role table. A binding that loads
+   two distinct single-writer fields with separate Atomic.get reads,
+   while being a declared writer of neither, observes a non-snapshot —
+   the pair can mix states from different instants (the Ring.length
+   finding this pack was dogfooded on). And an Atomic write whose
+   target cannot be resolved to a field (not a field read, an indexed
+   field read, a local alias of one, or an accessor application)
+   defeats the verifier and is flagged as such.
+
+   Findings carry `file.ml:binding` keys, so deliberate exceptions go
+   in tools/lint/allowlist with a justification. *)
+
+type role =
+  | Single_writer of { writers : string list; publishes : string option }
+  | Publish_flag of { writers : string list }
+  | Counter of { setters : string list }
+  | Read_only_view of { of_field : string }
+
+let role_name = function
+  | Single_writer _ -> "single-writer"
+  | Publish_flag _ -> "publish-flag"
+  | Counter _ -> "counter"
+  | Read_only_view _ -> "read-only-view"
+
+let writers_of = function
+  | Single_writer { writers; _ } | Publish_flag { writers } -> writers
+  | Counter { setters } -> setters
+  | Read_only_view _ -> []
+
+(* [int Atomic.t], or an array/iarray of atomics. *)
+let rec is_atomic_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) -> (
+      match List.rev (Typed.path_components p []) with
+      | "t" :: "Atomic" :: _ -> true
+      | ("array" | "iarray") :: _ -> List.exists is_atomic_ty args
+      | _ -> false)
+  | _ -> false
+
+let atomic_reads = [ "get" ]
+
+let atomic_rmw = [ "fetch_and_add"; "incr"; "decr" ]
+
+let atomic_stores = [ "set"; "exchange"; "compare_and_set" ]
+
+let loc_start (l : Location.t) = l.loc_start.pos_cnum
+
+(* ------------------------------------------------------------------ *)
+
+let check ~(roles : (string * role) list) ~scope (sums : Summary.info)
+    (cg : Callgraph.t) (mods : Typed.modinfo list) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let role_of f = List.assoc_opt f roles in
+  (* 1. coverage: every Atomic field of a scoped module is declared *)
+  let found_fields = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Typed.modinfo) ->
+      List.iter
+        (fun (it : Typedtree.structure_item) ->
+          match it.str_desc with
+          | Tstr_type (_, tds) ->
+              List.iter
+                (fun (td : Typedtree.type_declaration) ->
+                  match td.typ_type.Types.type_kind with
+                  | Types.Type_record (lds, _) ->
+                      List.iter
+                        (fun (ld : Types.label_declaration) ->
+                          if is_atomic_ty ld.Types.ld_type then begin
+                            let f =
+                              Printf.sprintf "%s.%s.%s" m.Typed.ti_module
+                                td.typ_name.txt
+                                (Ident.name ld.Types.ld_id)
+                            in
+                            Hashtbl.replace found_fields f ();
+                            if scope m && role_of f = None then
+                              let line, col = Diag.loc_pos ld.Types.ld_loc in
+                              add
+                                (Diag.make ~line ~col
+                                   ~key:
+                                     (m.Typed.ti_file ^ ":"
+                                    ^ td.typ_name.txt ^ "." ^ Ident.name
+                                                                ld.Types.ld_id)
+                                   ~file:m.Typed.ti_file ~rule:"atomic-role"
+                                   (Printf.sprintf
+                                      "Atomic field `%s` has no declared \
+                                       role: add it to atomic_roles in \
+                                       tools/lint/lint.ml (single-writer, \
+                                       publish-flag, counter or \
+                                       read-only-view) so the protocol \
+                                       verifier can check every write \
+                                       against it"
+                                      f))
+                          end)
+                        lds
+                  | _ -> ())
+                tds
+          | _ -> ())
+        m.Typed.ti_str.str_items)
+    mods;
+  (* stale declarations: a role naming a field of an analyzed module
+     that no longer exists means the table drifted from the code *)
+  let mod_file =
+    List.map (fun (m : Typed.modinfo) -> (m.Typed.ti_module, m.Typed.ti_file)) mods
+  in
+  List.iter
+    (fun (f, r) ->
+      match String.index_opt f '.' with
+      | None -> ()
+      | Some i -> (
+          let fmod = String.sub f 0 i in
+          match List.assoc_opt fmod mod_file with
+          | Some file when not (Hashtbl.mem found_fields f) ->
+              add
+                (Diag.make ~key:(file ^ ":" ^ f) ~file ~rule:"atomic-role"
+                   (Printf.sprintf
+                      "role table declares `%s` as %s, but module %s has no \
+                       such Atomic field — delete or fix the stale entry in \
+                       atomic_roles (tools/lint/lint.ml)"
+                      f (role_name r) fmod))
+          | _ -> ()))
+    roles;
+  (* Read_only_view must alias a field that itself has a declared role *)
+  List.iter
+    (fun (f, r) ->
+      match r with
+      | Read_only_view { of_field } when role_of of_field = None ->
+          add
+            (Diag.make ~file:"tools/lint/lint.ml" ~rule:"atomic-role"
+               (Printf.sprintf
+                  "`%s` is declared as a read-only view of `%s`, which has \
+                   no declared role of its own — a view of an unchecked \
+                   field proves nothing"
+                  f of_field))
+      | _ -> ())
+    roles;
+  (* 2. per-binding protocol checks over the whole graph *)
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      let m = b.Callgraph.b_mod in
+      let self = m.Typed.ti_module in
+      let node = b.Callgraph.b_node in
+      let binding = Callgraph.binding_of_node node in
+      let key = m.Typed.ti_file ^ ":" ^ binding in
+      let aliases : (Ident.t * string) list ref = ref [] in
+      (* resolve the atomic value an operation touches to a field id *)
+      let rec field_of (e : Typedtree.expression) =
+        match e.exp_desc with
+        | Texp_field (_, _, ld) -> Some (Summary.field_id ~self ld)
+        | Texp_ident (Path.Pident id, _, _) ->
+            Option.map snd
+              (List.find_opt (fun (i, _) -> Ident.same i id) !aliases)
+        | Texp_apply (f, args) -> (
+            let arg0 =
+              match List.filter_map snd args with a :: _ -> Some a | [] -> None
+            in
+            let accessor_node =
+              match f.exp_desc with
+              | Texp_ident (Path.Pident id, _, _) ->
+                  Option.map snd
+                    (List.find_opt
+                       (fun (i, _) -> Ident.same i id)
+                       b.Callgraph.b_statics)
+              | Texp_ident (p, _, _) -> (
+                  match Typed.norm_target p with
+                  | Some (tm, tv) -> Some (tm ^ "." ^ tv)
+                  | None -> None)
+              | _ -> None
+            in
+            match accessor_node with
+            | Some ("Array.get" | "Array.unsafe_get" | "Bytes.get"
+                   | "Bytes.unsafe_get" | "Stdlib.!") ->
+                Option.bind arg0 field_of
+            | Some n -> Hashtbl.find_opt sums.Summary.accessors n
+            | None -> None)
+        | _ -> None
+      in
+      let writes = ref [] in
+      (* (field option, op, loc) *)
+      let gets = ref [] in
+      let slot_writes = ref [] in
+      let spawn_locs = ref [] in
+      let open Tast_iterator in
+      let iter =
+        {
+          default_iterator with
+          expr =
+            (fun it (e : Typedtree.expression) ->
+              (match e.exp_desc with
+              | Texp_let (_, vbs, _) ->
+                  List.iter
+                    (fun (vb : Typedtree.value_binding) ->
+                      match vb.vb_pat.pat_desc with
+                      | Tpat_var (id, _) when is_atomic_ty vb.vb_expr.exp_type
+                        -> (
+                          match field_of vb.vb_expr with
+                          | Some f -> aliases := (id, f) :: !aliases
+                          | None -> ())
+                      | _ -> ())
+                    vbs
+              | Texp_setfield (_, _, ld, _) ->
+                  slot_writes :=
+                    (Summary.field_id ~self ld, e.exp_loc) :: !slot_writes
+              | Texp_apply (f, args) -> (
+                  match f.exp_desc with
+                  | Texp_ident (p, _, _) -> (
+                      let arg n = List.nth_opt (List.filter_map snd args) n in
+                      match Typed.norm_target p with
+                      | Some ("Atomic", op)
+                        when List.mem op atomic_rmw
+                             || List.mem op atomic_stores -> (
+                          match arg 0 with
+                          | Some a ->
+                              writes := (field_of a, op, e.exp_loc) :: !writes
+                          | None ->
+                              writes := (None, op, e.exp_loc) :: !writes)
+                      | Some ("Atomic", op) when List.mem op atomic_reads -> (
+                          match arg 0 with
+                          | Some a -> gets := (field_of a, e.exp_loc) :: !gets
+                          | None -> ())
+                      | Some (("Array" | "Bytes"), ("set" | "unsafe_set"))
+                        -> (
+                          match arg 0 with
+                          | Some a -> (
+                              match field_of a with
+                              | Some f ->
+                                  slot_writes := (f, e.exp_loc) :: !slot_writes
+                              | None -> ())
+                          | None -> ())
+                      | Some ("Domain", "spawn") ->
+                          spawn_locs := e.exp_loc :: !spawn_locs
+                      | _ -> ())
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.expr it e);
+        }
+      in
+      iter.value_binding iter b.Callgraph.b_vb;
+      let writes = List.rev !writes in
+      let gets = List.rev !gets in
+      let slot_writes = List.rev !slot_writes in
+      let spawn_locs = List.rev !spawn_locs in
+      (* 2a. every write checked against the field's role *)
+      List.iter
+        (fun (f, op, loc) ->
+          let line, col = Diag.loc_pos loc in
+          let fail msg =
+            add
+              (Diag.make ~line ~col ~key ~file:m.Typed.ti_file
+                 ~rule:"atomic-protocol" msg)
+          in
+          match f with
+          | None ->
+              if scope m then
+                fail
+                  (Printf.sprintf
+                     "`%s` performs Atomic.%s on a value the verifier \
+                      cannot resolve to a declared field — write through \
+                      the field (or a single-field accessor of it) so the \
+                      role protocol stays checkable, or add \
+                      `atomic-protocol %s` to tools/lint/allowlist with a \
+                      justification"
+                     binding op key)
+          | Some f -> (
+              match role_of f with
+              | None -> () (* undeclared fields are the coverage check's *)
+              | Some (Read_only_view { of_field }) ->
+                  fail
+                    (Printf.sprintf
+                       "`%s` writes `%s`, a read-only view of `%s`: views \
+                        are never written — write the viewed field through \
+                        its declared writers instead"
+                       binding f of_field)
+              | Some (Counter { setters }) ->
+                  if
+                    List.mem op atomic_stores && not (List.mem node setters)
+                  then
+                    fail
+                      (Printf.sprintf
+                         "`%s` performs Atomic.%s on counter `%s`; counters \
+                          are fetch_and_add/incr/decr-only except from \
+                          their declared setters (%s) — add the binding to \
+                          the role's setters if the store is part of the \
+                          protocol, or add `atomic-protocol %s` to \
+                          tools/lint/allowlist"
+                         binding op f
+                         (match setters with
+                         | [] -> "none"
+                         | ss -> String.concat ", " ss)
+                         key)
+              | Some (Single_writer { writers; _ } as r)
+              | Some (Publish_flag { writers } as r) ->
+                  if not (List.mem node writers) then
+                    fail
+                      (Printf.sprintf
+                         "`%s` writes `%s`, declared %s with writers %s: a \
+                          write from any other function races the owning \
+                          side — route the write through a declared \
+                          writer, extend the role's writer list, or add \
+                          `atomic-protocol %s` to tools/lint/allowlist"
+                         binding f (role_name r)
+                         (String.concat ", " writers)
+                         key)))
+        writes;
+      (* 2b. publish ordering inside declared single-writer functions *)
+      List.iter
+        (fun (f, r) ->
+          match r with
+          | Single_writer { writers; publishes = Some slot }
+            when List.mem node writers ->
+              let publishes =
+                List.filter_map
+                  (fun (wf, op, loc) ->
+                    if wf = Some f && List.mem op atomic_stores then
+                      Some (loc_start loc)
+                    else None)
+                  writes
+              in
+              let slots =
+                List.filter (fun (sf, _) -> sf = slot) slot_writes
+              in
+              List.iter
+                (fun (_, sloc) ->
+                  if
+                    not
+                      (List.exists (fun p -> p > loc_start sloc) publishes)
+                  then begin
+                    let line, col = Diag.loc_pos sloc in
+                    add
+                      (Diag.make ~line ~col ~key ~file:m.Typed.ti_file
+                         ~rule:"atomic-protocol"
+                         (Printf.sprintf
+                            "`%s` writes slot `%s` without a following \
+                             Atomic.set of `%s`: the seq_cst store is what \
+                             publishes the slot to the consuming domain — \
+                             every slot write must precede the publish"
+                            binding slot f))
+                  end)
+                slots
+          | _ -> ())
+        roles;
+      (* 2c. a counter setter that spawns must set before every spawn *)
+      (match spawn_locs with
+      | [] -> ()
+      | spawns ->
+          List.iter
+            (fun (f, r) ->
+              match r with
+              | Counter { setters } when List.mem node setters ->
+                  List.iter
+                    (fun (wf, op, loc) ->
+                      if
+                        wf = Some f
+                        && List.mem op atomic_stores
+                        && List.exists
+                             (fun sl -> loc_start sl < loc_start loc)
+                             spawns
+                      then begin
+                        let line, col = Diag.loc_pos loc in
+                        add
+                          (Diag.make ~line ~col ~key ~file:m.Typed.ti_file
+                             ~rule:"atomic-protocol"
+                             (Printf.sprintf
+                                "`%s` sets counter `%s` after a \
+                                 Domain.spawn: the spawned domains read the \
+                                 counter, so the set must happen before \
+                                 any domain starts"
+                                binding f))
+                      end)
+                    writes
+              | _ -> ())
+            roles);
+      (* 2d. non-snapshot: two single-writer fields, two separate loads *)
+      let sw_reads =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (f, _) ->
+               match f with
+               | Some f -> (
+                   match role_of f with
+                   | Some (Single_writer _) -> Some f
+                   | _ -> None)
+               | None -> None)
+             gets)
+      in
+      if
+        List.length sw_reads >= 2
+        && not
+             (List.exists
+                (fun f ->
+                  match role_of f with
+                  | Some r -> List.mem node (writers_of r)
+                  | None -> false)
+                sw_reads)
+      then begin
+        let loc = match gets with (_, l) :: _ -> l | [] -> Location.none in
+        let line, col = Diag.loc_pos loc in
+        add
+          (Diag.make ~line ~col ~key ~file:m.Typed.ti_file
+             ~rule:"atomic-protocol"
+             (Printf.sprintf
+                "`%s` combines separate Atomic.get loads of %s from \
+                 outside either writer: the pair is not a snapshot and \
+                 can mix states from different instants — clamp or \
+                 otherwise bound the combined value, then record the \
+                 justification as `atomic-protocol %s` in \
+                 tools/lint/allowlist"
+                binding
+                (String.concat " and "
+                   (List.map (fun f -> "`" ^ f ^ "`") sw_reads))
+                key))
+      end)
+    cg.Callgraph.binds;
+  List.rev !diags

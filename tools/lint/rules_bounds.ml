@@ -1,0 +1,879 @@
+(* Arena bounds proofs (evolvelint v4, DESIGN.md §9.5).
+
+   An abstract interpretation over linear expressions that tries to
+   prove every Bigarray/Bytes index in the tree in-bounds, so the hot
+   path may use [unsafe_get]/[unsafe_set] where the proof succeeds.
+
+   The domain is deliberately small: an expression is a linear form
+   `c + Σ kᵢ·symᵢ` over symbols naming locals/parameters (`v:`),
+   string/bytes lengths (`len:`), bigarray dims (`dim:`) and array
+   lengths (`alen:`); everything else is a fresh opaque. Facts are
+   linear forms known to be ≥ 0, gathered from the guards that
+   dominate an access: `if`/`&&`/`||` branches (with ±1 tightening on
+   strict integer comparisons), early-exit raise guards, `for`-loop
+   ranges, `String.init` lambdas, and two contracts that make arena
+   code provable — `let off = Arena.alloc a len` plus a later
+   `off >= 0` fact yields `dim(a) - off - len >= 0`, and
+   `let b = Arena.buf a` aliases `dim(b)` to `dim(a)`. Predicates
+   whose body is an `&&`-chain of linear comparisons over their
+   formals (Wire.big_peek_ok) export those conjuncts as
+   postconditions, instantiated at call sites.
+
+   A goal `g >= 0` is proved by finding a small subset of facts (plus
+   the free axioms `len/dim/alen >= 0`) whose sum, subtracted from
+   [g], leaves a nonnegative constant — sound because each fact is
+   itself ≥ 0. Obligations a binding cannot prove locally are
+   re-expressed over its formal parameters (eliminating each local
+   through a unit-coefficient bound, which only weakens the goal) and
+   exported; one reverse-topological pass over the call-graph SCCs
+   instantiates every exported obligation at every call site, proving
+   it there or re-exporting it up the chain. An obligation still open
+   at a bounds root or at a binding with no analyzed callers has
+   escaped the analysis and its access stays unproven; intra-SCC
+   (recursive) call sites instantiate the callee's phase-A residuals
+   once, a documented approximation.
+
+   Checked [String.get]/[Array.get] stay out of scope — the decode
+   cursor and the ring's masked indexing rely on runtime checks by
+   design. Checked Bigarray/Bytes accesses and every unsafe access are
+   obligations. Findings: `arena-bounds` for an unproven
+   Bigarray/Bytes access reachable from the bounds roots, and
+   `unsafe-unproven` for any unproven unsafe access in lib/ — the rule
+   that makes unsafe accesses lint-licensed, never a judgment call. *)
+
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Linear expressions: c + Σ k·sym, terms sorted, no zero coeffs       *)
+
+type lx = { c : int; ts : (string * int) list }
+
+let lconst c = { c; ts = [] }
+let lsym s = { c = 0; ts = [ (s, 1) ] }
+
+let ladd a b =
+  let rec m xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (sx, kx) :: tx, (sy, ky) :: ty ->
+        if sx = sy then
+          let k = kx + ky in
+          if k = 0 then m tx ty else (sx, k) :: m tx ty
+        else if sx < sy then (sx, kx) :: m tx ys
+        else (sy, ky) :: m xs ty
+  in
+  { c = a.c + b.c; ts = m a.ts b.ts }
+
+let lscale k a =
+  if k = 0 then lconst 0
+  else { c = k * a.c; ts = List.map (fun (s, j) -> (s, k * j)) a.ts }
+
+let lsub a b = ladd a (lscale (-1) b)
+let lis_const a = a.ts = []
+
+(* Symbols render with Ident stamps stripped so messages are
+   byte-stable across rebuilds: "v:body_271" -> "body",
+   "dim:v:arena_3" -> "dim(arena)", opaques -> "?n". *)
+let strip_stamp s =
+  let n = String.length s in
+  let rec digits i =
+    if i > 0 && s.[i - 1] >= '0' && s.[i - 1] <= '9' then digits (i - 1) else i
+  in
+  let i = digits n in
+  if i < n && i > 1 && s.[i - 1] = '_' then String.sub s 0 (i - 1) else s
+
+let has_prefix p s =
+  String.length s > String.length p && String.sub s 0 (String.length p) = p
+
+let after p s = String.sub s (String.length p) (String.length s - String.length p)
+
+let rec render_sym s =
+  if has_prefix "len:" s then "len(" ^ render_sym (after "len:" s) ^ ")"
+  else if has_prefix "dim:" s then "dim(" ^ render_sym (after "dim:" s) ^ ")"
+  else if has_prefix "alen:" s then "length(" ^ render_sym (after "alen:" s) ^ ")"
+  else if has_prefix "v:" s then strip_stamp (after "v:" s)
+  else if has_prefix "o:" s then "?" ^ after "o:" s
+  else if has_prefix "p:" s then "?" ^ after "p:" s
+  else if has_prefix "g:" s then after "g:" s
+  else s
+
+let render g =
+  let term first (s, k) =
+    let v = render_sym s in
+    let mag = abs k in
+    let core = if mag = 1 then v else Printf.sprintf "%d*%s" mag v in
+    if k >= 0 then if first then core else "+ " ^ core else "- " ^ core
+  in
+  let parts = List.mapi (fun i t -> term (i = 0) t) g.ts in
+  let parts =
+    if parts = [] then [ string_of_int g.c ]
+    else if g.c = 0 then parts
+    else if g.c > 0 then parts @ [ Printf.sprintf "+ %d" g.c ]
+    else parts @ [ Printf.sprintf "- %d" (-g.c) ]
+  in
+  String.concat " " parts
+
+(* ------------------------------------------------------------------ *)
+(* Sites and obligations                                               *)
+
+type site = {
+  sp_file : string;
+  sp_line : int;
+  sp_col : int;
+  sp_node : string;  (* binding containing the access *)
+  sp_accessor : string;  (* e.g. "Bigarray.Array1.unsafe_set" *)
+  sp_unsafe : bool;
+  mutable sp_proven : bool;
+  mutable sp_reasons : string list;  (* why not, when not *)
+}
+
+type oblig = { ob_site : site; ob_goal : lx }  (* goal over formal syms *)
+
+(* How a call site maps one callee formal onto caller terms. *)
+type tgt = { tv : lx; tbase : string option; tdim : string option }
+
+type callsite = {
+  k_callee : string;
+  k_map : (string * tgt) list;  (* callee formal sym -> caller target *)
+  k_facts : lx list;
+  k_formal_ids : SS.t;  (* caller's formals, for re-export *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Environment of one binding's walk                                   *)
+
+type env = {
+  statics : (Ident.t * string) list;
+  consts : (string, int) Hashtbl.t;  (* node -> top-level int literal *)
+  mods : SS.t;  (* analyzed module names *)
+  formals_tbl : (string, (Asttypes.arg_label * Ident.t option) list) Hashtbl.t;
+  post_tbl : (string, lx list) Hashtbl.t;  (* node -> postconditions *)
+  subst : (Ident.t * lx) list;
+  bufs : (Ident.t * string) list;  (* Arena.buf alias -> arena root sym *)
+  allocs : (string * (string * lx)) list;  (* off sym -> (dim sym, len) *)
+  formal_ids : SS.t;
+  fresh : int ref;
+}
+
+let vsym id = "v:" ^ Ident.unique_name id
+
+let opaque env =
+  incr env.fresh;
+  lsym ("o:" ^ string_of_int !(env.fresh))
+
+let head_std (f : Typedtree.expression) =
+  match f.exp_desc with
+  | Texp_ident (p, _, _) -> Typed.norm_target p
+  | _ -> None
+
+(* An applied head resolving to an analyzed binding, through the
+   static scope (local references) or a normalized dotted path. *)
+let head_node env (f : Typedtree.expression) =
+  match f.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) ->
+      Option.map snd (List.find_opt (fun (i, _) -> Ident.same i id) env.statics)
+  | Texp_ident (p, _, _) -> (
+      match Typed.norm_target p with
+      | Some (m, v) when SS.mem m env.mods -> Some (m ^ "." ^ v)
+      | _ -> None)
+  | _ -> None
+
+let find_ident assoc id =
+  Option.map snd (List.find_opt (fun (i, _) -> Ident.same i id) assoc)
+
+(* Root symbol a value's derived quantities (len/dim/alen) hang off. *)
+let base_sym env (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> (
+      match find_ident env.subst id with
+      | Some { c = 0; ts = [ (s, 1) ] } -> Some s
+      | Some _ -> None
+      | None -> (
+          match find_ident env.statics id with
+          | Some node -> Some ("g:" ^ node)
+          | None -> Some (vsym id)))
+  | Texp_ident (p, _, _) -> (
+      match Typed.norm_target p with
+      | Some (m, v) -> Some ("g:" ^ m ^ "." ^ v)
+      | None -> None)
+  | _ -> None
+
+let derived pfx env e =
+  match base_sym env e with Some s -> lsym (pfx ^ s) | None -> opaque env
+
+let dim_of env (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) when find_ident env.bufs id <> None ->
+      lsym ("dim:" ^ Option.get (find_ident env.bufs id))
+  | _ -> derived "dim:" env e
+
+let rec lx_of env (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_int n) -> lconst n
+  | Texp_ident (Path.Pident id, _, _) -> (
+      match find_ident env.subst id with
+      | Some l -> l
+      | None -> (
+          match find_ident env.statics id with
+          | Some node -> (
+              match Hashtbl.find_opt env.consts node with
+              | Some n -> lconst n
+              | None -> lsym ("g:" ^ node))
+          | None -> lsym (vsym id)))
+  | Texp_ident (p, _, _) -> (
+      match Typed.norm_target p with
+      | Some (m, v) -> (
+          let node = m ^ "." ^ v in
+          match Hashtbl.find_opt env.consts node with
+          | Some n -> lconst n
+          | None -> lsym ("g:" ^ node))
+      | None -> opaque env)
+  | Texp_apply (f, args) -> (
+      match (head_std f, List.filter_map snd args) with
+      | Some ("Stdlib", "+"), [ a; b ] -> ladd (lx_of env a) (lx_of env b)
+      | Some ("Stdlib", "-"), [ a; b ] -> lsub (lx_of env a) (lx_of env b)
+      | Some ("Stdlib", "~-"), [ a ] -> lscale (-1) (lx_of env a)
+      | Some ("Stdlib", "*"), [ a; b ] ->
+          let la = lx_of env a and lb = lx_of env b in
+          if lis_const la then lscale la.c lb
+          else if lis_const lb then lscale lb.c la
+          else opaque env
+      | Some (("String" | "Bytes"), "length"), [ a ] -> derived "len:" env a
+      | Some ("Array", "length"), [ a ] -> derived "alen:" env a
+      | Some ("Array1", "dim"), [ a ] -> dim_of env a
+      | _ -> opaque env)
+  | _ -> opaque env
+
+(* ------------------------------------------------------------------ *)
+(* Facts from conditions                                               *)
+
+let is_int_ty (e : Typedtree.expression) =
+  match Types.get_desc e.exp_type with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_int
+  | _ -> false
+
+let label_eq (a : Asttypes.arg_label) (b : Asttypes.arg_label) =
+  match (a, b) with
+  | Asttypes.Nolabel, Asttypes.Nolabel -> true
+  | Asttypes.Labelled x, Asttypes.Labelled y -> x = y
+  | Asttypes.Optional x, Asttypes.Optional y -> x = y
+  | _ -> false
+
+(* Pair each callee formal with its actual: labels by name, unlabeled
+   positionally; unmatched formals (partial application) drop out. *)
+let match_args (formals : (Asttypes.arg_label * Ident.t option) list)
+    (args : (Asttypes.arg_label * Typedtree.expression option) list) =
+  let args = Array.of_list args in
+  let used = Array.make (Array.length args) false in
+  let take lbl =
+    let r = ref None in
+    Array.iteri
+      (fun j (l, eo) ->
+        if !r = None && (not used.(j)) && label_eq lbl l && eo <> None then begin
+          used.(j) <- true;
+          r := eo
+        end)
+      args;
+    !r
+  in
+  List.filter_map
+    (fun (lbl, ido) ->
+      let actual = take lbl in
+      match (ido, actual) with
+      | Some id, Some a -> Some (id, a)
+      | _ -> None)
+    formals
+
+let tgt_of env (a : Typedtree.expression) =
+  let tv = lx_of env a in
+  let tbase =
+    match tv with { c = 0; ts = [ (s, 1) ] } -> Some s | _ -> base_sym env a
+  in
+  let tdim =
+    match a.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) when find_ident env.bufs id <> None ->
+        Some ("dim:" ^ Option.get (find_ident env.bufs id))
+    | _ -> Option.map (fun s -> "dim:" ^ s) tbase
+  in
+  { tv; tbase; tdim }
+
+(* Substitute a callee-formal goal through a call-site map. Unmapped
+   symbols become fresh opaques — never provable, always sound. *)
+let instantiate fresh (map : (string * tgt) list) (g : lx) =
+  let opq () =
+    incr fresh;
+    lsym ("p:" ^ string_of_int !fresh)
+  in
+  List.fold_left
+    (fun acc (s, k) ->
+      let term =
+        match List.assoc_opt s map with
+        | Some t -> t.tv
+        | None ->
+            if has_prefix "len:" s || has_prefix "alen:" s then begin
+              let p = if has_prefix "len:" s then "len:" else "alen:" in
+              match List.assoc_opt (after p s) map with
+              | Some { tbase = Some b; _ } -> lsym (p ^ b)
+              | _ -> opq ()
+            end
+            else if has_prefix "dim:" s then
+              match List.assoc_opt (after "dim:" s) map with
+              | Some { tdim = Some d; _ } -> lsym d
+              | _ -> opq ()
+            else opq ()
+      in
+      ladd acc (lscale k term))
+    (lconst g.c) g.ts
+
+(* The alloc contract fires when the program learns off >= 0: that is
+   exactly Arena.alloc's non-exhaustion signal, so the slab holds
+   [len] bytes at [off]. *)
+let augment env f =
+  match f with
+  | { c = 0; ts = [ (s, 1) ] } -> (
+      match List.assoc_opt s env.allocs with
+      | Some (dim_sym, len) -> [ f; lsub (lsub (lsym dim_sym) (lsym s)) len ]
+      | None -> [ f ])
+  | _ -> [ f ]
+
+let add_facts env nf facts = List.concat_map (augment env) nf @ facts
+
+let rec cond_facts env (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (f, args) -> (
+      let pos = List.filter_map snd args in
+      match (head_std f, pos) with
+      | Some ("Stdlib", "&&"), [ a; b ] ->
+          let ta, _ = cond_facts env a and tb, _ = cond_facts env b in
+          (ta @ tb, [])
+      | Some ("Stdlib", "||"), [ a; b ] ->
+          let _, fa = cond_facts env a and _, fb = cond_facts env b in
+          ([], fa @ fb)
+      | Some ("Stdlib", "not"), [ a ] ->
+          let t, fa = cond_facts env a in
+          (fa, t)
+      | Some ("Stdlib", (("<" | "<=" | ">" | ">=" | "=" | "<>") as op)), [ a; b ]
+        when is_int_ty a && is_int_ty b -> (
+          let la = lx_of env a and lb = lx_of env b in
+          let ge x y = lsub x y in
+          let gt x y = lsub (lsub x y) (lconst 1) in
+          match op with
+          | "<" -> ([ gt lb la ], [ ge la lb ])
+          | "<=" -> ([ ge lb la ], [ gt la lb ])
+          | ">" -> ([ gt la lb ], [ ge lb la ])
+          | ">=" -> ([ ge la lb ], [ gt lb la ])
+          | "=" -> ([ ge la lb; ge lb la ], [])
+          | _ -> ([], [ ge la lb; ge lb la ]))
+      | _ -> (
+          (* a predicate with inferred postconditions: its truth is the
+             conjunction of those linear facts at the actuals *)
+          match head_node env f with
+          | Some n -> (
+              match
+                ( Hashtbl.find_opt env.post_tbl n,
+                  Hashtbl.find_opt env.formals_tbl n )
+              with
+              | Some posts, Some formals ->
+                  let map =
+                    List.map
+                      (fun (id, a) -> (vsym id, tgt_of env a))
+                      (match_args formals args)
+                  in
+                  (List.map (instantiate env.fresh map) posts, [])
+              | _ -> ([], []))
+          | None -> ([], [])))
+  | _ -> ([], [])
+
+(* ------------------------------------------------------------------ *)
+(* The prover: subtract a small subset of facts, land on a constant    *)
+
+let deriv_axioms facts goal =
+  let syms =
+    List.fold_left
+      (fun acc g -> List.fold_left (fun acc (s, _) -> SS.add s acc) acc g.ts)
+      SS.empty (goal :: facts)
+  in
+  SS.fold
+    (fun s acc ->
+      if has_prefix "len:" s || has_prefix "dim:" s || has_prefix "alen:" s
+      then lsym s :: acc
+      else acc)
+    syms []
+
+let proves facts goal =
+  let fs =
+    Array.of_list (List.sort_uniq compare (facts @ deriv_axioms facts goal))
+  in
+  let n = Array.length fs in
+  let ok g = g.ts = [] && g.c >= 0 in
+  let rec pick depth start g =
+    ok g
+    || depth > 0
+       &&
+       let r = ref false in
+       let i = ref start in
+       while (not !r) && !i < n do
+         r := pick (depth - 1) (!i + 1) (lsub g fs.(!i));
+         incr i
+       done;
+       !r
+  in
+  pick 4 0 goal
+
+let exportable formal_ids s =
+  let rec strip s =
+    if has_prefix "len:" s then strip (after "len:" s)
+    else if has_prefix "alen:" s then strip (after "alen:" s)
+    else if has_prefix "dim:" s then strip (after "dim:" s)
+    else s
+  in
+  let b = strip s in
+  has_prefix "v:" b && SS.mem (after "v:" b) formal_ids
+
+(* Eliminate every non-formal symbol from [g] through unit-coefficient
+   facts: for k·s with k > 0 a lower bound (a fact with +1 on s), for
+   k < 0 an upper bound (-1 on s); each step subtracts |k| copies of a
+   nonnegative fact, so the residual still implies the goal. *)
+let eliminate formal_ids facts g =
+  let cands = List.sort_uniq compare (facts @ deriv_axioms facts g) in
+  let rec go g fuel =
+    match List.find_opt (fun (s, _) -> not (exportable formal_ids s)) g.ts with
+    | None -> Some g
+    | Some (s, k) ->
+        if fuel = 0 then None
+        else
+          let want = if k > 0 then 1 else -1 in
+          List.find_map
+            (fun f ->
+              if List.assoc_opt s f.ts = Some want then
+                go (lsub g (lscale (abs k) f)) (fuel - 1)
+              else None)
+            cands
+  in
+  go g 8
+
+(* ------------------------------------------------------------------ *)
+(* Phase A: walk every binding                                         *)
+
+let always_raise_heads = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let rec always_raises (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match head_std f with
+      | Some ("Stdlib", v) -> List.mem v always_raise_heads
+      | _ -> false)
+  | Texp_sequence (_, b) -> always_raises b
+  | Texp_let (_, _, b) -> always_raises b
+  | _ -> false
+
+let rec formals_of (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { arg_label; cases = [ c ]; _ } ->
+      let id =
+        match c.c_lhs.pat_desc with
+        | Tpat_var (id, _) | Tpat_alias (_, id, _) -> Some id
+        | _ -> None
+      in
+      (arg_label, id) :: formals_of c.c_rhs
+  | _ -> []
+
+let rec body_of (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> body_of c.c_rhs
+  | _ -> e
+
+let rec conjuncts (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (f, [ (_, Some a); (_, Some b) ])
+    when head_std f = Some ("Stdlib", "&&") ->
+      conjuncts a @ conjuncts b
+  | _ -> [ e ]
+
+let accessor_table =
+  [
+    (("Array1", "get"), ("Bigarray.Array1.get", `Dim, false));
+    (("Array1", "set"), ("Bigarray.Array1.set", `Dim, false));
+    (("Array1", "unsafe_get"), ("Bigarray.Array1.unsafe_get", `Dim, true));
+    (("Array1", "unsafe_set"), ("Bigarray.Array1.unsafe_set", `Dim, true));
+    (("Bytes", "get"), ("Bytes.get", `Len, false));
+    (("Bytes", "set"), ("Bytes.set", `Len, false));
+    (("Bytes", "unsafe_get"), ("Bytes.unsafe_get", `Len, true));
+    (("Bytes", "unsafe_set"), ("Bytes.unsafe_set", `Len, true));
+    (("String", "unsafe_get"), ("String.unsafe_get", `Len, true));
+    (("Array", "unsafe_get"), ("Array.unsafe_get", `Alen, true));
+    (("Array", "unsafe_set"), ("Array.unsafe_set", `Alen, true));
+  ]
+
+let analyze ~roots (cg : Callgraph.t) =
+  let consts = Hashtbl.create 64 in
+  let formals_tbl = Hashtbl.create 256 in
+  let post_tbl = Hashtbl.create 32 in
+  let mods =
+    List.fold_left
+      (fun acc (b : Callgraph.bind) ->
+        SS.add b.Callgraph.b_mod.Typed.ti_module acc)
+      SS.empty cg.Callgraph.binds
+  in
+  (* prepass 1: module-level integer constants and formal lists *)
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      (match b.Callgraph.b_vb.vb_expr.exp_desc with
+      | Texp_constant (Asttypes.Const_int n) ->
+          Hashtbl.replace consts b.Callgraph.b_node n
+      | _ -> ());
+      Hashtbl.replace formals_tbl b.Callgraph.b_node
+        (formals_of b.Callgraph.b_vb.vb_expr))
+    cg.Callgraph.binds;
+  let env_of (b : Callgraph.bind) =
+    let formals = Hashtbl.find formals_tbl b.Callgraph.b_node in
+    let formal_ids =
+      List.fold_left
+        (fun acc (_, ido) ->
+          match ido with
+          | Some id -> SS.add (Ident.unique_name id) acc
+          | None -> acc)
+        SS.empty formals
+    in
+    {
+      statics = b.Callgraph.b_statics;
+      consts;
+      mods;
+      formals_tbl;
+      post_tbl;
+      subst = [];
+      bufs = [];
+      allocs = [];
+      formal_ids;
+      fresh = ref 0;
+    }
+  in
+  (* prepass 2: postconditions of &&-chain predicates, over formals
+     only (conjuncts that mention anything else are skipped) *)
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      let env = env_of b in
+      let body = body_of b.Callgraph.b_vb.vb_expr in
+      let posts =
+        List.concat_map
+          (fun conj ->
+            let tf, _ = cond_facts env conj in
+            List.filter
+              (fun f ->
+                List.for_all (fun (s, _) -> exportable env.formal_ids s) f.ts)
+              tf)
+          (conjuncts body)
+      in
+      if posts <> [] && not (SS.is_empty env.formal_ids) then
+        Hashtbl.replace post_tbl b.Callgraph.b_node posts)
+    cg.Callgraph.binds;
+  (* phase A: collect obligations and call sites, prove what's local *)
+  let sites = ref [] in
+  let opens : (string, oblig list) Hashtbl.t = Hashtbl.create 32 in
+  let callsites : (string, callsite list) Hashtbl.t = Hashtbl.create 64 in
+  let push_open node ob =
+    let cur = Option.value (Hashtbl.find_opt opens node) ~default:[] in
+    if
+      not
+        (List.exists
+           (fun o -> o.ob_site == ob.ob_site && o.ob_goal = ob.ob_goal)
+           cur)
+    then Hashtbl.replace opens node (cur @ [ ob ])
+  in
+  let mark site reason =
+    site.sp_proven <- false;
+    if not (List.mem reason site.sp_reasons) then
+      site.sp_reasons <- site.sp_reasons @ [ reason ]
+  in
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      let node = b.Callgraph.b_node in
+      let file = b.Callgraph.b_mod.Typed.ti_file in
+      let env0 = env_of b in
+      let settle env facts site goal =
+        if proves facts goal then ()
+        else
+          match eliminate env.formal_ids facts goal with
+          | Some r when lis_const r ->
+              if r.c < 0 then mark site ("cannot prove " ^ render goal ^ " >= 0")
+          | Some r -> push_open node { ob_site = site; ob_goal = r }
+          | None -> mark site ("cannot prove " ^ render goal ^ " >= 0")
+      in
+      let rec go env facts (e : Typedtree.expression) =
+        let walk_children () =
+          let open Tast_iterator in
+          let it =
+            { default_iterator with expr = (fun _ e -> go env facts e) }
+          in
+          default_iterator.expr it e
+        in
+        match e.exp_desc with
+        | Texp_let (Asttypes.Nonrecursive, vbs, body) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) -> go env facts vb.vb_expr)
+              vbs;
+            let env =
+              List.fold_left
+                (fun env (vb : Typedtree.value_binding) ->
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_var (id, _) | Tpat_alias (_, id, _) -> (
+                      match vb.vb_expr.exp_desc with
+                      | Texp_apply (f, args)
+                        when head_std f = Some ("Arena", "alloc") -> (
+                          match List.filter_map snd args with
+                          | [ arena; len ] ->
+                              let dim_sym =
+                                match base_sym env arena with
+                                | Some s -> "dim:" ^ s
+                                | None ->
+                                    incr env.fresh;
+                                    "o:" ^ string_of_int !(env.fresh)
+                              in
+                              {
+                                env with
+                                allocs =
+                                  (vsym id, (dim_sym, lx_of env len))
+                                  :: env.allocs;
+                              }
+                          | _ -> env)
+                      | Texp_apply (f, args)
+                        when head_std f = Some ("Arena", "buf") -> (
+                          match List.filter_map snd args with
+                          | [ arena ] -> (
+                              match base_sym env arena with
+                              | Some s ->
+                                  { env with bufs = (id, s) :: env.bufs }
+                              | None -> env)
+                          | _ -> env)
+                      | _ ->
+                          {
+                            env with
+                            subst = (id, lx_of env vb.vb_expr) :: env.subst;
+                          })
+                  | _ -> env)
+                env vbs
+            in
+            go env facts body
+        | Texp_ifthenelse (c, t, fo) ->
+            go env facts c;
+            let tf, ff = cond_facts env c in
+            go env (add_facts env tf facts) t;
+            Option.iter (go env (add_facts env ff facts)) fo
+        | Texp_sequence (a, rest) -> (
+            go env facts a;
+            match a.exp_desc with
+            | Texp_ifthenelse (c, t, None) when always_raises t ->
+                let _, ff = cond_facts env c in
+                go env (add_facts env ff facts) rest
+            | _ -> go env facts rest)
+        | Texp_for (id, _, lo, hi, dir, body) ->
+            go env facts lo;
+            go env facts hi;
+            let i = lsym (vsym id) in
+            let llo = lx_of env lo and lhi = lx_of env hi in
+            let range =
+              match dir with
+              | Asttypes.Upto -> [ lsub i llo; lsub lhi i ]
+              | Asttypes.Downto -> [ lsub llo i; lsub i lhi ]
+            in
+            go env (add_facts env range facts) body
+        | Texp_while (c, body) ->
+            go env facts c;
+            let tf, _ = cond_facts env c in
+            go env (add_facts env tf facts) body
+        | Texp_apply (f, args) -> (
+            let pos = List.filter_map snd args in
+            match (head_std f, pos) with
+            | Some ("Stdlib", "&&"), [ a; b2 ] ->
+                go env facts a;
+                let tf, _ = cond_facts env a in
+                go env (add_facts env tf facts) b2
+            | Some ("Stdlib", "||"), [ a; b2 ] ->
+                go env facts a;
+                let _, ff = cond_facts env a in
+                go env (add_facts env ff facts) b2
+            | Some (("String" | "Bytes"), "init"), [ n; fn ]
+              when (match fn.exp_desc with
+                   | Texp_function
+                       {
+                         cases = [ { c_lhs = { pat_desc = Tpat_var _; _ }; _ } ];
+                         _;
+                       } ->
+                       true
+                   | _ -> false) -> (
+                go env facts n;
+                match fn.exp_desc with
+                | Texp_function { cases = [ c ]; _ } ->
+                    let id =
+                      match c.c_lhs.pat_desc with
+                      | Tpat_var (id, _) -> id
+                      | _ -> assert false
+                    in
+                    let i = lsym (vsym id) in
+                    let ln = lx_of env n in
+                    go env
+                      (add_facts env [ i; lsub (lsub ln (lconst 1)) i ] facts)
+                      c.c_rhs
+                | _ -> ())
+            | Some mf, bufv :: idx :: _ when List.mem_assoc mf accessor_table
+              ->
+                let acc_name, kind, unsafe = List.assoc mf accessor_table in
+                let line, col = Diag.loc_pos e.exp_loc in
+                let site =
+                  {
+                    sp_file = file;
+                    sp_line = line;
+                    sp_col = col;
+                    sp_node = node;
+                    sp_accessor = acc_name;
+                    sp_unsafe = unsafe;
+                    sp_proven = true;
+                    sp_reasons = [];
+                  }
+                in
+                sites := site :: !sites;
+                let bound =
+                  match kind with
+                  | `Dim -> dim_of env bufv
+                  | `Len -> derived "len:" env bufv
+                  | `Alen -> derived "alen:" env bufv
+                in
+                let li = lx_of env idx in
+                settle env facts site li;
+                settle env facts site (lsub (lsub bound li) (lconst 1));
+                List.iter (go env facts) pos
+            | _ ->
+                (match head_node env f with
+                | Some callee -> (
+                    match Hashtbl.find_opt formals_tbl callee with
+                    | Some formals when formals <> [] ->
+                        let map =
+                          List.map
+                            (fun (id, a) -> (vsym id, tgt_of env a))
+                            (match_args formals args)
+                        in
+                        let cur =
+                          Option.value
+                            (Hashtbl.find_opt callsites node)
+                            ~default:[]
+                        in
+                        Hashtbl.replace callsites node
+                          (cur
+                          @ [
+                              {
+                                k_callee = callee;
+                                k_map = map;
+                                k_facts = facts;
+                                k_formal_ids = env.formal_ids;
+                              };
+                            ])
+                    | _ -> ())
+                | None -> ());
+                go env facts f;
+                List.iter (go env facts) pos)
+        | _ -> walk_children ()
+      in
+      go env0 [] b.Callgraph.b_vb.vb_expr)
+    cg.Callgraph.binds;
+  (* phase B: reverse-topological propagation of exported obligations *)
+  let fresh_b = ref 0 in
+  List.iter
+    (fun scc ->
+      List.iter
+        (fun caller ->
+          List.iter
+            (fun cs ->
+              List.iter
+                (fun ob ->
+                  let g = instantiate fresh_b cs.k_map ob.ob_goal in
+                  if proves cs.k_facts g then ()
+                  else
+                    let fail () =
+                      mark ob.ob_site
+                        (Printf.sprintf
+                           "cannot prove %s >= 0 at call from %s" (render g)
+                           caller)
+                    in
+                    match eliminate cs.k_formal_ids cs.k_facts g with
+                    | Some r when lis_const r -> if r.c < 0 then fail ()
+                    | Some r ->
+                        push_open caller { ob_site = ob.ob_site; ob_goal = r }
+                    | None -> fail ())
+                (Option.value (Hashtbl.find_opt opens cs.k_callee) ~default:[]))
+            (Option.value (Hashtbl.find_opt callsites caller) ~default:[]))
+        scc)
+    (Summary.sccs_of cg);
+  (* post-pass: an obligation still open where nothing analyzed can
+     discharge it has escaped the proof *)
+  let rooted = Callgraph.reachable cg ~roots in
+  let root_set = SS.of_list (Callgraph.expand_roots cg roots) in
+  let has_caller n =
+    Hashtbl.fold
+      (fun src succs acc -> acc || (src <> n && Callgraph.SS.mem n succs))
+      cg.Callgraph.edges false
+  in
+  Hashtbl.iter
+    (fun n obs ->
+      if SS.mem n root_set || not (has_caller n) then
+        List.iter
+          (fun ob ->
+            mark ob.ob_site
+              (Printf.sprintf "%s >= 0 escapes to unanalyzed callers of %s"
+                 (render ob.ob_goal) n))
+          obs)
+    opens;
+  let sites =
+    List.sort
+      (fun a b ->
+        compare
+          (a.sp_file, a.sp_line, a.sp_col, a.sp_accessor)
+          (b.sp_file, b.sp_line, b.sp_col, b.sp_accessor))
+      !sites
+  in
+  List.iter (fun s -> s.sp_reasons <- List.sort_uniq compare s.sp_reasons) sites;
+  (* findings *)
+  let diags =
+    List.concat_map
+      (fun s ->
+        if s.sp_proven then []
+        else
+          let key = s.sp_file ^ ":" ^ Callgraph.binding_of_node s.sp_node in
+          let reason =
+            match s.sp_reasons with r :: _ -> r | [] -> "no proof found"
+          in
+          let bigarray_or_bytes =
+            has_prefix "Bigarray" s.sp_accessor || has_prefix "Bytes" s.sp_accessor
+          in
+          (if bigarray_or_bytes && Callgraph.mem rooted s.sp_node then
+             [
+               Diag.make ~line:s.sp_line ~col:s.sp_col ~key ~file:s.sp_file
+                 ~rule:"arena-bounds"
+                 (Printf.sprintf
+                    "`%s` indexes a slab via %s without an in-bounds proof \
+                     (%s): restructure so the offset is linearly related to \
+                     the allocation it came from (DESIGN.md §9.5), or add \
+                     `arena-bounds %s` to tools/lint/allowlist with a \
+                     justification"
+                    s.sp_node s.sp_accessor reason key);
+             ]
+           else [])
+          @
+          if
+            s.sp_unsafe && String.length s.sp_file >= 4
+            && String.sub s.sp_file 0 4 = "lib/"
+          then
+            [
+              Diag.make ~line:s.sp_line ~col:s.sp_col ~key ~file:s.sp_file
+                ~rule:"unsafe-unproven"
+                (Printf.sprintf
+                   "`%s` uses %s without a bounds proof (%s): unsafe accesses \
+                    are licensed only by the rules_bounds prover — keep the \
+                    checked accessor until the proof goes through, or add \
+                    `unsafe-unproven %s` to tools/lint/allowlist with a \
+                    justification"
+                   s.sp_node s.sp_accessor reason key);
+            ]
+          else [])
+      sites
+  in
+  (sites, diags)

@@ -105,6 +105,15 @@ type info = {
   sites : (string, site list) Hashtbl.t;  (* shared-write sites per node *)
   field_writes : (string, SS.t) Hashtbl.t;
       (* node -> "Module.type.field" mutable fields it assigns *)
+  accessors : (string, string) Hashtbl.t;
+      (* single-field accessors ("let buf t = t.slab"): node ->
+         "Module.type.field". An application of such a binding IS the
+         field read, so ownership tracing looks through it instead of
+         treating the result as fresh — the returned-alias blind spot
+         of DESIGN.md §9.4, closed for one-field accessors. The
+         atomics pack (rules_atomic) uses the same map to attribute a
+         write through a stored accessor result to the underlying
+         field. *)
 }
 
 let get_opt tbl n = Hashtbl.find_opt tbl n
@@ -220,8 +229,10 @@ type root = Owned | Shared of string
 
 (* Root of the value [e] denotes, through record fields, derefs and
    array reads. [statics] is the binding's scope chain from the call
-   graph; [aliases] maps local lets bound to shared-rooted values. *)
-let rec root_of ~statics ~aliases (e : Typedtree.expression) =
+   graph; [aliases] maps local lets bound to shared-rooted values;
+   [accessors] maps single-field accessor nodes to their field, so an
+   accessor application roots at the accessor's argument. *)
+let rec root_of ~statics ~aliases ~accessors (e : Typedtree.expression) =
   let is_function =
     match Types.get_desc e.exp_type with
     | Types.Tarrow _ -> true
@@ -245,21 +256,26 @@ let rec root_of ~statics ~aliases (e : Typedtree.expression) =
            (match Typed.path_components p [] with
            | m :: rest -> Typed.plain_module m :: rest
            | [] -> []))
-  | Texp_field (b, _, _) -> root_of ~statics ~aliases b
+  | Texp_field (b, _, _) -> root_of ~statics ~aliases ~accessors b
   | Texp_apply (f, args) -> (
       let accessor =
         match f.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) -> (
+            match List.find_opt (fun (i, _) -> Ident.same i id) statics with
+            | Some (_, n) -> Hashtbl.mem accessors n
+            | None -> false)
         | Texp_ident (p, _, _) -> (
             match target_of_path p with
             | Some (("Array" | "Bytes"), ("get" | "unsafe_get"))
             | Some ("Stdlib", "!") ->
                 true
-            | _ -> false)
+            | Some (tm, tv) -> Hashtbl.mem accessors (tm ^ "." ^ tv)
+            | None -> false)
         | _ -> false
       in
       if accessor then
         match List.filter_map snd args with
-        | a :: _ -> root_of ~statics ~aliases a
+        | a :: _ -> root_of ~statics ~aliases ~accessors a
         | [] -> Owned
       else Owned (* fresh value returned by a call *))
   | _ -> Owned (* literals, fresh constructions, matches, ... *)
@@ -282,7 +298,22 @@ let field_id ~self (ld : Types.label_description) =
   in
   Printf.sprintf "%s.%s.%s" tmod tname ld.lbl_name
 
-let scan (b : Callgraph.bind) =
+(* "let buf t = t.slab" — a one-parameter accessor whose whole body is
+   a field read of that parameter. The map of these is what lets
+   root_of and the atomics pack look through a returned alias. *)
+let accessor_of (b : Callgraph.bind) =
+  match b.Callgraph.b_vb.vb_expr.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> (
+      match (c.c_lhs.pat_desc, c.c_rhs.exp_desc) with
+      | Tpat_var (pid, _), Texp_field (obj, _, ld) -> (
+          match obj.exp_desc with
+          | Texp_ident (Path.Pident oid, _, _) when Ident.same pid oid ->
+              Some (field_id ~self:b.Callgraph.b_mod.Typed.ti_module ld)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let scan ~accessors (b : Callgraph.bind) =
   let m = b.Callgraph.b_mod in
   let statics = b.Callgraph.b_statics in
   (* lib/topology/rng.ml is the sanctioned seeded randomness source *)
@@ -304,7 +335,7 @@ let scan (b : Callgraph.bind) =
     | Shared g ->
         set (fun s -> { s with reads_shared = SS.add g s.reads_shared })
   in
-  let root_of e = root_of ~statics ~aliases e in
+  let root_of e = root_of ~statics ~aliases ~accessors e in
   let classify_head (mf : string * string) loc =
     if is_io mf then set (fun s -> { s with io = true });
     if is_raise mf then set (fun s -> { s with raises = true });
@@ -427,9 +458,16 @@ let compute (cg : Callgraph.t) =
   let base = Hashtbl.create 256 in
   let sites = Hashtbl.create 64 in
   let field_writes = Hashtbl.create 64 in
+  let accessors = Hashtbl.create 64 in
   List.iter
     (fun (b : Callgraph.bind) ->
-      let s, ws, fw = scan b in
+      match accessor_of b with
+      | Some f -> Hashtbl.replace accessors b.Callgraph.b_node f
+      | None -> ())
+    cg.Callgraph.binds;
+  List.iter
+    (fun (b : Callgraph.bind) ->
+      let s, ws, fw = scan ~accessors b in
       let n = b.Callgraph.b_node in
       (* a name bound twice in one module (shadowing at the top level)
          joins; last write of sites appends *)
@@ -459,4 +497,4 @@ let compute (cg : Callgraph.t) =
       in
       List.iter (fun v -> Hashtbl.replace full v s) scc)
     (sccs_of cg);
-  { base; full; sites; field_writes }
+  { base; full; sites; field_writes; accessors }

@@ -107,16 +107,39 @@ let add_impl_decls decls (m : modinfo) =
       | _ -> ())
     m.ti_str.str_items
 
+(* Unmarshaling .cmt/.cmi artifacts dominates typed-pass start-up, and
+   one test process loads the same tree many times (lint run,
+   summaries, catalog, fixtures interleaved). Both loads are memoized
+   by path and validated against the artifact's content digest, so an
+   unchanged artifact is a hash lookup and a rebuilt one reloads. A
+   .mli edit rebuilds the implementation's .cmt too (dune checks the
+   .ml against it), so the digest also covers the cached ti_intf. *)
+let cmi_cache :
+    (string, Digest.t * (string * (string * Types.type_declaration) list))
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let read_cmi_decls path =
+  let digest = Digest.file path in
+  match Hashtbl.find_opt cmi_cache path with
+  | Some (d, r) when d = digest -> r
+  | _ ->
+      let cmi = Cmi_format.read_cmi path in
+      let mname = plain_module cmi.Cmi_format.cmi_name in
+      let tds =
+        List.filter_map
+          (fun (item : Types.signature_item) ->
+            match item with
+            | Types.Sig_type (id, td, _, _) -> Some (Ident.name id, td)
+            | _ -> None)
+          cmi.Cmi_format.cmi_sign
+      in
+      Hashtbl.replace cmi_cache path (digest, (mname, tds));
+      (mname, tds)
+
 let add_cmi_decls decls path =
-  let cmi = Cmi_format.read_cmi path in
-  let mname = plain_module cmi.Cmi_format.cmi_name in
-  List.iter
-    (fun (item : Types.signature_item) ->
-      match item with
-      | Types.Sig_type (id, td, _, _) ->
-          Hashtbl.replace decls.intf (mname, Ident.name id) td
-      | _ -> ())
-    cmi.Cmi_format.cmi_sign
+  let mname, tds = read_cmi_decls path in
+  List.iter (fun (n, td) -> Hashtbl.replace decls.intf (mname, n) td) tds
 
 let decls_of_mods mods =
   let d = empty_decls () in
@@ -167,6 +190,49 @@ let byte_dir_of ~root libdir =
 
 type tree = { tmods : modinfo list; tdecls : decls; tdiags : Diag.t list }
 
+(* cmt -> modinfo memo; [None] records a cmt that carries no
+   implementation for us (alias module, interface-only), so skipping
+   it is also free on the next load. *)
+let cmt_cache : (string, Digest.t * modinfo option) Hashtbl.t =
+  Hashtbl.create 32
+
+let load_cmt ~root ~libname path =
+  let digest = Digest.file path in
+  match Hashtbl.find_opt cmt_cache path with
+  | Some (d, r) when d = digest -> r
+  | _ ->
+      let wrapped name =
+        let p = plain_module name in
+        if p = name || p = "" then None else Some p
+      in
+      let cmt = Cmt_format.read_cmt path in
+      let r =
+        match
+          (wrapped cmt.Cmt_format.cmt_modname, cmt.Cmt_format.cmt_annots)
+        with
+        | Some mname, Cmt_format.Implementation str ->
+            let file =
+              match cmt.Cmt_format.cmt_sourcefile with
+              | Some s -> s
+              | None -> path
+            in
+            let intf =
+              let mli = Filename.concat root (file ^ "i") in
+              if Sys.file_exists mli then Some (read_file mli) else None
+            in
+            Some
+              {
+                ti_module = mname;
+                ti_lib = libname;
+                ti_file = file;
+                ti_str = str;
+                ti_intf = intf;
+              }
+        | _ -> None
+      in
+      Hashtbl.replace cmt_cache path (digest, r);
+      r
+
 let load_tree ~root =
   let mods = ref [] and diags = ref [] in
   let decls = empty_decls () in
@@ -196,41 +262,17 @@ let load_tree ~root =
                    if p = name || p = "" then None else Some p
                  in
                  if Filename.check_suffix f ".cmt" then (
-                   match Cmt_format.read_cmt path with
+                   match load_cmt ~root ~libname path with
                    | exception exn ->
                        diags :=
                          Diag.make ~file:path ~rule:"typed-engine"
                            (Printf.sprintf "cannot read cmt: %s"
                               (Printexc.to_string exn))
                          :: !diags
-                   | cmt -> (
-                       match
-                         (wrapped cmt.Cmt_format.cmt_modname,
-                          cmt.Cmt_format.cmt_annots)
-                       with
-                       | Some mname, Cmt_format.Implementation str ->
-                           let file =
-                             match cmt.Cmt_format.cmt_sourcefile with
-                             | Some s -> s
-                             | None -> path
-                           in
-                           let intf =
-                             let mli = Filename.concat root (file ^ "i") in
-                             if Sys.file_exists mli then Some (read_file mli)
-                             else None
-                           in
-                           let m =
-                             {
-                               ti_module = mname;
-                               ti_lib = libname;
-                               ti_file = file;
-                               ti_str = str;
-                               ti_intf = intf;
-                             }
-                           in
-                           add_impl_decls decls m;
-                           mods := m :: !mods
-                       | _ -> ()))
+                   | Some m ->
+                       add_impl_decls decls m;
+                       mods := m :: !mods
+                   | None -> ())
                  else if Filename.check_suffix f ".cmi" then
                    match wrapped (Filename.remove_extension f) with
                    | Some _ -> (
