@@ -77,7 +77,9 @@ let experiments () =
   E.print_e30 (E.e30_churn_traffic ());
   E.print_e31 (E.e31_fault_convergence ());
   E.print_e32 (E.e32_flap_traffic ());
-  E.print_e33 (E.e33_shard_invariance ())
+  E.print_e33 (E.e33_shard_invariance ());
+  E.print_e34 (E.e34_drill_catalog ());
+  E.print_e35 (E.e35_hijack_containment ())
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -621,12 +623,67 @@ let write_shard_json path =
   in
   emit_json path json
 
+(* The incident-drill scorecard: each catalog drill's recovery metrics
+   and SLO verdict, plus the per-tick delivery and cumulative
+   blackhole-seconds trajectories CI diffs across runs (the drills are
+   deterministic, so any drift is a behaviour change). *)
+let write_drills_json path =
+  let fopt = function
+    | None -> "null"
+    | Some f -> Printf.sprintf "%.4f" f
+  in
+  let drill_obj b =
+    let r = Ops.Drill.complete b in
+    let v = Ops.Slo.evaluate r in
+    let m = v.Ops.Slo.metrics in
+    let rows = Ops.Drill.rows r in
+    let ok_traj =
+      String.concat ", "
+        (List.map
+           (fun (row : Ops.Drill.tick_row) ->
+             Printf.sprintf "%.4f" row.Ops.Drill.ok)
+           rows)
+    in
+    let blackhole_traj =
+      let acc = ref 0.0 in
+      String.concat ", "
+        (List.map
+           (fun (row : Ops.Drill.tick_row) ->
+             acc := !acc +. row.Ops.Drill.lost;
+             Printf.sprintf "%.4f" !acc)
+           rows)
+    in
+    Printf.sprintf
+      "    {\n\
+      \      \"name\": \"%s\",\n\
+      \      \"pass\": %b,\n\
+      \      \"detection_s\": %s,\n\
+      \      \"reconverge_s\": %s,\n\
+      \      \"blackhole_s\": %.4f,\n\
+      \      \"stale_frac\": %.4f,\n\
+      \      \"hijacked_peak\": %.4f,\n\
+      \      \"ok_trajectory\": [%s],\n\
+      \      \"blackhole_cumulative_s\": [%s]\n\
+      \    }"
+      b.Ops.Drillbook.name v.Ops.Slo.pass
+      (fopt m.Ops.Slo.detection_s)
+      (fopt m.Ops.Slo.reconverge_s)
+      m.Ops.Slo.blackhole_s m.Ops.Slo.stale_frac m.Ops.Slo.hijacked_peak
+      ok_traj blackhole_traj
+  in
+  let json =
+    Printf.sprintf "{\n  \"drills\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map drill_obj Ops.Drillbook.catalog))
+  in
+  emit_json path json
+
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
     write_bench_json "BENCH_dataplane.json";
     write_faults_json "BENCH_faults.json";
     write_lint_json "BENCH_lint.json";
-    write_shard_json "BENCH_shard.json"
+    write_shard_json "BENCH_shard.json";
+    write_drills_json "BENCH_drills.json"
   end
   else begin
     figures ();

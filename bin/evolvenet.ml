@@ -33,10 +33,56 @@ let params_of ~seed ~transit ~stubs =
     stubs_per_transit = stubs;
   }
 
+(* one line per experiment, for `evolvenet exp list` *)
+let experiment_index =
+  [
+    ("e1", "anycast stretch vs deployment fraction (Option 1)");
+    ("e2", "default-route option: advertisers vs stretch and load");
+    ("e3", "egress strategies compared end to end");
+    ("e4", "egress comparison at sparse deployment");
+    ("e5", "routing-state scaling per domain class");
+    ("e6", "adoption dynamics of successive IP generations");
+    ("e7", "vN-Bone partition robustness (anchoring ablation)");
+    ("e8", "IGP convergence cost after membership changes");
+    ("e9", "host-advertised exit routes vs table growth");
+    ("e10", "member-discovery ablation (LSDB vs anycast walk)");
+    ("e11", "vN-Bone congruence with the physical topology");
+    ("e12", "GIA search-radius sweep");
+    ("e13", "claim stability across topology seeds");
+    ("e14", "proxy-advertising alpha sweep");
+    ("e15", "deployment viability across provider price gaps");
+    ("e16", "revenue gravity of early adopters");
+    ("e17", "BGPvN table scaling with membership");
+    ("e18", "link-state flooding cost and latency");
+    ("e19", "BGP MRAI sweep: churn vs convergence time");
+    ("e20", "anycast resilience to member failures");
+    ("e21", "claim scaling with internet size");
+    ("e22", "FIB size scaling per router class");
+    ("e23", "claims on a preferential-attachment topology");
+    ("e24", "flow stability under deployment churn");
+    ("e25", "coalition strategies for staged deployment");
+    ("e26", "encapsulation byte overhead on the wire");
+    ("e27", "mixed link-state/distance-vector IGPs");
+    ("e28", "BGP path hunting on withdrawal");
+    ("e29", "data-plane cost of the pump vs the oracle");
+    ("e30", "traffic through a control-plane convergence window");
+    ("e31", "protocol convergence under loss and crashes");
+    ("e32", "traffic delivery while links flap, recovery off/on");
+    ("e33", "shard-count invariance of the multicore data plane");
+    ("e34", "incident-drill catalog sweep (recovery SLOs)");
+    ("e35", "hijack containment vs deployment level");
+  ]
+
+let print_experiment_index () =
+  List.iter
+    (fun (id, doc) -> Printf.printf "%-5s %s\n" id doc)
+    experiment_index
+
 let run_exp name seed transit stubs =
   let module E = Evolve.Experiments in
   let params = params_of ~seed ~transit ~stubs in
   match String.lowercase_ascii name with
+  | "list" -> print_experiment_index ()
   | "e1" -> E.print_e1 (E.e1_deployment_sweep ~params ())
   | "e2" -> E.print_e2 (E.e2_default_route_sweep ~params ())
   | "e3" -> E.print_e3 (E.e3_egress_comparison ~params ())
@@ -71,8 +117,13 @@ let run_exp name seed transit stubs =
   | "e31" -> E.print_e31 (E.e31_fault_convergence ~params ())
   | "e32" -> E.print_e32 (E.e32_flap_traffic ~params ())
   | "e33" -> E.print_e33 (E.e33_shard_invariance ~params ())
+  | "e34" -> E.print_e34 (E.e34_drill_catalog ~params ())
+  | "e35" -> E.print_e35 (E.e35_hijack_containment ~params ())
   | other ->
-      usage_error "no such experiment: %s\nusage: evolvenet exp <e1-e33>" other
+      usage_error
+        "no such experiment: %s\nusage: evolvenet exp <e1-e35>; run `evolvenet \
+         exp list` for one-line descriptions"
+        other
 
 let default_seed = Int64.to_int Topology.Internet.default_params.Topology.Internet.seed
 let default_transit = Topology.Internet.default_params.Topology.Internet.transit_domains
@@ -82,7 +133,7 @@ let run_all () =
   List.iter run_fig [ 1; 2; 3; 4 ];
   List.iter
     (fun e -> run_exp e default_seed default_transit default_stubs)
-    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20"; "e21"; "e22"; "e23"; "e24"; "e25"; "e26"; "e27"; "e28"; "e29"; "e30"; "e31"; "e32"; "e33" ]
+    (List.map fst experiment_index)
 
 let run_demo () =
   let module Setup = Evolve.Setup in
@@ -188,6 +239,106 @@ let run_sim strategy_s deploy_s src dst egress_s seed verbose =
         if verbose then Format.printf "%a" (T.pp_journey inet) j
       end)
 
+(* --- incident drills and the looking glass ------------------------- *)
+
+let load_book name file =
+  match (name, file) with
+  | Some _, Some _ -> usage_error "give --name or --file, not both"
+  | Some n, None -> (
+      match Ops.Drillbook.find n with
+      | Some b -> b
+      | None ->
+          usage_error "no such drill: %s (catalog: %s)" n
+            (String.concat ", "
+               (List.map
+                  (fun b -> b.Ops.Drillbook.name)
+                  Ops.Drillbook.catalog)))
+  | None, Some f -> (
+      match Ops.Drillbook.load f with
+      | Ok b -> b
+      | Error e -> usage_error "%s" e)
+  | None, None ->
+      usage_error
+        "give --name <drill> or --file <file>; --list shows the catalog"
+
+let run_drill list_flag name file =
+  if list_flag then
+    List.iter
+      (fun b ->
+        Printf.printf "%-20s %-13s %s\n" b.Ops.Drillbook.name
+          (Ops.Drillbook.kind_label b.Ops.Drillbook.kind)
+          (Printf.sprintf "%d ticks, fault [%g, %g]" b.Ops.Drillbook.ticks
+             b.Ops.Drillbook.fault_at b.Ops.Drillbook.fault_until))
+      Ops.Drillbook.catalog
+  else begin
+    let book = load_book name file in
+    let r = Ops.Drill.complete book in
+    print_string (Ops.Drill.transcript r);
+    let v = Ops.Slo.evaluate r in
+    print_string (Ops.Slo.render book v);
+    (* the exit status is the verdict, so CI can run a drill file
+       end-to-end and assert its SLOs in one line *)
+    if not v.Ops.Slo.pass then exit 1
+  end
+
+let drill_name =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"DRILL" ~doc:"Run the catalog drill $(docv).")
+
+let drill_file =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"FILE"
+        ~doc:"Run the drill described by the s-expression file $(docv).")
+
+let drill_cmd =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the built-in drill catalog.")
+  in
+  Cmd.v
+    (Cmd.info "drill"
+       ~doc:
+         "Replay an incident drill and grade its recovery SLOs (exit 1 on a \
+          missed SLO)")
+    Term.(const run_drill $ list_flag $ drill_name $ drill_file)
+
+let run_glass name file at query_words =
+  let book = load_book name file in
+  match Ops.Glass.parse query_words with
+  | Error e -> usage_error "%s" e
+  | Ok q ->
+      let r = Ops.Drill.prepare book in
+      let time =
+        match at with
+        | Some t -> t
+        | None -> float_of_int book.Ops.Drillbook.ticks +. 1.0
+      in
+      Ops.Drill.run_until r ~time;
+      print_endline (Ops.Glass.render r q)
+
+let glass_cmd =
+  let at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "at" ] ~docv:"T"
+          ~doc:
+            "Advance the drill to engine time $(docv) before answering (default: \
+             the end of the drill).")
+  in
+  let query_words =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY")
+  in
+  Cmd.v
+    (Cmd.info "glass"
+       ~doc:
+         "Looking glass: query a drill's live protocol state (route, rib, \
+          fib, tunnels, sessions, health)")
+    Term.(const run_glass $ drill_name $ drill_file $ at $ query_words)
+
 let sim_cmd =
   let strategy =
     Arg.(value & opt string "option1" & info [ "strategy" ] ~docv:"S"
@@ -232,7 +383,7 @@ let exp_cmd =
     Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
            ~doc:"Stub domains per transit.")
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e33)")
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e35, or `list`)")
     Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
 
 let run_report path =
@@ -273,7 +424,19 @@ let () =
          (SIGCOMM 2005)"
   in
   let code =
-    Cmd.eval (Cmd.group info [ fig_cmd; exp_cmd; all_cmd; demo_cmd; dot_cmd; report_cmd; sim_cmd ])
+    Cmd.eval
+      (Cmd.group info
+         [
+           fig_cmd;
+           exp_cmd;
+           all_cmd;
+           demo_cmd;
+           dot_cmd;
+           report_cmd;
+           sim_cmd;
+           drill_cmd;
+           glass_cmd;
+         ])
   in
   (* malformed flags and unknown subcommands (cmdliner prints the usage
      to stderr) exit 2 like our own operand errors, not 124 *)

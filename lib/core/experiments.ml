@@ -17,6 +17,9 @@ module Pump = Dataplane.Pump
 module Workload = Dataplane.Workload
 module Telemetry = Dataplane.Telemetry
 module Domainpool = Multicore.Domainpool
+module Drillbook = Ops.Drillbook
+module Drill = Ops.Drill
+module Slo = Ops.Slo
 
 let all_endhosts (inet : Internet.t) =
   List.init (Array.length inet.Internet.endhosts) Fun.id
@@ -2495,8 +2498,8 @@ let e32_flap_traffic ?(params = Internet.default_params) ?(deploy_domains = 4)
     let down_t = 2.5 and up_t = 6.5 in
     List.iter
       (fun (a, b, _) ->
-        Simcore.Faults.flap_link faults engine ~a ~b ~down_at:down_t
-          ~up_at:up_t)
+        Simcore.Faults.schedule_flap_train faults engine ~a ~b ~start:down_t
+          ~cycles:1 ~period:(up_t -. down_t) ~down_for:(up_t -. down_t))
       victims;
     (* recovery: on detection, reroute the control plane around the
        down links and let line cards pick the detour up in batches *)
@@ -2707,5 +2710,122 @@ let print_e33 rows =
              Table.fi r.ttl33;
              Table.fi r.crossings33;
              Table.fb r.identical33;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E34                                                                 *)
+
+type e34_row = {
+  drill34 : string;
+  intensity34 : float;
+  detection34 : float option;  (** seconds from onset; [None]: never *)
+  reconverge34 : float option;
+  blackhole34 : float;  (** lost-probe seconds over the drill *)
+  stale34 : float;
+  pass34 : bool;  (** the book's SLO budgets all held *)
+}
+
+let e34_drill_catalog ?params ?(intensities = [ 1.0; 2.0 ]) () =
+  List.concat_map
+    (fun book ->
+      List.map
+        (fun intensity ->
+          let b = Drillbook.with_intensity book intensity in
+          let r = Drill.complete ?params b in
+          let v = Slo.evaluate r in
+          let m = v.Slo.metrics in
+          {
+            drill34 = book.Drillbook.name;
+            intensity34 = intensity;
+            detection34 = m.Slo.detection_s;
+            reconverge34 = m.Slo.reconverge_s;
+            blackhole34 = m.Slo.blackhole_s;
+            stale34 = m.Slo.stale_frac;
+            pass34 = v.Slo.pass;
+          })
+        intensities)
+    Drillbook.catalog
+
+let fopt34 = function None -> "n/a" | Some f -> Table.ff f
+
+let print_e34 rows =
+  Table.print
+    ~title:
+      "E34: incident-drill catalog sweep — recovery metrics per drill and \
+       fault intensity (SLO pass at intensity 1 is asserted in tests)"
+    ~header:
+      [
+        "drill"; "intensity"; "detect s"; "reconverge s"; "blackhole s";
+        "stale"; "slo pass";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.drill34;
+             Table.ff r.intensity34;
+             fopt34 r.detection34;
+             fopt34 r.reconverge34;
+             Table.ff r.blackhole34;
+             Table.ff r.stale34;
+             Table.fb r.pass34;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E35                                                                 *)
+
+type e35_row = {
+  deploy35 : int;  (** deployed domains during the hijack *)
+  hijacked_peak35 : float;  (** worst single-tick delivery-to-rogue *)
+  hijacked_mean35 : float;  (** mean over the fault window *)
+  ok_fault35 : float;  (** mean on-target delivery during the fault *)
+  reconverge35 : float option;
+}
+
+let e35_hijack_containment ?params ?(levels = [ 1; 2; 4; 8 ]) () =
+  List.map
+    (fun lvl ->
+      let b = { Drillbook.prefix_hijack with Drillbook.deploy_domains = lvl } in
+      let r = Drill.complete ?params b in
+      let m = Slo.measure r in
+      let in_window (row : Drill.tick_row) =
+        row.Drill.time >= b.Drillbook.fault_at
+        && row.Drill.time < b.Drillbook.fault_until
+      in
+      let window = List.filter in_window (Drill.rows r) in
+      let mean f =
+        match window with
+        | [] -> 0.0
+        | _ ->
+            List.fold_left (fun acc row -> acc +. f row) 0.0 window
+            /. float_of_int (List.length window)
+      in
+      {
+        deploy35 = lvl;
+        hijacked_peak35 = m.Slo.hijacked_peak;
+        hijacked_mean35 = mean (fun (row : Drill.tick_row) -> row.Drill.hijacked);
+        ok_fault35 = mean (fun (row : Drill.tick_row) -> row.Drill.ok);
+        reconverge35 = m.Slo.reconverge_s;
+      })
+    levels
+
+let print_e35 rows =
+  Table.print
+    ~title:
+      "E35: hijack containment — delivery-to-rogue fraction vs IPvN \
+       deployment level (more members, less traffic the rogue attracts)"
+    ~header:
+      [ "deployed"; "hijack peak"; "hijack mean"; "ok in fault"; "reconverge s" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.deploy35;
+             Table.ff r.hijacked_peak35;
+             Table.ff r.hijacked_mean35;
+             Table.ff r.ok_fault35;
+             fopt34 r.reconverge35;
            ])
          rows)

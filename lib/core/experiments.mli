@@ -738,3 +738,58 @@ val e33_shard_invariance :
   e33_row list
 
 val print_e33 : e33_row list -> unit
+
+(** {1 E34 — incident-drill catalog sweep}
+
+    ROADMAP item 4 made replayable: every {!Ops.Drillbook.catalog}
+    scenario (regional blackout, provider de-peering, prefix hijack,
+    flapping provider) is replayed at increasing fault intensity and
+    graded by {!Ops.Slo} — recovery metrics as data instead of
+    anecdote. At intensity 1 every catalog drill must meet its
+    declared SLO budgets (asserted in the test-suite); higher
+    intensity shows where the §2.2/§3.3 resilience story starts to
+    fray. *)
+
+type e34_row = {
+  drill34 : string;
+  intensity34 : float;
+  detection34 : float option;  (** seconds from onset; [None]: never *)
+  reconverge34 : float option;
+  blackhole34 : float;  (** lost-probe seconds over the drill *)
+  stale34 : float;
+  pass34 : bool;  (** the book's SLO budgets all held *)
+}
+
+val e34_drill_catalog :
+  ?params:Topology.Internet.params ->
+  ?intensities:float list ->
+  unit ->
+  e34_row list
+
+val print_e34 : e34_row list -> unit
+
+(** {1 E35 — hijack containment vs deployment level}
+
+    The flip side of §3.2's Option-1 anycast: any domain can originate
+    the IPvN anycast prefix, including a rogue one. Containment is
+    structural — the more domains deploy (originate), the shorter the
+    honest AS paths and the less traffic the rogue attracts. The
+    prefix-hijack drill is replayed at increasing deployment levels;
+    delivery-to-rogue must fall as deployment grows (asserted on the
+    sweep's endpoints in the test-suite). *)
+
+type e35_row = {
+  deploy35 : int;  (** deployed domains during the hijack *)
+  hijacked_peak35 : float;  (** worst single-tick delivery-to-rogue *)
+  hijacked_mean35 : float;  (** mean over the fault window *)
+  ok_fault35 : float;  (** mean on-target delivery during the fault *)
+  reconverge35 : float option;
+}
+
+val e35_hijack_containment :
+  ?params:Topology.Internet.params ->
+  ?levels:int list ->
+  unit ->
+  e35_row list
+
+val print_e35 : e35_row list -> unit

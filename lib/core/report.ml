@@ -478,7 +478,44 @@ let experiment_section buf =
               Table.fi r.E.crossings33;
               Table.fb r.E.identical33;
             ])
-          (E.e33_shard_invariance ())))
+          (E.e33_shard_invariance ())));
+  let fopt = function None -> "n/a" | Some f -> Table.ff f in
+  add "E34 — incident-drill catalog sweep"
+    (table
+       [
+         "drill";
+         "intensity";
+         "detect s";
+         "reconverge s";
+         "blackhole s";
+         "stale";
+         "slo pass";
+       ]
+       (List.map
+          (fun (r : E.e34_row) ->
+            [
+              r.E.drill34;
+              Table.ff r.E.intensity34;
+              fopt r.E.detection34;
+              fopt r.E.reconverge34;
+              Table.ff r.E.blackhole34;
+              Table.ff r.E.stale34;
+              Table.fb r.E.pass34;
+            ])
+          (E.e34_drill_catalog ())));
+  add "E35 — hijack containment vs deployment level"
+    (table
+       [ "deployed"; "hijack peak"; "hijack mean"; "ok in fault"; "reconverge s" ]
+       (List.map
+          (fun (r : E.e35_row) ->
+            [
+              Table.fi r.E.deploy35;
+              Table.ff r.E.hijacked_peak35;
+              Table.ff r.E.hijacked_mean35;
+              Table.ff r.E.ok_fault35;
+              fopt r.E.reconverge35;
+            ])
+          (E.e35_hijack_containment ())))
 
 let generate () =
   let buf = Buffer.create 16384 in

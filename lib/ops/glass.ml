@@ -1,0 +1,234 @@
+module Internet = Topology.Internet
+module Relationship = Topology.Relationship
+module Bgp = Interdomain.Bgp
+module Forward = Simcore.Forward
+module Faults = Simcore.Faults
+module Bgpdyn = Simcore.Bgpdyn
+module Lsproto = Simcore.Lsproto
+module Fib = Simcore.Fib
+module Service = Anycast.Service
+module Fabric = Vnbone.Fabric
+module Pump = Dataplane.Pump
+module Telemetry = Dataplane.Telemetry
+module Prefix = Netcore.Prefix
+module Ipv4 = Netcore.Ipv4
+module Lpm = Netcore.Lpm
+
+type query =
+  | Route of { domain : int; addr : Ipv4.t }
+  | Rib of { domain : int }
+  | Fib_table of { router : int }
+  | Tunnels
+  | Sessions of { domain : int }
+  | Health
+
+let usage =
+  "glass queries: route <domain> <addr> | rib <domain> | fib <router> | \
+   tunnels | sessions <domain> | health"
+
+let parse args =
+  let int_arg what s =
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "glass: %s must be an integer, got %S" what s)
+  in
+  match args with
+  | [ "route"; d; a ] -> (
+      match (int_arg "domain" d, Ipv4.of_string_opt a) with
+      | Error e, _ -> Error e
+      | Ok _, None -> Error (Printf.sprintf "glass: bad address %S" a)
+      | Ok domain, Some addr -> Ok (Route { domain; addr }))
+  | [ "rib"; d ] -> Result.map (fun domain -> Rib { domain }) (int_arg "domain" d)
+  | [ "fib"; rr ] ->
+      Result.map (fun router -> Fib_table { router }) (int_arg "router" rr)
+  | [ "tunnels" ] -> Ok Tunnels
+  | [ "sessions"; d ] ->
+      Result.map (fun domain -> Sessions { domain }) (int_arg "domain" d)
+  | [ "health" ] -> Ok Health
+  | _ -> Error usage
+
+let path_to_string = function
+  | None -> "(none)"
+  | Some p -> String.concat " " (List.map string_of_int p)
+
+let check_domain r d =
+  if d < 0 || d >= Internet.num_domains (Drill.internet r) then
+    Error (Printf.sprintf "glass: no such domain %d" d)
+  else Ok ()
+
+let check_router r rr =
+  if rr < 0 || rr >= Internet.num_routers (Drill.internet r) then
+    Error (Printf.sprintf "glass: no such router %d" rr)
+  else Ok ()
+
+(* every query answer leads with the sim time, so captures from
+   different [--at] points are self-describing *)
+let header r what = Printf.sprintf "glass %s (t=%.2f)" what (Drill.now r)
+
+let route_lines r ~domain ~addr =
+  let env = Drill.env r in
+  match Bgp.lookup env.Forward.bgp ~domain addr with
+  | None ->
+      [
+        header r (Printf.sprintf "route %s at domain %d" (Ipv4.to_string addr) domain);
+        "  no route";
+      ]
+  | Some rt ->
+      let live = Bgpdyn.best_path (Drill.bgpdyn r) ~domain rt.Bgp.prefix in
+      [
+        header r (Printf.sprintf "route %s at domain %d" (Ipv4.to_string addr) domain);
+        Printf.sprintf "  rib:  %s via as-path %s"
+          (Prefix.to_string rt.Bgp.prefix)
+          (path_to_string (Some rt.Bgp.as_path));
+        Printf.sprintf "  live: as-path %s"
+          (path_to_string live);
+      ]
+
+let rib_lines r ~domain =
+  let inet = Drill.internet r in
+  let grp = Drill.group r in
+  let prefixes =
+    (grp, true)
+    :: (Array.to_list inet.Internet.domains
+       |> List.map (fun d -> (d.Internet.prefix, false)))
+    |> List.sort (fun (p1, _) (p2, _) -> Prefix.compare p1 p2)
+  in
+  header r (Printf.sprintf "rib at domain %d, %d prefixes" domain (List.length prefixes))
+  :: List.map
+       (fun (p, is_group) ->
+         let env = Drill.env r in
+         let rib_path =
+           Option.map (fun rt -> rt.Bgp.as_path)
+             (Bgp.route_to env.Forward.bgp ~domain p)
+         in
+         let live = Bgpdyn.best_path (Drill.bgpdyn r) ~domain p in
+         Printf.sprintf "  %-18s%s via %s | live %s" (Prefix.to_string p)
+           (if is_group then " [anycast]" else "")
+           (path_to_string rib_path) (path_to_string live))
+       prefixes
+
+let fib_lines r ~router =
+  let f = Drill.fib r in
+  let entries =
+    Lpm.bindings (Fib.table f ~router)
+    |> List.sort (fun (p1, _) (p2, _) -> Prefix.compare p1 p2)
+  in
+  let action_to_string = function
+    | Fib.Local -> "local"
+    | Fib.Attached h -> Printf.sprintf "endhost %d" h
+    | Fib.Next_hop n -> Printf.sprintf "next-hop %d" n
+  in
+  header r (Printf.sprintf "fib at router %d, %d entries" router (List.length entries))
+  :: List.map
+       (fun (p, a) ->
+         Printf.sprintf "  %-18s -> %s" (Prefix.to_string p)
+           (action_to_string a))
+       entries
+
+let tunnel_kind = function
+  | `Intra -> "intra"
+  | `Inter_policy -> "inter-policy"
+  | `Inter_bootstrap -> "bootstrap"
+  | `Manual -> "manual"
+
+let tunnels_lines r =
+  let alive = Faults.node_up (Drill.link_faults r) in
+  let ts =
+    Fabric.tunnels (Drill.fabric r)
+    |> List.sort (fun a b ->
+           match Int.compare a.Fabric.from_router b.Fabric.from_router with
+           | 0 -> Int.compare a.Fabric.to_router b.Fabric.to_router
+           | c -> c)
+  in
+  let up, down =
+    List.partition
+      (fun t -> alive t.Fabric.from_router && alive t.Fabric.to_router)
+      ts
+  in
+  header r
+    (Printf.sprintf "tunnels, %d up / %d down" (List.length up)
+       (List.length down))
+  :: List.map
+       (fun t ->
+         Printf.sprintf "  r%d <-> r%d  %-12s metric %.2f  %s"
+           t.Fabric.from_router t.Fabric.to_router
+           (tunnel_kind t.Fabric.kind) t.Fabric.underlay_metric
+           (if alive t.Fabric.from_router && alive t.Fabric.to_router then
+              "up"
+            else "down"))
+       ts
+
+let sessions_lines r ~domain =
+  let inet = Drill.internet r in
+  let sf = Drill.session_faults r in
+  let neighbors =
+    Internet.neighbor_domains inet domain
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  header r (Printf.sprintf "sessions at domain %d" domain)
+  :: List.map
+       (fun (n, rel) ->
+         let state =
+           if not (Faults.node_up sf n) then "peer down"
+           else if not (Faults.link_up sf domain n) then "torn down"
+           else "established"
+         in
+         Printf.sprintf "  neighbor %-4d (%s)  %s" n
+           (Relationship.to_string rel) state)
+       neighbors
+
+let stats_line tag (s : Faults.stats) =
+  Printf.sprintf
+    "  %s: sent=%d delivered=%d lost=%d cut=%d dead=%d dup=%d reordered=%d"
+    tag s.Faults.sent s.Faults.delivered s.Faults.lost s.Faults.cut
+    s.Faults.dead s.Faults.duplicated s.Faults.reordered
+
+let health_lines r =
+  let b = Drill.book r in
+  let bs = Bgpdyn.stats (Drill.bgpdyn r) in
+  let tel = Telemetry.total (Pump.telemetry (Drill.pump r)) in
+  header r
+    (Printf.sprintf "health, drill %s phase=%s" b.Drillbook.name
+       (Drill.phase r))
+  :: (match Drill.detected_at r with
+     | Some t -> Printf.sprintf "  detected: t=%.2f" t
+     | None -> "  detected: no")
+  :: stats_line "session fabric" (Faults.stats (Drill.session_faults r))
+  :: stats_line "link fabric" (Faults.stats (Drill.link_faults r))
+  :: Printf.sprintf "  bgp: updates=%d keepalives=%d resets=%d" bs.Bgpdyn.updates
+       bs.Bgpdyn.keepalives bs.Bgpdyn.resets
+  :: Printf.sprintf "  vn-bone: connected=%b tunnels=%d"
+       (Fabric.is_connected (Drill.fabric r))
+       (List.length (Fabric.tunnels (Drill.fabric r)))
+  :: Printf.sprintf "  traffic: packets=%d delivered=%d dropped=%d ttl=%d"
+       tel.Telemetry.packets tel.Telemetry.delivered tel.Telemetry.dropped
+       tel.Telemetry.ttl_expired
+  :: List.map
+       (fun (d, ls) ->
+         Printf.sprintf "  lsdb domain %d: synchronized=%b" d
+           (Lsproto.lsdb_synchronized ls))
+       (Drill.lsprotos r)
+
+let render r q =
+  let lines =
+    match q with
+    | Route { domain; addr } -> (
+        match check_domain r domain with
+        | Error e -> [ e ]
+        | Ok () -> route_lines r ~domain ~addr)
+    | Rib { domain } -> (
+        match check_domain r domain with
+        | Error e -> [ e ]
+        | Ok () -> rib_lines r ~domain)
+    | Fib_table { router } -> (
+        match check_router r router with
+        | Error e -> [ e ]
+        | Ok () -> fib_lines r ~router)
+    | Tunnels -> tunnels_lines r
+    | Sessions { domain } -> (
+        match check_domain r domain with
+        | Error e -> [ e ]
+        | Ok () -> sessions_lines r ~domain)
+    | Health -> health_lines r
+  in
+  String.concat "\n" lines

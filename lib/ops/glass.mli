@@ -1,0 +1,45 @@
+(** The looking glass: operator queries over a drill's live state.
+
+    Real deployments are debugged through looking-glass servers; this
+    is the drill subsystem's equivalent, answering the questions an
+    operator asks mid-incident — what route does domain D hold for
+    this address, is the vN-Bone still in one piece ("easily detected
+    and repaired", §3.3), which BGP sessions are torn down, how much
+    traffic is blackholed — against the live protocol state of a
+    {!Drill.run} at its current engine time ([evolvenet glass --at]
+    advances the run first).
+
+    Output stability contract: for a fixed drill book, params and
+    engine time, every query renders byte-identical text across runs
+    (all iteration is over sorted ids). Scripts may depend on the
+    field layout; new lines may be appended in later revisions, but
+    existing lines do not move or change format (DESIGN.md §12.3). *)
+
+type query =
+  | Route of { domain : int; addr : Netcore.Ipv4.t }
+      (** the domain's chosen route covering an address: converged RIB
+          view plus the live {!Simcore.Bgpdyn} session view *)
+  | Rib of { domain : int }
+      (** the domain's routes for the anycast group and every domain
+          /16 *)
+  | Fib_table of { router : int }
+      (** the router's compiled forwarding table ({!Drill.fib}) *)
+  | Tunnels  (** every vN-Bone tunnel with provenance and liveness *)
+  | Sessions of { domain : int }
+      (** the domain's BGP sessions with relationship and state *)
+  | Health
+      (** one-page incident summary: phase, detection, fabric and
+          session statistics, vN-Bone connectivity, LSDB sync, traffic
+          counters *)
+
+val parse : string list -> (query, string) result
+(** Parse CLI words ([route 3 10.4.0.9], [rib 3], [fib 12], [tunnels],
+    [sessions 3], [health]); [Error] carries the usage line. *)
+
+val usage : string
+
+val render : Drill.run -> query -> string
+(** Answer the query against the run's current state, as stable
+    multi-line text (see the stability contract above). Out-of-range
+    domain or router ids render as a one-line error rather than
+    raising. *)

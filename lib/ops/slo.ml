@@ -1,0 +1,131 @@
+type metrics = {
+  detection_s : float option;
+  reconverge_s : float option;
+  blackhole_s : float;
+  stale_frac : float;
+  hijacked_peak : float;
+}
+
+type verdict = { metrics : metrics; pass : bool; failures : string list }
+
+let tick_interval = 1.0
+
+let measure r =
+  let b = Drill.book r in
+  let rows = Drill.rows r in
+  let fault_at = b.Drillbook.fault_at in
+  let detection_s =
+    Option.map (fun t -> t -. fault_at) (Drill.detected_at r)
+  in
+  (* pre-fault delivery level: the last steady tick *)
+  let steady_ok =
+    List.fold_left
+      (fun acc (row : Drill.tick_row) ->
+        if row.Drill.time < fault_at then row.Drill.ok else acc)
+      1.0 rows
+  in
+  (* first post-onset tick after which delivery never again drops
+     below the steady level *)
+  let reconverge_s =
+    let rec scan = function
+      | [] -> None
+      | (row : Drill.tick_row) :: rest ->
+          if
+            row.Drill.time >= fault_at
+            && row.Drill.ok >= steady_ok -. 1e-9
+            && List.for_all
+                 (fun (r' : Drill.tick_row) ->
+                   r'.Drill.ok >= steady_ok -. 1e-9)
+                 rest
+          then Some (row.Drill.time -. fault_at)
+          else scan rest
+    in
+    scan rows
+  in
+  let blackhole_s =
+    List.fold_left
+      (fun acc (row : Drill.tick_row) ->
+        acc +. (row.Drill.lost *. tick_interval))
+      0.0 rows
+  in
+  let stale_frac =
+    match rows with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left
+          (fun acc (row : Drill.tick_row) -> acc +. row.Drill.stale)
+          0.0 rows
+        /. float_of_int (List.length rows)
+  in
+  let hijacked_peak =
+    List.fold_left
+      (fun acc (row : Drill.tick_row) -> Float.max acc row.Drill.hijacked)
+      0.0 rows
+  in
+  { detection_s; reconverge_s; blackhole_s; stale_frac; hijacked_peak }
+
+let evaluate r =
+  let b = Drill.book r in
+  let s = b.Drillbook.slo in
+  let m = measure r in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt in
+  (match m.detection_s with
+  | None -> fail "incident never detected (budget %.2fs)" s.Drillbook.max_detection
+  | Some d ->
+      if d > s.Drillbook.max_detection then
+        fail "detection %.2fs over budget %.2fs" d s.Drillbook.max_detection);
+  (match m.reconverge_s with
+  | None -> fail "never reconverged (budget %.2fs)" s.Drillbook.max_reconverge
+  | Some d ->
+      if d > s.Drillbook.max_reconverge then
+        fail "reconvergence %.2fs over budget %.2fs" d
+          s.Drillbook.max_reconverge);
+  if m.blackhole_s > s.Drillbook.max_blackhole then
+    fail "blackhole %.2fs over budget %.2fs" m.blackhole_s
+      s.Drillbook.max_blackhole;
+  if m.stale_frac > s.Drillbook.max_stale then
+    fail "stale fraction %.3f over budget %.3f" m.stale_frac
+      s.Drillbook.max_stale;
+  if m.hijacked_peak > s.Drillbook.max_hijacked then
+    fail "hijacked peak %.3f over budget %.3f" m.hijacked_peak
+      s.Drillbook.max_hijacked;
+  let failures = List.rev !failures in
+  { metrics = m; pass = (match failures with [] -> true | _ -> false); failures }
+
+let fopt = function None -> "n/a" | Some f -> Printf.sprintf "%.2fs" f
+
+let render b v =
+  let s = b.Drillbook.slo in
+  let m = v.metrics in
+  let line name value budget ok =
+    Printf.sprintf "  %-13s %-8s (budget %-8s) %s" name value budget
+      (if ok then "ok" else "MISS")
+  in
+  let bud f = Printf.sprintf "%.2fs" f in
+  let within opt budget =
+    match opt with None -> false | Some d -> d <= budget
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "SLO verdict for %s: %s" b.Drillbook.name
+        (if v.pass then "PASS" else "FAIL");
+      line "detection" (fopt m.detection_s)
+        (bud s.Drillbook.max_detection)
+        (within m.detection_s s.Drillbook.max_detection);
+      line "reconvergence" (fopt m.reconverge_s)
+        (bud s.Drillbook.max_reconverge)
+        (within m.reconverge_s s.Drillbook.max_reconverge);
+      line "blackhole"
+        (Printf.sprintf "%.2fs" m.blackhole_s)
+        (bud s.Drillbook.max_blackhole)
+        (m.blackhole_s <= s.Drillbook.max_blackhole);
+      line "stale"
+        (Printf.sprintf "%.3f" m.stale_frac)
+        (Printf.sprintf "%.3f" s.Drillbook.max_stale)
+        (m.stale_frac <= s.Drillbook.max_stale);
+      line "hijacked"
+        (Printf.sprintf "%.3f" m.hijacked_peak)
+        (Printf.sprintf "%.3f" s.Drillbook.max_hijacked)
+        (m.hijacked_peak <= s.Drillbook.max_hijacked);
+    ]

@@ -20,6 +20,7 @@ type stats = {
   cut : int;
   dead : int;
   duplicated : int;
+  reordered : int;
 }
 
 type outcome = Sent | Lost | Cut | Dead
@@ -39,6 +40,7 @@ type t = {
   mutable cut : int;
   mutable dead : int;
   mutable duplicated : int;
+  mutable reordered : int;
 }
 
 let create ?(policy = fun ~src:_ ~dst:_ -> reliable) ?(fifo = false) seed =
@@ -57,6 +59,7 @@ let create ?(policy = fun ~src:_ ~dst:_ -> reliable) ?(fifo = false) seed =
     cut = 0;
     dead = 0;
     duplicated = 0;
+    reordered = 0;
   }
 
 let set_policy t policy = t.policy <- policy
@@ -69,6 +72,7 @@ let stats t =
     cut = t.cut;
     dead = t.dead;
     duplicated = t.duplicated;
+    reordered = t.reordered;
   }
 
 (* links are undirected: one switch covers both directions *)
@@ -105,6 +109,15 @@ let flap_link t engine ~a ~b ~down_at ~up_at =
   Engine.schedule_at engine ~time:down_at (fun _ -> set_link_down t a b);
   Engine.schedule_at engine ~time:up_at (fun _ -> set_link_up t a b)
 
+let schedule_flap_train t engine ~a ~b ~start ~cycles ~period ~down_for =
+  if cycles <= 0 then invalid_arg "Faults.schedule_flap_train: cycles <= 0";
+  if down_for <= 0.0 || down_for > period then
+    invalid_arg "Faults.schedule_flap_train: down_for outside (0, period]";
+  for i = 0 to cycles - 1 do
+    let down_at = start +. (float_of_int i *. period) in
+    flap_link t engine ~a ~b ~down_at ~up_at:(down_at +. down_for)
+  done
+
 (* One transmission attempt: all randomness drawn now (send time), so
    the outcome of a message never depends on what else is in flight.
    Returns false when the loss draw kills the attempt. *)
@@ -126,9 +139,18 @@ let attempt t engine ~src ~dst ~delay ~(p : policy) action =
         match Hashtbl.find_opt t.last_delivery (src, dst) with
         | Some last when last > at -> last
         | _ -> at
-      else at
+      else begin
+        (* datagram channel: a delivery landing strictly before one
+           already on the wire is an observable reordering *)
+        (match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | Some last when last > at -> t.reordered <- t.reordered + 1
+        | _ -> ());
+        at
+      end
     in
-    if t.fifo then Hashtbl.replace t.last_delivery (src, dst) at;
+    (match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | Some last when last > at -> ()
+    | _ -> Hashtbl.replace t.last_delivery (src, dst) at);
     Engine.schedule_at engine ~time:at (fun engine ->
         (* a receiver that crashed while the message was in flight
            cannot process it *)

@@ -86,6 +86,24 @@ val flap_link : t -> Engine.t -> a:int -> b:int -> down_at:float -> up_at:float 
 (** Script one down/up cycle at absolute engine times.
     @raise Invalid_argument when [up_at < down_at]. *)
 
+val schedule_flap_train :
+  t ->
+  Engine.t ->
+  a:int ->
+  b:int ->
+  start:float ->
+  cycles:int ->
+  period:float ->
+  down_for:float ->
+  unit
+(** Script [cycles] down/up cycles: the link goes down at
+    [start + i * period] and comes back [down_for] later, for
+    [i = 0 .. cycles - 1] — the flapping-interface pattern the
+    incident drills (E32, the flapping-provider drill) replay.
+    [flap_link] is the one-cycle special case.
+    @raise Invalid_argument when [cycles <= 0] or [down_for] is
+    outside [(0, period]]. *)
+
 (** {2 Crashes} *)
 
 val node_up : t -> int -> bool
@@ -119,6 +137,11 @@ type stats = {
   cut : int;  (** dropped because the link was down at send time *)
   dead : int;  (** dropped because an endpoint was down *)
   duplicated : int;
+  reordered : int;
+      (** deliveries scheduled to land strictly before a message
+          already on the same directed channel — the jitter-induced
+          overtakings a [~fifo:true] channel clamps away (always 0
+          there; the test-suite holds it to that by property) *)
 }
 
 val stats : t -> stats

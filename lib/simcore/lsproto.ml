@@ -279,6 +279,25 @@ let link_failed t engine a b =
   originate t engine a;
   originate t engine b
 
+let link_restored t engine a b =
+  if not (in_domain t a && in_domain t b) then
+    invalid_arg "Lsproto.link_restored: router not in domain";
+  (* re-derive each endpoint's adjacency list from the (repaired)
+     graph so neighbor order stays canonical across fail/restore *)
+  let refresh rid =
+    let li = local_index t rid in
+    t.neighbors.(li) <-
+      Graph.neighbors t.inet.Internet.graph rid
+      |> List.filter_map (fun (nb, _) ->
+             if (Internet.router t.inet nb).Internet.rdomain = t.dom then
+               Some nb
+             else None)
+  in
+  refresh a;
+  refresh b;
+  originate t engine a;
+  originate t engine b
+
 let lsa_equal a b =
   a.origin = b.origin && a.seq = b.seq
   && List.equal

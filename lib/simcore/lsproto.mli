@@ -62,6 +62,15 @@ val link_failed : t -> Engine.t -> int -> int -> unit
     soon as either flooded LSA omits it.
     @raise Invalid_argument when either router is outside the domain. *)
 
+val link_restored : t -> Engine.t -> int -> int -> unit
+(** The inverse of {!link_failed}: call {e after} re-adding the edge
+    to the underlying graph ({!Topology.Graph.add_edge}). Both
+    endpoints re-form the adjacency and re-originate their LSAs — the
+    interface-up event an incident drill's restore phase needs so the
+    LSDB view heals along with the topology (§3.3: partitions are
+    "easily detected and repaired").
+    @raise Invalid_argument when either router is outside the domain. *)
+
 val lsdb_synchronized : t -> bool
 (** Whether all routers currently hold identical LSDBs. *)
 

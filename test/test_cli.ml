@@ -24,6 +24,20 @@ let run args =
   Sys.remove err;
   (code, msg)
 
+(* run the binary with [args], capturing (exit code, stdout) *)
+let run_out args =
+  let out = Filename.temp_file "evolvenet_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2> /dev/null" (Filename.quote binary) args
+         (Filename.quote out))
+  in
+  let ic = open_in out in
+  let msg = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, msg)
+
 let contains haystack needle =
   let h = String.lowercase_ascii haystack
   and n = String.lowercase_ascii needle in
@@ -39,7 +53,19 @@ let test_unknown_experiment () =
   let code, msg = run "exp e999" in
   check Alcotest.int "exit code" 2 code;
   check Alcotest.bool "names the experiment" true (contains msg "e999");
-  check Alcotest.bool "points at usage" true (contains msg "usage")
+  check Alcotest.bool "points at usage" true (contains msg "usage");
+  check Alcotest.bool "suggests the index" true (contains msg "exp list")
+
+let test_exp_list () =
+  (* `exp list` is the discoverable index: every experiment id with a
+     one-line description, exit 0 *)
+  let code, out = run_out "exp list" in
+  check Alcotest.int "exit code" 0 code;
+  List.iter
+    (fun e ->
+      check Alcotest.bool (e ^ " listed") true (contains out (e ^ " ")))
+    [ "e1"; "e33"; "e34"; "e35" ];
+  check Alcotest.bool "describes the drill sweep" true (contains out "drill")
 
 let test_unknown_figure () =
   let code, msg = run "fig 99" in
@@ -60,6 +86,39 @@ let test_unknown_flag () =
 let test_help_exits_zero () =
   let code, _ = run "--help > /dev/null" in
   check Alcotest.int "exit code" 0 code
+
+(* --- drill and glass subcommands ------------------------------------ *)
+
+let test_drill_unknown_name () =
+  let code, msg = run "drill --name no-such-drill" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the drill" true (contains msg "no-such-drill");
+  check Alcotest.bool "lists the catalog" true (contains msg "regional-blackout")
+
+let test_drill_requires_a_book () =
+  let code, msg = run "drill" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "stderr not empty" true (String.length msg > 0)
+
+let test_glass_bad_query () =
+  let code, msg = run "glass --name regional-blackout no-such-query" in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "stderr not empty" true (String.length msg > 0)
+
+let drill_file =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".."
+       (Filename.concat "examples"
+          (Filename.concat "drills" "prefix-hijack.drill")))
+
+let test_drill_from_file_end_to_end () =
+  (* the file loader is the operator-facing path: run a whole drill
+     from an examples/ book, SLO verdict green, exit 0 *)
+  let code, out = run_out (Printf.sprintf "drill --file %s" (Filename.quote drill_file)) in
+  check Alcotest.int "exit code" 0 code;
+  check Alcotest.bool "prints the verdict" true (contains out "pass");
+  check Alcotest.bool "prints the transcript" true (contains out "hijack")
 
 (* --- the evolvelint binary honours the same contract ---------------- *)
 
@@ -250,6 +309,30 @@ let test_bench_shard_schema () =
       | None -> Alcotest.failf "missing key %S" key)
     [ "baseline_pump_pps"; "pps_domains_1"; "pps_domains_4" ]
 
+let test_bench_drills_schema () =
+  let body = read_bench "BENCH_drills.json" in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " present") true (contains body ("\"" ^ n ^ "\"")))
+    [ "regional-blackout"; "provider-depeer"; "prefix-hijack"; "flapping-provider" ];
+  (* the committed artifact doubles as a regression gate: every
+     catalog drill must be green in it *)
+  check Alcotest.bool "drills pass" true (contains body "\"pass\": true");
+  check Alcotest.bool "no drill fails" false (contains body "\"pass\": false");
+  check Alcotest.bool "has recovery trajectories" true
+    (contains body "ok_trajectory");
+  check Alcotest.bool "has blackhole trajectories" true
+    (contains body "blackhole_cumulative_s");
+  List.iter
+    (fun key ->
+      match field body key with
+      | None -> Alcotest.failf "missing key %S" key
+      | Some v -> (
+          match float_of_string_opt v with
+          | Some f when Float.is_finite f && f >= 0.0 -> ()
+          | _ -> Alcotest.failf "%S is not a finite number (%S)" key v))
+    [ "blackhole_s"; "stale_frac"; "hijacked_peak" ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -262,6 +345,17 @@ let () =
             test_malformed_flag_value;
           Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
           Alcotest.test_case "help exits 0" `Quick test_help_exits_zero;
+          Alcotest.test_case "exp list" `Quick test_exp_list;
+        ] );
+      ( "drill",
+        [
+          Alcotest.test_case "unknown name exits 2" `Quick
+            test_drill_unknown_name;
+          Alcotest.test_case "requires a book" `Quick test_drill_requires_a_book;
+          Alcotest.test_case "glass bad query exits 2" `Quick
+            test_glass_bad_query;
+          Alcotest.test_case "file loader end to end" `Slow
+            test_drill_from_file_end_to_end;
         ] );
       ( "lint",
         [
@@ -283,5 +377,7 @@ let () =
           Alcotest.test_case "BENCH_lint schema" `Slow test_bench_lint_schema;
           Alcotest.test_case "BENCH_shard schema" `Slow
             test_bench_shard_schema;
+          Alcotest.test_case "BENCH_drills schema" `Slow
+            test_bench_drills_schema;
         ] );
     ]

@@ -825,6 +825,76 @@ let test_e33_deterministic () =
     Alcotest.(list string)
     "e33 rows identical across runs" (run ()) (run ())
 
+(* --- E34 ------------------------------------------------------------ *)
+
+let e34 = lazy (E.e34_drill_catalog ~params:small_params ())
+
+let test_e34_catalog_passes () =
+  let rows = Lazy.force e34 in
+  (* two intensities per catalog drill *)
+  check Alcotest.int "one row per drill x intensity" 8 (List.length rows);
+  List.iter
+    (fun (r : E.e34_row) ->
+      if r.E.intensity34 <= 1.0 +. 1e-9 then
+        check Alcotest.bool
+          (Printf.sprintf "%s passes its SLOs at intensity 1" r.E.drill34)
+          true r.E.pass34;
+      (match r.E.detection34 with
+      | Some d ->
+          check Alcotest.bool
+            (Printf.sprintf "%s detection non-negative" r.E.drill34)
+            true (d >= 0.0)
+      | None ->
+          Alcotest.failf "%s: no detection at intensity %.2f" r.E.drill34
+            r.E.intensity34);
+      check Alcotest.bool
+        (Printf.sprintf "%s blackhole non-negative" r.E.drill34)
+        true
+        (r.E.blackhole34 >= 0.0))
+    rows
+
+let test_e34_deterministic () =
+  let row_str (r : E.e34_row) =
+    Printf.sprintf "%s %.2f %s %s %.4f %.4f %b" r.E.drill34 r.E.intensity34
+      (match r.E.detection34 with None -> "n/a" | Some f -> Printf.sprintf "%.4f" f)
+      (match r.E.reconverge34 with None -> "n/a" | Some f -> Printf.sprintf "%.4f" f)
+      r.E.blackhole34 r.E.stale34 r.E.pass34
+  in
+  let run () =
+    List.map row_str (E.e34_drill_catalog ~params:small_params ())
+  in
+  check
+    Alcotest.(list string)
+    "e34 rows identical across runs" (run ()) (run ())
+
+(* --- E35 ------------------------------------------------------------ *)
+
+let e35 = lazy (E.e35_hijack_containment ~params:small_params ())
+
+let test_e35_containment_improves_with_deployment () =
+  let rows = Lazy.force e35 in
+  check Alcotest.int "one row per level" 4 (List.length rows);
+  let rec non_increasing = function
+    | (a : E.e35_row) :: (b :: _ as rest) ->
+        a.E.hijacked_peak35 >= b.E.hijacked_peak35 -. 1e-9
+        && non_increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "hijacked peak non-increasing in deployment" true
+    (non_increasing rows);
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  check Alcotest.bool "denser deployment contains the rogue" true
+    (last.E.hijacked_peak35 <= first.E.hijacked_peak35);
+  check Alcotest.bool "delivery during the fault improves" true
+    (last.E.ok_fault35 >= first.E.ok_fault35);
+  List.iter
+    (fun (r : E.e35_row) ->
+      check Alcotest.bool "fractions in range" true
+        (r.E.hijacked_peak35 >= 0.0
+        && r.E.hijacked_peak35 <= 1.0
+        && r.E.hijacked_mean35 <= r.E.hijacked_peak35 +. 1e-9))
+    rows
+
 let () =
   Alcotest.run "experiments"
     [
@@ -998,5 +1068,17 @@ let () =
             test_e33_shard_invariance;
           Alcotest.test_case "same seed, same rows" `Quick
             test_e33_deterministic;
+        ] );
+      ( "e34",
+        [
+          Alcotest.test_case "catalog passes at intensity 1" `Slow
+            test_e34_catalog_passes;
+          Alcotest.test_case "same seed, same rows" `Slow
+            test_e34_deterministic;
+        ] );
+      ( "e35",
+        [
+          Alcotest.test_case "containment improves with deployment" `Slow
+            test_e35_containment_improves_with_deployment;
         ] );
     ]

@@ -745,6 +745,128 @@ let test_faults_fifo_channel () =
     (List.init 20 (fun i -> i + 1))
     (List.rev !log)
 
+let test_fifo_never_reorders_prop =
+  (* the property behind the drill subsystem's session fabric: however
+     the seed, the jitter draws and the send pattern fall, a [~fifo]
+     directed channel delivers in send order and counts zero
+     reorderings *)
+  QCheck.Test.make ~name:"fifo channels never reorder under jitter" ~count:60
+    QCheck.(
+      pair (int_bound 10000)
+        (list_of_size (Gen.int_range 2 50) (pair (int_bound 2) (int_bound 100))))
+    (fun (seed, sends) ->
+      let f =
+        Faults.create
+          ~policy:(flaky ~jitter:5.0 0.0)
+          ~fifo:true
+          (Int64.of_int (seed + 1))
+      in
+      let e = Engine.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i (src, d) ->
+          let delay = 0.01 +. (float_of_int d /. 50.0) in
+          ignore
+            (Faults.send f e ~src ~dst:9 ~delay (fun _ ->
+                 log := (src, i) :: !log)))
+        sends;
+      ignore (Engine.run e);
+      (* per directed channel, send sequence numbers must ascend *)
+      let last_seen = Hashtbl.create 4 in
+      let in_order =
+        List.for_all
+          (fun (src, i) ->
+            let prev =
+              Option.value (Hashtbl.find_opt last_seen src) ~default:(-1)
+            in
+            Hashtbl.replace last_seen src i;
+            prev < i)
+          (List.rev !log)
+      in
+      in_order && (Faults.stats f).Faults.reordered = 0)
+
+let test_faults_reordered_counter () =
+  (* the same jitter on a datagram channel must overtake, and the
+     fabric must count each overtaking it schedules *)
+  let f = Faults.create ~policy:(flaky ~jitter:5.0 0.0) 7L in
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 40 do
+    ignore
+      (Faults.send f e ~src:0 ~dst:1 ~delay:0.01 (fun _ -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  let s = Faults.stats f in
+  check Alcotest.bool "jitter reorders without fifo" true (s.Faults.reordered > 0);
+  check Alcotest.bool "the log shows the overtakings" false
+    (List.equal Int.equal (List.init 40 (fun i -> i + 1)) (List.rev !log));
+  check Alcotest.int "every send still lands" 40 s.Faults.delivered
+
+let test_faults_crash_at_delivery_instant () =
+  (* verdicts are decided at send time: a message dispatched to a live
+     receiver reports Sent even when the receiver crashes at exactly
+     the scheduled delivery instant — the crash event, scheduled
+     first, wins the tie and the handoff lands dead, not delivered *)
+  let f = Faults.create 31L in
+  let e = Engine.create () in
+  Faults.schedule_outage f e ~node:5 ~at:2.0 ~duration:1.0;
+  let got = ref 0 in
+  let verdict = ref Faults.Lost in
+  Engine.schedule_at e ~time:1.0 (fun e ->
+      verdict := Faults.send f e ~src:0 ~dst:5 ~delay:1.0 (fun _ -> incr got));
+  (* and one sent after the restart, which must go through *)
+  Engine.schedule_at e ~time:3.5 (fun e ->
+      ignore (Faults.send f e ~src:0 ~dst:5 ~delay:0.1 (fun _ -> incr got)));
+  ignore (Engine.run e);
+  (match !verdict with
+  | Faults.Sent -> ()
+  | _ -> Alcotest.fail "send to a live receiver is verdict Sent");
+  let s = Faults.stats f in
+  check Alcotest.int "crashed receiver processes nothing at the instant" 1 !got;
+  check Alcotest.int "the in-flight handoff lands dead" 1 s.Faults.dead;
+  check Alcotest.int "only the post-restart send delivers" 1 s.Faults.delivered
+
+let outcome_str = function
+  | Faults.Sent -> "sent"
+  | Faults.Lost -> "lost"
+  | Faults.Cut -> "cut"
+  | Faults.Dead -> "dead"
+
+let test_faults_flap_train () =
+  (* one call scripts the whole train: down at start + i*period, up
+     down_for later — what E32 and the flapping-provider drill ride *)
+  let f = Faults.create 17L in
+  let e = Engine.create () in
+  Faults.schedule_flap_train f e ~a:2 ~b:3 ~start:1.0 ~cycles:3 ~period:2.0
+    ~down_for:1.0;
+  let verdicts = ref [] in
+  List.iter
+    (fun t ->
+      Engine.schedule_at e ~time:t (fun e ->
+          let v = Faults.send f e ~src:2 ~dst:3 ~delay:0.01 (fun _ -> ()) in
+          verdicts := outcome_str v :: !verdicts))
+    [ 0.5; 1.5; 2.5; 3.5; 4.5; 5.5; 6.5 ];
+  ignore (Engine.run e);
+  check
+    Alcotest.(list string)
+    "probes alternate with the train"
+    [ "sent"; "cut"; "sent"; "cut"; "sent"; "cut"; "sent" ]
+    (List.rev !verdicts);
+  let invalid g =
+    match g () with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () ->
+      Faults.schedule_flap_train f e ~a:0 ~b:1 ~start:0.0 ~cycles:0 ~period:1.0
+        ~down_for:0.5);
+  invalid (fun () ->
+      Faults.schedule_flap_train f e ~a:0 ~b:1 ~start:0.0 ~cycles:1 ~period:1.0
+        ~down_for:1.5);
+  invalid (fun () ->
+      Faults.schedule_flap_train f e ~a:0 ~b:1 ~start:0.0 ~cycles:1 ~period:1.0
+        ~down_for:0.0)
+
 (* ------------------------------------------------------------------ *)
 (* Bgpdyn under faults                                                 *)
 
@@ -914,6 +1036,12 @@ let () =
           Alcotest.test_case "crash and restart" `Quick
             test_faults_crash_restart;
           Alcotest.test_case "fifo channels" `Quick test_faults_fifo_channel;
+          qcheck test_fifo_never_reorders_prop;
+          Alcotest.test_case "reordered counter" `Quick
+            test_faults_reordered_counter;
+          Alcotest.test_case "crash at the delivery instant" `Quick
+            test_faults_crash_at_delivery_instant;
+          Alcotest.test_case "flap train" `Quick test_faults_flap_train;
         ] );
       ( "forward",
         [

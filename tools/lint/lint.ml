@@ -29,7 +29,7 @@ let compare_diag = Diag.compare
 
 let layer_order =
   [| "netcore"; "topology"; "routing"; "interdomain"; "simcore"; "anycast";
-     "vnbone"; "dataplane"; "multicore"; "evolve" |]
+     "vnbone"; "dataplane"; "multicore"; "ops"; "evolve" |]
 
 let layer_order_str = String.concat " < " (Array.to_list layer_order)
 
