@@ -79,7 +79,9 @@ let experiments () =
   E.print_e32 (E.e32_flap_traffic ());
   E.print_e33 (E.e33_shard_invariance ());
   E.print_e34 (E.e34_drill_catalog ());
-  E.print_e35 (E.e35_hijack_containment ())
+  E.print_e35 (E.e35_hijack_containment ());
+  E.print_e36 (E.e36_overload_response ());
+  E.print_e37 (E.e37_crash_recovery ())
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -637,6 +639,7 @@ let write_drills_json path =
     let v = Ops.Slo.evaluate r in
     let m = v.Ops.Slo.metrics in
     let rows = Ops.Drill.rows r in
+    Ops.Drill.close r;
     let ok_traj =
       String.concat ", "
         (List.map
@@ -677,13 +680,98 @@ let write_drills_json path =
   in
   emit_json path json
 
+(* The overload scorecard (DESIGN.md §13): the E36 goodput-vs-load
+   curve through the finite link queues, the two overload drills'
+   drop-reason breakdown, and what a supervised shard restart costs in
+   wall time — detection (a millisecond-scale poll), respawn, and the
+   victim's cold flow caches. *)
+let write_overload_json path =
+  let curve =
+    String.concat ",\n"
+      (List.map
+         (fun (r : E.e36_row) ->
+           Printf.sprintf
+             "    { \"load\": %d, \"offered\": %d, \"goodput\": %d, \
+              \"goodput_frac\": %.4f, \"shed_frac\": %.4f, \"queue_drop\": \
+              %d, \"ctrl_ok\": %.4f, \"mean_delay_ticks\": %.4f }"
+             r.E.load36 r.E.offered36 r.E.goodput36 r.E.goodput_frac36
+             (float_of_int r.E.shed36 /. float_of_int (max 1 r.E.offered36))
+             r.E.qdrop36 r.E.ctrl_ok36 r.E.delay36)
+         (E.e36_overload_response ()))
+  in
+  let drills =
+    String.concat ",\n"
+      (List.map
+         (fun b ->
+           let r = Ops.Drill.complete b in
+           let d = Ops.Drill.drop_reasons r in
+           Ops.Drill.close r;
+           Printf.sprintf
+             "    { \"name\": \"%s\", \"queue_full\": %d, \"shed_native\": \
+              %d, \"shed_encap\": %d, \"shed_control\": %d, \
+              \"fault_fabric\": %d }"
+             b.Ops.Drillbook.name d.Ops.Drill.queue_full d.Ops.Drill.shed_native
+             d.Ops.Drill.shed_encap d.Ops.Drill.shed_control d.Ops.Drill.fabric)
+         [ Ops.Drillbook.flash_crowd; Ops.Drillbook.slow_consumer ])
+  in
+  let inet, _, _, _, _ = Lazy.force dataplane_fixture in
+  let env = Forward.make_env inet in
+  let wl =
+    Workload.create ~packets_per_flow:16 inet
+      (Workload.Gravity { zipf_s = 1.2 })
+      ~seed:7L
+  in
+  let flows = Workload.batch wl ~count:4096 in
+  let run_ms ~crash =
+    let pool =
+      Domainpool.create ~cache_slots:4096 ~ring_capacity:65536 env ~shards:4
+        ~seed:7L
+    in
+    Domainpool.run pool flows;
+    (* warm *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      if crash then
+        Multicore.Shard.arm_crash (Domainpool.shard pool 1) ~after:256;
+      let t0 = Unix.gettimeofday () in
+      Domainpool.run pool flows;
+      let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+      if dt < !best then best := dt
+    done;
+    let restarts = Domainpool.restarts pool in
+    Domainpool.close pool;
+    (!best, restarts)
+  in
+  let base_ms, _ = run_ms ~crash:false in
+  let crash_ms, restarts = run_ms ~crash:true in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"goodput_vs_load\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"overload_drills\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"uncrashed_run_ms\": %.3f,\n\
+      \  \"crashed_run_ms\": %.3f,\n\
+      \  \"recovery_overhead_ms\": %.3f,\n\
+      \  \"restarts\": %d\n\
+       }\n"
+      curve drills base_ms crash_ms
+      (Float.max 0.0 (crash_ms -. base_ms))
+      restarts
+  in
+  emit_json path json
+
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
     write_bench_json "BENCH_dataplane.json";
     write_faults_json "BENCH_faults.json";
     write_lint_json "BENCH_lint.json";
     write_shard_json "BENCH_shard.json";
-    write_drills_json "BENCH_drills.json"
+    write_drills_json "BENCH_drills.json";
+    write_overload_json "BENCH_overload.json"
   end
   else begin
     figures ();

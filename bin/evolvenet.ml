@@ -71,6 +71,8 @@ let experiment_index =
     ("e33", "shard-count invariance of the multicore data plane");
     ("e34", "incident-drill catalog sweep (recovery SLOs)");
     ("e35", "hijack containment vs deployment level");
+    ("e36", "overload response: goodput/delay/loss vs offered load");
+    ("e37", "shard crash recovery: zero verdict divergence");
   ]
 
 let print_experiment_index () =
@@ -119,9 +121,11 @@ let run_exp name seed transit stubs =
   | "e33" -> E.print_e33 (E.e33_shard_invariance ~params ())
   | "e34" -> E.print_e34 (E.e34_drill_catalog ~params ())
   | "e35" -> E.print_e35 (E.e35_hijack_containment ~params ())
+  | "e36" -> E.print_e36 (E.e36_overload_response ~params ())
+  | "e37" -> E.print_e37 (E.e37_crash_recovery ~params ())
   | other ->
       usage_error
-        "no such experiment: %s\nusage: evolvenet exp <e1-e35>; run `evolvenet \
+        "no such experiment: %s\nusage: evolvenet exp <e1-e37>; run `evolvenet \
          exp list` for one-line descriptions"
         other
 
@@ -261,7 +265,7 @@ let load_book name file =
       usage_error
         "give --name <drill> or --file <file>; --list shows the catalog"
 
-let run_drill list_flag name file =
+let run_drill list_flag report name file =
   if list_flag then
     List.iter
       (fun b ->
@@ -274,8 +278,20 @@ let run_drill list_flag name file =
     let book = load_book name file in
     let r = Ops.Drill.complete book in
     print_string (Ops.Drill.transcript r);
+    if report then begin
+      (* where every lost packet went: droptail at a full queue,
+         deliberate per-class shedding, or the fault fabrics *)
+      let d = Ops.Drill.drop_reasons r in
+      print_string "drop reasons:\n";
+      Printf.printf "  queue-full     %d\n" d.Ops.Drill.queue_full;
+      Printf.printf "  shed (native)  %d\n" d.Ops.Drill.shed_native;
+      Printf.printf "  shed (encap)   %d\n" d.Ops.Drill.shed_encap;
+      Printf.printf "  shed (control) %d\n" d.Ops.Drill.shed_control;
+      Printf.printf "  fault-fabric   %d\n" d.Ops.Drill.fabric
+    end;
     let v = Ops.Slo.evaluate r in
     print_string (Ops.Slo.render book v);
+    Ops.Drill.close r;
     (* the exit status is the verdict, so CI can run a drill file
        end-to-end and assert its SLOs in one line *)
     if not v.Ops.Slo.pass then exit 1
@@ -298,12 +314,20 @@ let drill_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the built-in drill catalog.")
   in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Append the drop-reason breakdown (queue-full vs per-class sheds \
+             vs fault-fabric losses).")
+  in
   Cmd.v
     (Cmd.info "drill"
        ~doc:
          "Replay an incident drill and grade its recovery SLOs (exit 1 on a \
           missed SLO)")
-    Term.(const run_drill $ list_flag $ drill_name $ drill_file)
+    Term.(const run_drill $ list_flag $ report_flag $ drill_name $ drill_file)
 
 let run_glass name file at query_words =
   let book = load_book name file in
@@ -383,7 +407,7 @@ let exp_cmd =
     Arg.(value & opt int default_stubs & info [ "stubs" ] ~docv:"N"
            ~doc:"Stub domains per transit.")
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e35, or `list`)")
+  Cmd.v (Cmd.info "exp" ~doc:"Run experiment EXP (e1-e37, or `list`)")
     Term.(const run_exp $ exp_name $ seed $ transit $ stubs)
 
 let run_report path =

@@ -16,7 +16,9 @@ module Addressing = Netcore.Addressing
 module Pump = Dataplane.Pump
 module Workload = Dataplane.Workload
 module Telemetry = Dataplane.Telemetry
+module Linkq = Dataplane.Linkq
 module Domainpool = Multicore.Domainpool
+module Shard = Multicore.Shard
 module Drillbook = Ops.Drillbook
 module Drill = Ops.Drill
 module Slo = Ops.Slo
@@ -2735,6 +2737,7 @@ let e34_drill_catalog ?params ?(intensities = [ 1.0; 2.0 ]) () =
           let r = Drill.complete ?params b in
           let v = Slo.evaluate r in
           let m = v.Slo.metrics in
+          Drill.close r;
           {
             drill34 = book.Drillbook.name;
             intensity34 = intensity;
@@ -2827,5 +2830,241 @@ let print_e35 rows =
              Table.ff r.hijacked_mean35;
              Table.ff r.ok_fault35;
              fopt34 r.reconverge35;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E36                                                                 *)
+
+type e36_row = {
+  load36 : int;
+  offered36 : int;
+  goodput36 : int;
+  goodput_frac36 : float;
+  ctrl_ok36 : float;
+  qdrop36 : int;
+  shed36 : int;
+  delay36 : float;
+  queued_hw36 : int;
+  bounded36 : bool;
+}
+
+let e36_overload_response ?(params = Internet.default_params)
+    ?(loads = [ 4; 8; 16; 32; 64; 128; 256 ]) ?(ticks = 12) ?(probes = 8)
+    ?(rate = 3000) ?(depth = 6000) ?(reserve = 1200) () =
+  let inet = Internet.build params in
+  let env = Forward.make_env inet in
+  let hosts = Array.of_list (all_endhosts inet) in
+  let nh = Array.length hosts in
+  let payload = String.make 600 'd' in
+  List.map
+    (fun load ->
+      let pump = Pump.create env in
+      let lq = Linkq.of_internet ~control_reserve:reserve ~rate ~depth inet in
+      Pump.attach_linkq pump lq;
+      (* the per-tick demand is a fixed pattern in the packet index
+         alone, so a higher load level replays a lower one's injections
+         as a prefix each tick — the queues evolve identically up to
+         the extra packets, which makes the goodput curve a true
+         function of offered load (monotonicity is asserted in the
+         test-suite) *)
+      for _tick = 1 to ticks do
+        for k = 0 to load - 1 do
+          let s = hosts.(k mod nh) in
+          let d = hosts.((k + (nh / 2) + 1) mod nh) in
+          if s <> d then begin
+            let hs = Internet.endhost inet s and hd = Internet.endhost inet d in
+            let p =
+              Netcore.Packet.make_data ~src:hs.Internet.haddr
+                ~dst:hd.Internet.haddr payload
+            in
+            ignore (Pump.inject pump p ~entry:hs.Internet.access_router)
+          end
+        done;
+        (* control probes enter after the crowd: the queues are at
+           their fullest, yet the reserve must still admit them *)
+        for k = 0 to probes - 1 do
+          let s = hosts.(k mod nh) in
+          let d = hosts.((k + (nh / 3) + 1) mod nh) in
+          if s <> d then begin
+            let hs = Internet.endhost inet s and hd = Internet.endhost inet d in
+            let p =
+              Netcore.Packet.make_data ~src:hs.Internet.haddr
+                ~dst:hd.Internet.haddr "probe"
+            in
+            ignore
+              (Pump.inject ~cls:Telemetry.Control pump p
+                 ~entry:hs.Internet.access_router)
+          end
+        done;
+        Linkq.tick lq
+      done;
+      let tel = Pump.telemetry pump in
+      let c = Telemetry.total tel in
+      let ctl = Telemetry.cls tel Telemetry.Control in
+      let st = Linkq.stats lq in
+      let offered_data = c.Telemetry.delivered - ctl.Telemetry.delivered in
+      let offered_ctl = ref 0 and offered = ref 0 in
+      (* offered counts mirror the injection guards above *)
+      for k = 0 to load - 1 do
+        if hosts.(k mod nh) <> hosts.((k + (nh / 2) + 1) mod nh) then
+          incr offered
+      done;
+      for k = 0 to probes - 1 do
+        if hosts.(k mod nh) <> hosts.((k + (nh / 3) + 1) mod nh) then
+          incr offered_ctl
+      done;
+      let data_per_tick = !offered and ctl_per_tick = !offered_ctl in
+      let offered_data_total = data_per_tick * ticks in
+      let offered_ctl_total = ctl_per_tick * ticks in
+      {
+        load36 = load;
+        offered36 = offered_data_total + offered_ctl_total;
+        goodput36 = offered_data;
+        goodput_frac36 =
+          (if offered_data_total = 0 then 1.0
+           else float_of_int offered_data /. float_of_int offered_data_total);
+        ctrl_ok36 =
+          (if offered_ctl_total = 0 then 1.0
+           else
+             float_of_int ctl.Telemetry.delivered
+             /. float_of_int offered_ctl_total);
+        qdrop36 = c.Telemetry.queue_dropped;
+        shed36 = c.Telemetry.shed;
+        delay36 = st.Linkq.mean_delay;
+        queued_hw36 = st.Linkq.high_water;
+        bounded36 = st.Linkq.high_water <= depth;
+      })
+    loads
+
+let print_e36 rows =
+  Table.print
+    ~title:
+      "E36: overload response — goodput, queueing delay and loss vs offered \
+       load through the finite link queues (graceful degradation, not a \
+       cliff; control rides the reserve)"
+    ~header:
+      [
+        "load/tick";
+        "offered";
+        "goodput";
+        "frac";
+        "ctrl ok";
+        "queue drop";
+        "shed";
+        "delay";
+        "queue hw";
+        "bounded";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.load36;
+             Table.fi r.offered36;
+             Table.fi r.goodput36;
+             Table.ff r.goodput_frac36;
+             Table.ff r.ctrl_ok36;
+             Table.fi r.qdrop36;
+             Table.fi r.shed36;
+             Table.ff r.delay36;
+             Table.fi r.queued_hw36;
+             Table.fb r.bounded36;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* E37                                                                 *)
+
+type e37_row = {
+  shards37 : int;
+  restarts37 : int;
+  rounds37 : int;
+  delivered37 : int;
+  dropped37 : int;
+  ttl37 : int;
+  shed37 : int;
+  identical37 : bool;
+}
+
+let e37_crash_recovery ?(params = Internet.default_params)
+    ?(shard_counts = [ 1; 2; 4; 8 ]) ?(flows = 512) ?(packets_per_flow = 4)
+    ?(crash_after = 64) () =
+  let inet = Internet.build params in
+  let env = Forward.make_env inet in
+  let seed = Int64.add params.Internet.seed 37L in
+  let wl =
+    Workload.create inet (Workload.Gravity { zipf_s = 1.2 }) ~seed
+      ~packets_per_flow
+  in
+  let batch = Workload.batch wl ~count:flows in
+  let verdict pool =
+    let c = Telemetry.total (Domainpool.telemetry pool) in
+    ( c.Telemetry.packets,
+      c.Telemetry.bytes,
+      c.Telemetry.delivered,
+      c.Telemetry.dropped,
+      c.Telemetry.ttl_expired )
+  in
+  List.map
+    (fun shards ->
+      (* baseline: the same batch on a pool that never crashes *)
+      let p0 = Domainpool.create env ~shards ~seed in
+      ignore (Domainpool.run_cooperative p0 batch : int);
+      let base = verdict p0 in
+      Domainpool.close p0;
+      (* one worker crashes mid-batch; the supervisor revives it and
+         the flow caches rebuild warm from the shared FIB snapshots *)
+      let p1 = Domainpool.create env ~shards ~seed in
+      let victim = if shards > 1 then 1 else 0 in
+      Shard.arm_crash (Domainpool.shard p1 victim) ~after:crash_after;
+      let rounds = Domainpool.run_cooperative p1 batch in
+      let v = verdict p1 in
+      let _, _, delivered, dropped, ttl = v in
+      let row =
+        {
+          shards37 = shards;
+          restarts37 = Domainpool.restarts p1;
+          rounds37 = rounds;
+          delivered37 = delivered;
+          dropped37 = dropped;
+          ttl37 = ttl;
+          shed37 = Domainpool.shed p1;
+          identical37 = v = base;
+        }
+      in
+      Domainpool.close p1;
+      row)
+    shard_counts
+
+let print_e37 rows =
+  Table.print
+    ~title:
+      "E37: crash recovery — a worker dies mid-batch, the supervisor \
+       restarts it, and the delivery verdicts match a never-crashed run \
+       exactly (zero divergence, nothing shed)"
+    ~header:
+      [
+        "shards";
+        "restarts";
+        "rounds";
+        "delivered";
+        "dropped";
+        "ttl";
+        "shed";
+        "identical";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Table.fi r.shards37;
+             Table.fi r.restarts37;
+             Table.fi r.rounds37;
+             Table.fi r.delivered37;
+             Table.fi r.dropped37;
+             Table.fi r.ttl37;
+             Table.fi r.shed37;
+             Table.fb r.identical37;
            ])
          rows)

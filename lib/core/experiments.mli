@@ -793,3 +793,78 @@ val e35_hijack_containment :
   e35_row list
 
 val print_e35 : e35_row list -> unit
+
+(** {1 E36 — overload response of the finite-queue data plane}
+
+    Overload hardening made measurable (DESIGN.md §13): every link
+    carries a finite {!Dataplane.Linkq} — the §3.3.2 indirection tax
+    ("the cost of this indirection is processing ... and increased
+    latency") turned into queueing delay and loss — and offered load
+    sweeps from idle to several times the drain rate. Goodput rises to
+    saturation then plateaus while queueing delay and deliberate
+    shedding absorb the excess: graceful degradation, not a cliff.
+    Control probes injected at the peak of every tick's crowd ride the
+    [control_reserve] and must keep flowing — control is never shed
+    before data. The delivered fraction is monotonically non-increasing
+    in offered load and no queue ever exceeds its configured depth
+    (both asserted in the test-suite). *)
+
+type e36_row = {
+  load36 : int;  (** offered data packets per tick *)
+  offered36 : int;  (** packets offered over the run, data + control *)
+  goodput36 : int;  (** data packets delivered *)
+  goodput_frac36 : float;  (** goodput over offered data *)
+  ctrl_ok36 : float;  (** control delivery fraction (the reserve at work) *)
+  qdrop36 : int;  (** droptail losses at full queues *)
+  shed36 : int;  (** class-precedence sheds of data packets *)
+  delay36 : float;  (** mean queueing delay of admitted packets, ticks *)
+  queued_hw36 : int;  (** max bytes any one queue ever held *)
+  bounded36 : bool;  (** [queued_hw36 <= depth] — memory stays finite *)
+}
+
+val e36_overload_response :
+  ?params:Topology.Internet.params ->
+  ?loads:int list ->
+  ?ticks:int ->
+  ?probes:int ->
+  ?rate:int ->
+  ?depth:int ->
+  ?reserve:int ->
+  unit ->
+  e36_row list
+
+val print_e36 : e36_row list -> unit
+
+(** {1 E37 — shard crash, supervised restart, zero verdict divergence}
+
+    The supervision half of DESIGN.md §13: a worker of the sharded
+    data plane ({!Multicore.Domainpool}) crashes deterministically
+    mid-batch, between flowlets; the supervisor detects the published
+    dead flag, revives the shard and the batch drains to completion.
+    The only state a crash loses is the victim's flow caches, which
+    rebuild warm from the shared immutable FIB snapshots — so the
+    delivery verdicts (packets, bytes, delivered, dropped, TTL) are
+    byte-identical to a never-crashed run at every shard count, and
+    nothing is shed on the way (both asserted in the test-suite). *)
+
+type e37_row = {
+  shards37 : int;
+  restarts37 : int;  (** supervisor revives (>= 1 when a crash fired) *)
+  rounds37 : int;  (** cooperative rounds to drain the batch *)
+  delivered37 : int;
+  dropped37 : int;
+  ttl37 : int;
+  shed37 : int;  (** must be 0: a restart loses no traffic *)
+  identical37 : bool;  (** verdicts equal the never-crashed baseline *)
+}
+
+val e37_crash_recovery :
+  ?params:Topology.Internet.params ->
+  ?shard_counts:int list ->
+  ?flows:int ->
+  ?packets_per_flow:int ->
+  ?crash_after:int ->
+  unit ->
+  e37_row list
+
+val print_e37 : e37_row list -> unit

@@ -515,7 +515,61 @@ let experiment_section buf =
               Table.ff r.E.ok_fault35;
               fopt r.E.reconverge35;
             ])
-          (E.e35_hijack_containment ())))
+          (E.e35_hijack_containment ())));
+  add "E36 — overload response of the finite-queue data plane"
+    (table
+       [
+         "load/tick";
+         "offered";
+         "goodput";
+         "frac";
+         "ctrl ok";
+         "queue drop";
+         "shed";
+         "delay";
+         "queue hw";
+         "bounded";
+       ]
+       (List.map
+          (fun (r : E.e36_row) ->
+            [
+              Table.fi r.E.load36;
+              Table.fi r.E.offered36;
+              Table.fi r.E.goodput36;
+              Table.ff r.E.goodput_frac36;
+              Table.ff r.E.ctrl_ok36;
+              Table.fi r.E.qdrop36;
+              Table.fi r.E.shed36;
+              Table.ff r.E.delay36;
+              Table.fi r.E.queued_hw36;
+              Table.fb r.E.bounded36;
+            ])
+          (E.e36_overload_response ())));
+  add "E37 — shard crash, supervised restart, zero verdict divergence"
+    (table
+       [
+         "shards";
+         "restarts";
+         "rounds";
+         "delivered";
+         "dropped";
+         "ttl";
+         "shed";
+         "identical";
+       ]
+       (List.map
+          (fun (r : E.e37_row) ->
+            [
+              Table.fi r.E.shards37;
+              Table.fi r.E.restarts37;
+              Table.fi r.E.rounds37;
+              Table.fi r.E.delivered37;
+              Table.fi r.E.dropped37;
+              Table.fi r.E.ttl37;
+              Table.fi r.E.shed37;
+              Table.fb r.E.identical37;
+            ])
+          (E.e37_crash_recovery ())))
 
 let generate () =
   let buf = Buffer.create 16384 in

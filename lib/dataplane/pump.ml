@@ -16,6 +16,8 @@ type t = {
   telemetry : Telemetry.t;
   mutable link_up : int -> int -> bool;
       (* stored closure, so the hot path calls it without allocating *)
+  mutable linkq : Linkq.t option;
+      (* finite-capacity link queues; None = infinite pipes *)
 }
 
 let every_link_up _ _ = true
@@ -32,10 +34,14 @@ let create ?(use_cache = true) ?(cache_slots = 256) (env : Forward.env) =
        else None);
     telemetry = Telemetry.create ~routers:n;
     link_up = every_link_up;
+    linkq = None;
   }
 
 let set_link_filter t f = t.link_up <- f
 let clear_link_filter t = t.link_up <- every_link_up
+let attach_linkq t lq = t.linkq <- Some lq
+let detach_linkq t = t.linkq <- None
+let linkq t = t.linkq
 
 let env t = t.env
 let telemetry t = t.telemetry
@@ -83,6 +89,9 @@ let finish_trace tel ~router:r ~cls ~wire acc outcome =
       Telemetry.record_delivered tel ~router:r ~cls
   | Forward.Dropped Forward.Ttl_expired ->
       Telemetry.record_ttl_expired tel ~router:r ~cls
+  | Forward.Dropped Forward.Queue_full ->
+      Telemetry.record_queue_drop tel ~router:r ~cls
+  | Forward.Dropped Forward.Shed -> Telemetry.record_shed tel ~router:r ~cls
   | Forward.Dropped _ -> Telemetry.record_drop tel ~router:r ~cls);
   { Forward.hops = List.rev acc; outcome }
 
@@ -106,15 +115,28 @@ let rec hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes r ttl acc =
       else if not (t.link_up r nh) then
         finish_trace tel ~router:r ~cls ~wire acc
           (Forward.Dropped Forward.Link_down)
-      else hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes nh (ttl - 1) acc
+      else begin
+        match Linkq.admit_opt t.linkq ~src:r ~dst:nh ~cls ~bytes:len with
+        | Linkq.Admitted ->
+            hop_loop t tel ~cls ~dst ~wire ~len ~encap_bytes nh (ttl - 1) acc
+        | Linkq.Rejected_full ->
+            finish_trace tel ~router:r ~cls ~wire acc
+              (Forward.Dropped Forward.Queue_full)
+        | Linkq.Rejected_shed ->
+            finish_trace tel ~router:r ~cls ~wire acc
+              (Forward.Dropped Forward.Shed)
+      end
 
-let inject t packet ~entry =
+let inject ?cls t packet ~entry =
   let wire = Wire.encode packet in
   let len = String.length wire in
   let cls =
-    match packet.Packet.payload with
-    | Packet.Data _ -> Telemetry.Native
-    | Packet.Encap _ -> Telemetry.Encap
+    match cls with
+    | Some c -> c
+    | None -> (
+        match packet.Packet.payload with
+        | Packet.Data _ -> Telemetry.Native
+        | Packet.Encap _ -> Telemetry.Encap)
   in
   (* bytes beyond a native packet carrying the same body *)
   let encap_bytes =
@@ -173,7 +195,16 @@ let rec step_loop t tel ~cls ~dst ~len ~encap_bytes r ttl =
         Telemetry.record_drop tel ~router:r ~cls;
         Forward.Dropped Forward.Link_down
       end
-      else step_loop t tel ~cls ~dst ~len ~encap_bytes nh (ttl - 1)
+      else begin
+        match Linkq.admit_opt t.linkq ~src:r ~dst:nh ~cls ~bytes:len with
+        | Linkq.Admitted -> step_loop t tel ~cls ~dst ~len ~encap_bytes nh (ttl - 1)
+        | Linkq.Rejected_full ->
+            Telemetry.record_queue_drop tel ~router:r ~cls;
+            Forward.Dropped Forward.Queue_full
+        | Linkq.Rejected_shed ->
+            Telemetry.record_shed tel ~router:r ~cls;
+            Forward.Dropped Forward.Shed
+      end
 
 let step t ~buf ~off ~len ~cls ~encap_bytes ~entry =
   let dst =

@@ -45,17 +45,34 @@ val set_link_filter : t -> (int -> int -> bool) -> unit
 val clear_link_filter : t -> unit
 (** Back to every link up (the default). *)
 
+val attach_linkq : t -> Linkq.t -> unit
+(** Attach finite-capacity link queues (DESIGN.md §13): every
+    router-to-router transmission then consults {!Linkq.admit} and a
+    refused packet is dropped with {!Simcore.Forward.Queue_full}
+    (droptail) or {!Simcore.Forward.Shed} (class precedence) at the
+    sending router. The caller drives {!Linkq.tick} between injection
+    rounds; experiment E36 is the reference user. *)
+
+val detach_linkq : t -> unit
+(** Back to infinite pipes (the default). *)
+
+val linkq : t -> Linkq.t option
+
 val refresh : ?routers:int list -> t -> unit
 (** Recompile the FIB from the env's current control-plane state and
     install it at the given routers (default: all), invalidating their
     flow caches. Partial refresh leaves the rest forwarding on the old
     snapshot — the mixed-table state of a convergence window. *)
 
-val inject : t -> Netcore.Packet.t -> entry:int -> Simcore.Forward.trace
+val inject :
+  ?cls:Telemetry.cls -> t -> Netcore.Packet.t -> entry:int -> Simcore.Forward.trace
 (** Push one packet hop by hop from router [entry] over the installed
     tables: encode once, peek the destination from the header bytes at
     each hop, look up through the flow cache, decode/decapsulate on
-    delivery. Returns the same trace shape as {!Simcore.Forward.forward}. *)
+    delivery. Returns the same trace shape as {!Simcore.Forward.forward}.
+    [cls] overrides the telemetry class derived from the payload —
+    operational probes inject as {!Telemetry.Control} so the overload
+    machinery gives them drop precedence. *)
 
 val send_data : t -> src:int -> dst:int -> payload:string -> Simcore.Forward.trace
 (** Native IPv4 endhost-to-endhost send (the access link is not a

@@ -1,6 +1,9 @@
-type cls = Native | Encap
+type cls = Native | Encap | Control
 
-let cls_to_string = function Native -> "native" | Encap -> "encap"
+let cls_to_string = function
+  | Native -> "native"
+  | Encap -> "encap"
+  | Control -> "control"
 
 type counters = {
   mutable packets : int;
@@ -9,6 +12,8 @@ type counters = {
   mutable delivered : int;
   mutable dropped : int;
   mutable ttl_expired : int;
+  mutable queue_dropped : int;
+  mutable shed : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
 }
@@ -21,6 +26,8 @@ let fresh () =
     delivered = 0;
     dropped = 0;
     ttl_expired = 0;
+    queue_dropped = 0;
+    shed = 0;
     cache_hits = 0;
     cache_misses = 0;
   }
@@ -30,11 +37,11 @@ type t = { per_router : counters array; per_class : counters array }
 let create ~routers =
   {
     per_router = Array.init routers (fun _ -> fresh ());
-    per_class = Array.init 2 (fun _ -> fresh ());
+    per_class = Array.init 3 (fun _ -> fresh ());
   }
 
 let num_routers t = Array.length t.per_router
-let cls_index = function Native -> 0 | Encap -> 1
+let cls_index = function Native -> 0 | Encap -> 1 | Control -> 2
 let router t r = t.per_router.(r)
 let cls t c = t.per_class.(cls_index c)
 
@@ -62,6 +69,14 @@ let record_ttl_expired t ~router ~cls:c =
   t.per_router.(router).ttl_expired <- t.per_router.(router).ttl_expired + 1;
   (cls t c).ttl_expired <- (cls t c).ttl_expired + 1
 
+let record_queue_drop t ~router ~cls:c =
+  t.per_router.(router).queue_dropped <- t.per_router.(router).queue_dropped + 1;
+  (cls t c).queue_dropped <- (cls t c).queue_dropped + 1
+
+let record_shed t ~router ~cls:c =
+  t.per_router.(router).shed <- t.per_router.(router).shed + 1;
+  (cls t c).shed <- (cls t c).shed + 1
+
 (* Count-weighted variants for flowlet batching (DESIGN.md §11): a
    shard walks [count] byte-identical packets of one flow as a unit
    and bumps each counter once with the multiplier. Field-for-field
@@ -88,6 +103,15 @@ let record_ttl_expired_n t ~router ~cls:c ~count =
     t.per_router.(router).ttl_expired + count;
   (cls t c).ttl_expired <- (cls t c).ttl_expired + count
 
+let record_queue_drop_n t ~router ~cls:c ~count =
+  t.per_router.(router).queue_dropped <-
+    t.per_router.(router).queue_dropped + count;
+  (cls t c).queue_dropped <- (cls t c).queue_dropped + count
+
+let record_shed_n t ~router ~cls:c ~count =
+  t.per_router.(router).shed <- t.per_router.(router).shed + count;
+  (cls t c).shed <- (cls t c).shed + count
+
 let bump_cache (x : counters) ~hit =
   if hit then x.cache_hits <- x.cache_hits + 1
   else x.cache_misses <- x.cache_misses + 1
@@ -111,6 +135,8 @@ let add_into (dst : counters) (src : counters) =
   dst.delivered <- dst.delivered + src.delivered;
   dst.dropped <- dst.dropped + src.dropped;
   dst.ttl_expired <- dst.ttl_expired + src.ttl_expired;
+  dst.queue_dropped <- dst.queue_dropped + src.queue_dropped;
+  dst.shed <- dst.shed + src.shed;
   dst.cache_hits <- dst.cache_hits + src.cache_hits;
   dst.cache_misses <- dst.cache_misses + src.cache_misses
 
@@ -155,12 +181,15 @@ let busiest t =
 let pp fmt t =
   let line name (c : counters) =
     Format.fprintf fmt
-      "  %-8s %8d pkts  %10d B  %8d encap B  %6d dlv  %4d drop  %4d ttl@."
+      "  %-8s %8d pkts  %10d B  %8d encap B  %6d dlv  %4d drop  %4d ttl  \
+       %4d qdrop  %4d shed@."
       name c.packets c.bytes c.encap_bytes c.delivered c.dropped c.ttl_expired
+      c.queue_dropped c.shed
   in
   Format.fprintf fmt "telemetry (%d routers):@." (num_routers t);
   line "native" (cls t Native);
   line "encap" (cls t Encap);
+  line "control" (cls t Control);
   match busiest t with
   | Some b ->
       Format.fprintf fmt "  busiest router: %d (%d pkts, %.1f%% cache hits)@."

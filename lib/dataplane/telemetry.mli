@@ -10,7 +10,15 @@
     TTL expiry) count once. Telemetries from separate runs merge by
     summation, so per-batch counters can be aggregated. *)
 
-type cls = Native | Encap  (** traffic class of a packet *)
+type cls =
+  | Native  (** IPv4 data packet *)
+  | Encap  (** encapsulated IPvN data packet *)
+  | Control
+      (** control/keepalive traffic (probes, protocol messages): the
+          overload model (DESIGN.md §13) gives it drop precedence —
+          control is never shed before data at the same queue. *)
+
+(** traffic class of a packet *)
 
 val cls_to_string : cls -> string
 
@@ -21,6 +29,12 @@ type counters = {
   mutable delivered : int;
   mutable dropped : int;  (** No_route + Stuck drops *)
   mutable ttl_expired : int;
+  mutable queue_dropped : int;
+      (** droptail losses at a finite-capacity link queue ([Linkq]) *)
+  mutable shed : int;
+      (** deliberate load-shedding losses: class-precedence eviction at
+          a link queue, or backpressure shedding at a shard spill
+          buffer (DESIGN.md §13) *)
   mutable cache_hits : int;
   mutable cache_misses : int;
 }
@@ -57,6 +71,8 @@ val record_hop : t -> router:int -> cls:cls -> bytes:int -> encap_bytes:int -> u
 val record_delivered : t -> router:int -> cls:cls -> unit
 val record_drop : t -> router:int -> cls:cls -> unit
 val record_ttl_expired : t -> router:int -> cls:cls -> unit
+val record_queue_drop : t -> router:int -> cls:cls -> unit
+val record_shed : t -> router:int -> cls:cls -> unit
 val record_cache : t -> router:int -> cls:cls -> hit:bool -> unit
 
 (** {2 Count-weighted recording} — the flowlet-batched sharded data
@@ -71,6 +87,8 @@ val record_hop_n :
 val record_delivered_n : t -> router:int -> cls:cls -> count:int -> unit
 val record_drop_n : t -> router:int -> cls:cls -> count:int -> unit
 val record_ttl_expired_n : t -> router:int -> cls:cls -> count:int -> unit
+val record_queue_drop_n : t -> router:int -> cls:cls -> count:int -> unit
+val record_shed_n : t -> router:int -> cls:cls -> count:int -> unit
 
 val record_cache_n : t -> router:int -> cls:cls -> hits:int -> misses:int -> unit
 (** [hits] + [misses] probes' worth of cache statistics in one bump —

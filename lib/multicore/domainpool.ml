@@ -13,10 +13,11 @@ type t = {
   map : Shardmap.t;
   shards : Shard.t array;
   live : int Atomic.t;
+  restarts : int array; (* per-shard revive count, bumped by the supervisor *)
 }
 
-let create ?(cache_slots = 256) ?(ring_capacity = 1024) (env : Forward.env)
-    ~shards ~seed =
+let create ?(cache_slots = 256) ?(ring_capacity = 1024) ?spill_cap ?shed_eager
+    ?inject_per_pass (env : Forward.env) ~shards ~seed =
   let n = Internet.num_routers env.Forward.inet in
   let map = Shardmap.create ~routers:n ~shards in
   let fib = Fib.compile env in
@@ -25,8 +26,8 @@ let create ?(cache_slots = 256) ?(ring_capacity = 1024) (env : Forward.env)
   let pool_rng = Rng.create seed in
   let ss =
     Array.init shards (fun sid ->
-        Shard.create ~sid ~map ~tables ~cache_slots ~rng:(Rng.split pool_rng)
-          ~live)
+        Shard.create ?spill_cap ?shed_eager ?inject_per_pass ~sid ~map ~tables
+          ~cache_slots ~rng:(Rng.split pool_rng) ~live ())
   in
   (* rings.(p).(c) carries handoffs from shard p to shard c: exactly
      one producer and one consumer per ring, the SPSC contract *)
@@ -36,22 +37,27 @@ let create ?(cache_slots = 256) ?(ring_capacity = 1024) (env : Forward.env)
             Ring.create ~capacity:ring_capacity ~dummy:Shard.dummy_msg))
   in
   let peer_asleep = Array.map Shard.asleep_flag ss in
+  let peer_congested = Array.map Shard.congested_flag ss in
   let peer_wake = Array.map Shard.wake_fd ss in
   Array.iteri
     (fun c s ->
       Shard.set_channels s
         ~inbox:(Array.init shards (fun p -> rings.(p).(c)))
         ~outbox:(Array.init shards (fun c' -> rings.(c).(c')));
-      Shard.set_doorbells s ~peer_asleep ~peer_wake)
+      Shard.set_doorbells s ~peer_asleep ~peer_congested ~peer_wake)
     ss;
-  { env; map; shards = ss; live }
+  { env; map; shards = ss; live; restarts = Array.make shards 0 }
 
 let env t = t.env
 let map t = t.map
 let num_shards t = Array.length t.shards
 let shard t i = t.shards.(i)
 
-let run t (flows : Workload.flow list) =
+(* Stage a batch: encode nothing yet, but distribute every flow to its
+   entry shard's pending queue and size each arena for its share.
+   Returns the pool-wide packet count; the caller publishes it into
+   [t.live] before any worker starts. *)
+let stage t (flows : Workload.flow list) =
   let inet = t.env.Forward.inet in
   let nshards = Array.length t.shards in
   let bytes = Array.make nshards 0 in
@@ -79,13 +85,98 @@ let run t (flows : Workload.flow list) =
       Arena.reset a;
       Arena.ensure a ~bytes:bytes.(sid))
     t.shards;
-  Atomic.set t.live !total;
-  if nshards = 1 then Shard.run t.shards.(0)
-  else
+  !total
+
+(* Supervisor action for a dead shard: revive it (flow caches rebuild
+   warm from the shared FIB snapshots — Shard.revive) and count the
+   restart. The worker must not be running. *)
+let restart_shard t sid =
+  Shard.revive t.shards.(sid);
+  t.restarts.(sid) <- t.restarts.(sid) + 1
+
+let restarts t = Array.fold_left ( + ) 0 t.restarts
+let shard_restarts t sid = t.restarts.(sid)
+
+let run t (flows : Workload.flow list) =
+  let nshards = Array.length t.shards in
+  let total = stage t flows in
+  Atomic.set t.live total;
+  let supervised = Array.exists Shard.crash_armed t.shards in
+  if nshards = 1 then begin
+    Shard.run t.shards.(0);
+    (* inline supervision: a crashed solo shard restarts until the
+       batch drains *)
+    while
+      Atomic.get t.live > 0 && Atomic.get (Shard.dead_flag t.shards.(0))
+    do
+      restart_shard t 0;
+      Shard.run t.shards.(0)
+    done
+  end
+  else if not supervised then
+    (* no crash armed: the workers' exit condition (live = 0) is the
+       only termination, exactly the pre-supervision behaviour — the
+       main domain blocks in join and steals no cycles *)
     let ds =
       Array.map (fun s -> Domain.spawn (fun () -> Shard.run s)) t.shards
     in
     Array.iter Domain.join ds
+  else begin
+    let ds =
+      Array.map (fun s -> Domain.spawn (fun () -> Shard.run s)) t.shards
+    in
+    (* the supervisor: poll the published dead flags, join the exited
+       worker, revive its shard and respawn it. Detection latency is a
+       millisecond-scale poll; peers keep draining meanwhile (their
+       doorbell naps have a backstop timeout, so they cannot sleep
+       through the recovery). *)
+    while Atomic.get t.live > 0 do
+      let acted = ref false in
+      Array.iteri
+        (fun i s ->
+          if Atomic.get (Shard.dead_flag s) then begin
+            Domain.join ds.(i);
+            restart_shard t i;
+            ds.(i) <- Domain.spawn (fun () -> Shard.run s);
+            acted := true
+          end)
+        t.shards;
+      if not !acted then ignore (Unix.select [] [] [] 1e-3)
+    done;
+    Array.iter Domain.join ds
+  end
+
+(* Deterministic single-domain driver: round-robin one Shard.pass per
+   shard per round until the batch drains. [slow] starves one shard —
+   the victim only gets a pass every [period] rounds — which is how
+   the slow-consumer drill exercises backpressure and shedding with
+   bit-reproducible results. A shard that crashes is detected at the
+   end of the round and revived (the supervisor at round granularity);
+   returns the rounds taken. *)
+let run_cooperative ?slow t (flows : Workload.flow list) =
+  let n = Array.length t.shards in
+  let total = stage t flows in
+  Atomic.set t.live total;
+  let rounds = ref 0 in
+  while Atomic.get t.live > 0 do
+    incr rounds;
+    for sid = 0 to n - 1 do
+      let s = t.shards.(sid) in
+      if not (Atomic.get (Shard.dead_flag s)) then begin
+        let step =
+          match slow with
+          | Some (victim, period) when sid = victim ->
+              !rounds mod period = 0
+          | _ -> true
+        in
+        if step then ignore (Shard.pass s : bool)
+      end
+    done;
+    for sid = 0 to n - 1 do
+      if Atomic.get (Shard.dead_flag t.shards.(sid)) then restart_shard t sid
+    done
+  done;
+  !rounds
 
 (* Merge in fixed shard order 0..n-1. The merge itself is a field-wise
    sum, so any order gives the same counters — the fixed order makes
@@ -98,4 +189,9 @@ let telemetry t =
   !acc
 
 let crossings t = Array.fold_left (fun a s -> a + Shard.crossings s) 0 t.shards
+let shed t = Array.fold_left (fun a s -> a + Shard.shed s) 0 t.shards
+
+let overflow_high_water t =
+  Array.fold_left (fun a s -> max a (Shard.overflow_high_water s)) 0 t.shards
+
 let close t = Array.iter Shard.close t.shards

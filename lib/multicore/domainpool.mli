@@ -18,6 +18,9 @@ type t
 val create :
   ?cache_slots:int ->
   ?ring_capacity:int ->
+  ?spill_cap:int ->
+  ?shed_eager:bool ->
+  ?inject_per_pass:int ->
   Simcore.Forward.env ->
   shards:int ->
   seed:int64 ->
@@ -27,7 +30,9 @@ val create :
     [cache_slots] flow-cache slots per router (default 256, as
     {!Dataplane.Pump.create}) and [ring_capacity]-slot handoff rings
     (default 1024). [seed] feeds one {!Topology.Rng} per shard via
-    deterministic splits.
+    deterministic splits. [spill_cap], [shed_eager] and
+    [inject_per_pass] configure each shard's overload behaviour — see
+    {!Shard.create}.
     @raise Invalid_argument unless [0 < shards <= routers]. *)
 
 val env : t -> Simcore.Forward.env
@@ -42,7 +47,35 @@ val run : t -> Dataplane.Workload.flow list -> unit
     flows into per-shard injection queues (by entry router), size the
     arenas, then run one worker per shard — inline for one shard,
     [Domain.spawn]/[join] otherwise. Returns when all packets have
-    terminated. Telemetry accumulates across runs, like the pump's. *)
+    terminated. Telemetry accumulates across runs, like the pump's.
+
+    When any shard has a crash armed ({!Shard.arm_crash}) the main
+    domain becomes a supervisor: it polls the published dead flags,
+    joins the exited worker, revives its shard ({!Shard.revive} — flow
+    caches rebuild warm from the shared FIB snapshots) and respawns
+    it, so the batch always drains. With no crash armed the spawn/join
+    path is byte-for-byte the pre-supervision one. *)
+
+val run_cooperative : ?slow:int * int -> t -> Dataplane.Workload.flow list -> int
+(** Deterministic single-domain driver: stage the batch, then
+    round-robin one {!Shard.pass} per live shard per round until every
+    packet terminates; a crashed shard is detected and revived at the
+    end of its round. [slow:(victim, period)] starves shard [victim]
+    to one pass every [period] rounds — sustained backpressure with
+    bit-reproducible spill/shed behaviour, which the slow-consumer
+    drill and experiment E37 rely on. Returns the number of rounds. *)
+
+val restarts : t -> int
+(** Shard restarts the supervisor performed (all shards, lifetime). *)
+
+val shard_restarts : t -> int -> int
+(** Restarts of one shard. *)
+
+val shed : t -> int
+(** Packets deliberately shed pool-wide (sum of {!Shard.shed}). *)
+
+val overflow_high_water : t -> int
+(** Largest spill-buffer occupancy any shard ever reached. *)
 
 val telemetry : t -> Dataplane.Telemetry.t
 (** Pool-wide counters: per-shard telemetries merged in fixed shard

@@ -25,34 +25,75 @@ type inj = { i_packet : Netcore.Packet.t; i_entry : int; i_count : int }
 type t
 
 val create :
+  ?spill_cap:int ->
+  ?shed_eager:bool ->
+  ?inject_per_pass:int ->
   sid:int ->
   map:Shardmap.t ->
   tables:Simcore.Fib.action Netcore.Lpm.t array ->
   cache_slots:int ->
   rng:Topology.Rng.t ->
   live:int Atomic.t ->
+  unit ->
   t
 (** A worker for shard [sid] of [map]. [tables] is the shared FIB
     snapshot array indexed by router id; [live] is the pool-wide
     in-flight packet count this worker decrements on every terminal
     outcome. Rings are wired separately via {!set_channels} once all
-    shards exist. *)
+    shards exist.
+
+    [spill_cap] (default 65536) bounds the spill buffer that holds
+    handoffs refused by a full ring — beyond it the shard {e sheds}
+    (DESIGN.md §13) instead of growing memory without bound. A flowlet
+    never splits, so a batch whose flow count stays below [spill_cap]
+    can never shed and the pool stays bit-deterministic; the default
+    clears every experiment in the suite. [shed_eager] (default false)
+    additionally sheds data-class handoffs at the producer as soon as
+    credits exhaust — the consumer advertises congestion
+    ({!congested_flag}) and the spill is past its 3/4 watermark —
+    which bounds latency under sustained overload at the price of
+    timing-dependent drop counts; only overload drills and tests
+    enable it. [inject_per_pass] (default unbounded) paces fresh-flow
+    injections: at most that many staged flows enter per scheduling
+    pass, turning a batch into a multi-round arrival process — the
+    slow-consumer drill's demand model; the default drains the whole
+    queue in the first pass, the historical behaviour every
+    experiment relies on for bit-reproducibility.
+    @raise Invalid_argument when [spill_cap] or [inject_per_pass] is
+    not positive. *)
 
 val set_channels : t -> inbox:msg Ring.t array -> outbox:msg Ring.t array -> unit
 (** Wire the per-pair rings: [inbox.(p)] carries handoffs from shard
     [p] to this one, [outbox.(c)] to shard [c]. Setup-time only. *)
 
 val set_doorbells :
-  t -> peer_asleep:bool Atomic.t array -> peer_wake:Unix.file_descr array -> unit
+  t ->
+  peer_asleep:bool Atomic.t array ->
+  peer_congested:bool Atomic.t array ->
+  peer_wake:Unix.file_descr array ->
+  unit
 (** Wire the wakeup fabric: [peer_asleep.(c)] is shard [c]'s published
-    sleep flag and [peer_wake.(c)] the write end of its doorbell pipe.
-    A producer that pushes a handoff to a sleeping consumer writes one
-    byte there, so idle workers block in [select] instead of burning
-    timer slack — the flag is re-read after the ring push (both
-    seq_cst), which closes the lost-wakeup race. Setup-time only. *)
+    sleep flag, [peer_congested.(c)] its published congestion signal
+    (the credit/watermark protocol of DESIGN.md §13), and
+    [peer_wake.(c)] the write end of its doorbell pipe. A producer
+    that pushes a handoff to a sleeping consumer writes one byte
+    there, so idle workers block in [select] instead of burning timer
+    slack — the flag is re-read after the ring push (both seq_cst),
+    which closes the lost-wakeup race. Setup-time only. *)
 
 val asleep_flag : t -> bool Atomic.t
 (** This shard's published sleep flag (for {!set_doorbells} wiring). *)
+
+val congested_flag : t -> bool Atomic.t
+(** This shard's published congestion signal (for {!set_doorbells}
+    wiring): set when its inbox backlog crosses the 3/4 high
+    watermark, cleared with hysteresis below the 1/4 low one. A
+    producer reads its peer's flag as "credits exhausted". *)
+
+val dead_flag : t -> bool Atomic.t
+(** Published by a crashing worker as it exits its run loop; the
+    supervisor ({!Domainpool.run}) detects it, joins the domain,
+    {!revive}s the shard and respawns. *)
 
 val wake_fd : t -> Unix.file_descr
 (** Write end of this shard's doorbell pipe (for {!set_doorbells}). *)
@@ -81,6 +122,51 @@ val rng : t -> Topology.Rng.t
 
 val enqueue : t -> inj -> unit
 (** Queue a flow for injection. Setup-time only (before {!run}). *)
+
+val overflow_high_water : t -> int
+(** Most handoffs the spill buffer ever held at once (lifetime). *)
+
+val overflow_len : t -> int
+(** Handoffs in the spill buffer right now. *)
+
+val overflow_cap : t -> int
+(** The configured spill bound ([spill_cap]); [overflow_high_water]
+    can never exceed it — the boundedness satellite's assertion. *)
+
+val shed : t -> int
+(** Packets this shard deliberately shed (lifetime total), already
+    recorded per class in its telemetry and retired from the live
+    count. *)
+
+val handled : t -> int
+(** Flowlet handlings (arrivals plus injections) this shard performed
+    — the deterministic clock {!arm_crash} counts in. *)
+
+(** {2 Deterministic crash injection and supervision} (DESIGN.md §13) *)
+
+val arm_crash : t -> after:int -> unit
+(** Crash this worker right before its [after+1]-th next handling:
+    it publishes {!dead_flag} and exits {!run} between flowlets, so
+    the message that was next is still queued and nothing in flight
+    is lost.
+    @raise Invalid_argument when [after] is negative. *)
+
+val crash_armed : t -> bool
+
+val revive : t -> unit
+(** Supervisor side: clear the crash and the dead flag, and drop the
+    only non-surviving state — the flow caches, which rebuild warm on
+    demand from the shared immutable FIB snapshots. Forwarding
+    decisions after a revive are identical to a never-crashed run;
+    only cache statistics show the restart. Call only when the worker
+    is not running (after joining its domain). *)
+
+val pass : t -> bool
+(** One scheduling pass of the run loop (publish congestion, drain
+    arrivals, retry stalled handoffs, inject pending flows); returns
+    whether anything moved. {!Domainpool.run_cooperative} interleaves
+    shards with it deterministically on one domain; {!run} is the
+    parallel driver. *)
 
 val run : t -> unit
 (** The worker loop: drain cross-shard arrivals, retry stalled

@@ -15,6 +15,10 @@ module Policy = Anycast.Policy
 module Fabric = Vnbone.Fabric
 module Bgpvn = Vnbone.Bgpvn
 module Pump = Dataplane.Pump
+module Linkq = Dataplane.Linkq
+module Telemetry = Dataplane.Telemetry
+module Workload = Dataplane.Workload
+module Domainpool = Multicore.Domainpool
 
 type tick_row = {
   tick : int;
@@ -25,6 +29,27 @@ type tick_row = {
   hijacked : float;
   lost : float;
   looped : float;
+}
+
+(* Per-kind state for the overload drills (DESIGN.md §13): the flash
+   crowd floods finite link queues under the serial pump; the slow
+   consumer starves one shard of a cooperative domain pool. *)
+type overload =
+  | Flash of { lq : Linkq.t; burst : int; mutable seq : int }
+  | Slow of {
+      pool : Domainpool.t;
+      wl : Workload.t;
+      victim : int;
+      slowdown : int;
+      flows : int;
+    }
+
+type drop_reasons = {
+  queue_full : int;
+  shed_native : int;
+  shed_encap : int;
+  shed_control : int;
+  fabric : int;
 }
 
 type run = {
@@ -48,6 +73,7 @@ type run = {
   victim_domain : int option;  (* depeer / flap victim stub *)
   depeered : int option;  (* the provider the victim lost *)
   deployed : int list;
+  overload : overload option;
   horizon : float;
   refresh_order : int array;
   mutable refreshed : int;
@@ -76,6 +102,37 @@ let detected_at r = r.detected_at
 let rows r = List.rev r.rows_rev
 let events r = List.rev r.events_rev
 let group r = Service.group r.service
+
+let linkq r =
+  match r.overload with Some (Flash f) -> Some f.lq | _ -> None
+
+let pool r =
+  match r.overload with Some (Slow s) -> Some s.pool | _ -> None
+
+let close r =
+  match r.overload with Some (Slow s) -> Domainpool.close s.pool | _ -> ()
+
+(* Where every lost packet went, for [evolvenet drill --report]: tail
+   drops at full link queues, per-class deliberate sheds (link-queue
+   precedence plus shard-spill backpressure), and control-plane
+   messages the fault fabrics killed. *)
+let drop_reasons r =
+  let tels =
+    Pump.telemetry r.pump
+    :: (match r.overload with Some (Slow s) -> [ Domainpool.telemetry s.pool ] | _ -> [])
+  in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 tels in
+  let shed_of c = sum (fun t -> (Telemetry.cls t c).Telemetry.shed) in
+  let lf = Faults.stats r.link_faults and sf = Faults.stats r.session_faults in
+  {
+    queue_full = sum (fun t -> (Telemetry.total t).Telemetry.queue_dropped);
+    shed_native = shed_of Telemetry.Native;
+    shed_encap = shed_of Telemetry.Encap;
+    shed_control = shed_of Telemetry.Control;
+    fabric =
+      lf.Faults.lost + lf.Faults.cut + lf.Faults.dead + lf.Faults.shed
+      + sf.Faults.lost + sf.Faults.cut + sf.Faults.dead + sf.Faults.shed;
+  }
 
 let fib r =
   match r.fib with
@@ -152,6 +209,76 @@ let rebuild_vnbone r =
 (* ------------------------------------------------------------------ *)
 (* The per-tick probe round                                            *)
 
+let in_fault_window r t =
+  t >= r.book.Drillbook.fault_at && t < r.book.Drillbook.fault_until
+
+(* the flash crowd: [burst] data packets from rotating sources swamp
+   the finite link queues; their verdicts land in pump telemetry
+   (queue drops, class sheds), not in the probe rows *)
+let burst_payload = String.make 600 'f'
+
+let flood r ~burst ~seq =
+  let n = List.length r.probe_hosts in
+  let addr = Service.address r.service in
+  for k = 0 to burst - 1 do
+    let h = List.nth r.probe_hosts ((seq + k) mod n) in
+    let hh = Internet.endhost r.inet h in
+    let p =
+      Netcore.Packet.make_data ~src:hh.Internet.haddr ~dst:addr burst_payload
+    in
+    ignore (Pump.inject r.pump p ~entry:hh.Internet.access_router)
+  done
+
+(* detection for the overload kinds is by monitoring the overload
+   counters themselves, not a scheduled operator event *)
+let detect_overload r t_now fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if Option.is_none r.detected_at then begin
+        r.detected_at <- Some t_now;
+        event r "%s" msg
+      end)
+    fmt
+
+(* One slow-consumer tick: run this tick's flows through the pool
+   under the deterministic cooperative driver, starving the victim
+   shard during the fault window; the row's fractions come from the
+   pool's telemetry deltas instead of probe traces. *)
+let tick_slow r i t_now ~pool ~wl ~victim ~slowdown ~flows =
+  let batch = Workload.batch wl ~count:flows in
+  let total = Workload.total_packets batch in
+  let before = Telemetry.total (Domainpool.telemetry pool) in
+  let d0 = before.Telemetry.delivered in
+  let t0 = before.Telemetry.ttl_expired in
+  let shed0 = Domainpool.shed pool in
+  let slow = if in_fault_window r t_now then Some (victim, slowdown) else None in
+  ignore (Domainpool.run_cooperative ?slow pool batch : int);
+  let after = Telemetry.total (Domainpool.telemetry pool) in
+  let delivered = after.Telemetry.delivered - d0 in
+  let looped = after.Telemetry.ttl_expired - t0 in
+  let shed_d = Domainpool.shed pool - shed0 in
+  if shed_d > 0 then
+    detect_overload r t_now
+      "backpressure detected: shard %d starved, %d packet(s) shed (spill \
+       high-water %d)"
+      victim shed_d
+      (Domainpool.overflow_high_water pool);
+  let tf = float_of_int total in
+  let ok = float_of_int delivered /. tf in
+  let looped = float_of_int looped /. tf in
+  r.rows_rev <-
+    {
+      tick = i;
+      time = t_now;
+      phase = phase_at r t_now;
+      ok;
+      stale = 0.0;
+      hijacked = 0.0;
+      lost = Float.max 0.0 (1.0 -. ok -. looped);
+      looped;
+    }
+    :: r.rows_rev
+
 let tick r i eng =
   let t_now = Engine.now eng in
   let n_routers = Internet.num_routers r.inet in
@@ -167,6 +294,22 @@ let tick r i eng =
     Pump.refresh ~routers:batch r.pump;
     r.refreshed <- upto
   end;
+  match r.overload with
+  | Some (Slow { pool; wl; victim; slowdown; flows }) ->
+      tick_slow r i t_now ~pool ~wl ~victim ~slowdown ~flows
+  | (Some (Flash _) | None) as ov ->
+  let probe_cls =
+    match ov with
+    | Some (Flash f) ->
+        if in_fault_window r t_now then begin
+          flood r ~burst:f.burst ~seq:f.seq;
+          f.seq <- f.seq + f.burst
+        end;
+        (* operational probes are control traffic: the link queues'
+           reserve gives them drop precedence over the crowd *)
+        Some Telemetry.Control
+    | _ -> None
+  in
   let members = Service.members r.service in
   let addr = Service.address r.service in
   let ok = ref 0 and stale = ref 0 and hij = ref 0 in
@@ -177,7 +320,7 @@ let tick r i eng =
       let p =
         Netcore.Packet.make_data ~src:hh.Internet.haddr ~dst:addr "probe"
       in
-      let tr = Pump.inject r.pump p ~entry:hh.Internet.access_router in
+      let tr = Pump.inject ?cls:probe_cls r.pump p ~entry:hh.Internet.access_router in
       let ended_in_rogue =
         match r.rogue with
         | Some rg -> (
@@ -214,7 +357,19 @@ let tick r i eng =
       lost = frac lost;
       looped = frac looped;
     }
-    :: r.rows_rev
+    :: r.rows_rev;
+  match ov with
+  | Some (Flash f) ->
+      (* serve the queues once per tick, then detect overload from the
+         pump's own counters *)
+      Linkq.tick f.lq;
+      let tot = Telemetry.total (Pump.telemetry r.pump) in
+      let drops = tot.Telemetry.queue_dropped + tot.Telemetry.shed in
+      if drops > 0 then
+        detect_overload r t_now
+          "flash crowd detected: %d queue drop(s), %d shed"
+          tot.Telemetry.queue_dropped tot.Telemetry.shed
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Fault script + operator playbook                                    *)
@@ -226,6 +381,10 @@ let arm r =
   let restore_time = until +. b.Drillbook.detection_delay in
   let g = r.inet.Internet.graph in
   (match b.Drillbook.kind with
+  | Drillbook.Flash_crowd _ | Drillbook.Slow_consumer _ ->
+      (* the overload kinds inject demand inside the tick itself and
+         detect from the overload counters — no fault-fabric script *)
+      ()
   | Drillbook.Blackout _ ->
       List.iter
         (fun (a, b', _) ->
@@ -531,6 +690,32 @@ let prepare ?params (b : Drillbook.t) =
     Rng.shuffle rng arr;
     arr
   in
+  let overload =
+    match b.Drillbook.kind with
+    | Drillbook.Flash_crowd { rate; depth; reserve; burst } ->
+        let lq = Linkq.of_internet ~control_reserve:reserve ~rate ~depth inet in
+        Pump.attach_linkq pump lq;
+        Some (Flash { lq; burst; seq = 0 })
+    | Drillbook.Slow_consumer { shards; victim; slowdown; spill_cap; flows } ->
+        (* a tiny topology override may have fewer routers than the
+           book's shard count — clamp, keeping the victim in range *)
+        let shards = max 1 (min shards (Internet.num_routers inet)) in
+        let pool =
+          (* tight rings and paced injection (two fresh flows per pass)
+             turn the tick's batch into a sustained arrival process, so
+             starving the victim builds real backlog instead of one
+             absorbable burst *)
+          Domainpool.create ~ring_capacity:spill_cap ~spill_cap
+            ~inject_per_pass:2 env ~shards
+            ~seed:(Int64.add b.Drillbook.seed 7300L)
+        in
+        let wl =
+          Workload.create inet Workload.Uniform
+            ~seed:(Int64.add b.Drillbook.seed 7301L)
+        in
+        Some (Slow { pool; wl; victim = victim mod shards; slowdown; flows })
+    | _ -> None
+  in
   let r =
     {
       book = b;
@@ -553,6 +738,7 @@ let prepare ?params (b : Drillbook.t) =
       victim_domain;
       depeered;
       deployed;
+      overload;
       horizon;
       refresh_order;
       refreshed = Internet.num_routers inet;
@@ -619,6 +805,14 @@ let transcript r =
       p "  %4d %6.2f %-10s %6.3f %6.3f %6.3f %6.3f %6.3f" row.tick row.time
         row.phase row.ok row.stale row.hijacked row.lost row.looped)
     (rows r);
+  (match r.overload with
+  | None -> ()
+  | Some _ ->
+      let d = drop_reasons r in
+      p
+        "drops: queue-full %d  shed native %d encap %d control %d  \
+         fault-fabric %d"
+        d.queue_full d.shed_native d.shed_encap d.shed_control d.fabric);
   (match r.detected_at with
   | Some t -> p "detected at t=%.2f" t
   | None -> p "never detected");

@@ -53,7 +53,33 @@ val complete : ?params:Topology.Internet.params -> Drillbook.t -> run
 (** {2 Results} *)
 
 val rows : run -> tick_row list
-(** One row per completed probe tick, in time order. *)
+(** One row per completed probe tick, in time order. For the two
+    overload kinds the fractions come from the overload machinery
+    itself: flash-crowd rows are control-probe outcomes through the
+    finite link queues; slow-consumer rows are the domain pool's
+    per-tick telemetry deltas. *)
+
+type drop_reasons = {
+  queue_full : int;  (** droptail at a full link queue *)
+  shed_native : int;  (** deliberate sheds of native-class packets *)
+  shed_encap : int;
+  shed_control : int;
+      (** control sheds — zero unless every lower class was exhausted
+          first (drop precedence, DESIGN.md §13) *)
+  fabric : int;
+      (** control-plane messages the fault fabrics killed or shed
+          (lost + cut + dead + shed over both fabrics) *)
+}
+
+val drop_reasons : run -> drop_reasons
+(** Where every lost packet went, aggregated over the pump, the
+    slow-consumer pool (when present) and both fault fabrics — the
+    [evolvenet drill --report] breakdown. *)
+
+val close : run -> unit
+(** Release OS resources held by the run (the slow-consumer pool's
+    doorbell descriptors). No-op for other kinds; call when done with
+    a run that will not be inspected further. *)
 
 val events : run -> (float * string) list
 (** The timestamped incident log (fault onset, detection, repair). *)
@@ -83,6 +109,12 @@ val phase : run -> string
     (steady | fault | healing | recovered). *)
 
 val pump : run -> Dataplane.Pump.t
+
+val linkq : run -> Dataplane.Linkq.t option
+(** The finite link queues, when the drill is a flash crowd. *)
+
+val pool : run -> Multicore.Domainpool.t option
+(** The sharded pool, when the drill is a slow consumer. *)
 
 val link_faults : run -> Simcore.Faults.t
 (** Router-level fabric: link cuts and member crashes. *)

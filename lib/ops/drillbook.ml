@@ -16,6 +16,14 @@ type kind =
       period : float;
       down_for : float;
     }
+  | Flash_crowd of { rate : int; depth : int; reserve : int; burst : int }
+  | Slow_consumer of {
+      shards : int;
+      victim : int;
+      slowdown : int;
+      spill_cap : int;
+      flows : int;
+    }
 
 type t = {
   name : string;
@@ -77,7 +85,21 @@ let make ~name ?(seed = 42L) ?(transit = 4) ?(stubs = 6) ?(deploy_domains = 4)
       if stub_rank < 0 then invalid_arg "Drillbook.make: negative stub rank";
       if cycles <= 0 then invalid_arg "Drillbook.make: cycles <= 0";
       if down_for <= 0.0 || down_for > period then
-        invalid_arg "Drillbook.make: down_for outside (0, period]");
+        invalid_arg "Drillbook.make: down_for outside (0, period]"
+  | Flash_crowd { rate; depth; reserve; burst } ->
+      if rate <= 0 || depth <= 0 then
+        invalid_arg "Drillbook.make: flash crowd needs rate > 0, depth > 0";
+      if reserve < 0 || reserve >= depth then
+        invalid_arg "Drillbook.make: control reserve outside [0, depth)";
+      if burst <= 0 then invalid_arg "Drillbook.make: burst <= 0"
+  | Slow_consumer { shards; victim; slowdown; spill_cap; flows } ->
+      if shards < 2 then
+        invalid_arg "Drillbook.make: slow consumer needs >= 2 shards";
+      if victim < 0 || victim >= shards then
+        invalid_arg "Drillbook.make: victim shard outside [0, shards)";
+      if slowdown < 2 then invalid_arg "Drillbook.make: slowdown < 2";
+      if spill_cap <= 0 then invalid_arg "Drillbook.make: spill_cap <= 0";
+      if flows <= 0 then invalid_arg "Drillbook.make: flows <= 0");
   {
     name;
     seed;
@@ -112,7 +134,16 @@ let kind_equal a b =
       x.stub_rank = y.stub_rank && x.cycles = y.cycles
       && Float.equal x.period y.period
       && Float.equal x.down_for y.down_for
-  | (Blackout _ | Depeer _ | Hijack _ | Provider_flap _), _ -> false
+  | Flash_crowd x, Flash_crowd y ->
+      x.rate = y.rate && x.depth = y.depth && x.reserve = y.reserve
+      && x.burst = y.burst
+  | Slow_consumer x, Slow_consumer y ->
+      x.shards = y.shards && x.victim = y.victim && x.slowdown = y.slowdown
+      && x.spill_cap = y.spill_cap && x.flows = y.flows
+  | ( ( Blackout _ | Depeer _ | Hijack _ | Provider_flap _ | Flash_crowd _
+      | Slow_consumer _ ),
+      _ ) ->
+      false
 
 let equal a b =
   String.equal a.name b.name
@@ -134,6 +165,8 @@ let kind_label = function
   | Depeer _ -> "depeer"
   | Hijack _ -> "hijack"
   | Provider_flap _ -> "provider-flap"
+  | Flash_crowd _ -> "flash-crowd"
+  | Slow_consumer _ -> "slow-consumer"
 
 (* ------------------------------------------------------------------ *)
 (* The built-in catalog                                                *)
@@ -166,8 +199,33 @@ let flapping_provider =
          ~hijacked:0.0)
     (Provider_flap { stub_rank = 0; cycles = 2; period = 2.0; down_for = 1.0 })
 
+(* overload drills: the fault is demand, not failure — the control
+   plane keeps its session fabrics loss-free so the rows isolate the
+   data plane's shedding behaviour *)
+let flash_crowd =
+  make ~name:"flash-crowd" ~seed:46L ~loss:0.0 ~jitter:0.0
+    ~slo:
+      (slo ~detection:1.0 ~reconverge:8.0 ~blackhole:4.0 ~stale:0.5
+         ~hijacked:0.0)
+    (Flash_crowd { rate = 3000; depth = 6000; reserve = 2000; burst = 30 })
+
+let slow_consumer =
+  make ~name:"slow-consumer" ~seed:47L ~loss:0.0 ~jitter:0.0
+    ~slo:
+      (slo ~detection:1.0 ~reconverge:8.0 ~blackhole:4.0 ~stale:0.5
+         ~hijacked:0.0)
+    (Slow_consumer
+       { shards = 4; victim = 1; slowdown = 12; spill_cap = 8; flows = 96 })
+
 let catalog =
-  [ regional_blackout; provider_depeer; prefix_hijack; flapping_provider ]
+  [
+    regional_blackout;
+    provider_depeer;
+    prefix_hijack;
+    flapping_provider;
+    flash_crowd;
+    slow_consumer;
+  ]
 
 let find name =
   List.find_opt (fun b -> String.equal b.name name) catalog
@@ -182,6 +240,9 @@ let with_intensity b intensity =
     | Depeer _ as k -> k
     | Hijack _ as k -> k
     | Provider_flap f -> Provider_flap { f with cycles = scale_i f.cycles }
+    | Flash_crowd f -> Flash_crowd { f with burst = scale_i f.burst }
+    | Slow_consumer s ->
+        Slow_consumer { s with slowdown = max 2 (scale_i s.slowdown) }
   in
   { b with kind; loss = Float.min 0.9 (b.loss *. intensity) }
 
@@ -290,7 +351,28 @@ let kind_of_sexp body =
           period = require "period" (float_field "period" kb);
           down_for = require "down-for" (float_field "down-for" kb);
         }
-  | _ -> raise (Parse_error "unknown (kind ...); want blackout|depeer|hijack|flap")
+  | [ List (Atom "flash-crowd" :: kb) ] ->
+      Flash_crowd
+        {
+          rate = require "rate" (int_field "rate" kb);
+          depth = require "depth" (int_field "depth" kb);
+          reserve = Option.value ~default:0 (int_field "reserve" kb);
+          burst = require "burst" (int_field "burst" kb);
+        }
+  | [ List (Atom "slow-consumer" :: kb) ] ->
+      Slow_consumer
+        {
+          shards = require "shards" (int_field "shards" kb);
+          victim = Option.value ~default:0 (int_field "victim" kb);
+          slowdown = require "slowdown" (int_field "slowdown" kb);
+          spill_cap = require "spill-cap" (int_field "spill-cap" kb);
+          flows = require "flows" (int_field "flows" kb);
+        }
+  | _ ->
+      raise
+        (Parse_error
+           "unknown (kind ...); want \
+            blackout|depeer|hijack|flap|flash-crowd|slow-consumer")
 
 let of_string s =
   try
@@ -355,6 +437,15 @@ let kind_to_sexp = function
       Printf.sprintf
         "(flap (stub-rank %d) (cycles %d) (period %s) (down-for %s))" stub_rank
         cycles (ffmt period) (ffmt down_for)
+  | Flash_crowd { rate; depth; reserve; burst } ->
+      Printf.sprintf
+        "(flash-crowd (rate %d) (depth %d) (reserve %d) (burst %d))" rate depth
+        reserve burst
+  | Slow_consumer { shards; victim; slowdown; spill_cap; flows } ->
+      Printf.sprintf
+        "(slow-consumer (shards %d) (victim %d) (slowdown %d) (spill-cap %d) \
+         (flows %d))"
+        shards victim slowdown spill_cap flows
 
 let to_sexp b =
   String.concat "\n"

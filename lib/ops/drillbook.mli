@@ -24,8 +24,10 @@ type slo = {
   max_hijacked : float;  (** worst acceptable peak delivery-to-rogue fraction *)
 }
 
-(** The four incident archetypes, mirroring the failure modes the
-    paper argues anycast evolvability must survive. *)
+(** The incident archetypes, mirroring the failure modes the paper
+    argues anycast evolvability must survive — plus two overload
+    archetypes where the incident is demand, not failure
+    (DESIGN.md §13). *)
 type kind =
   | Blackout of { links : int; routers_down : int }
       (** a regional event: correlated cuts of [links] live
@@ -46,6 +48,24 @@ type kind =
       (** the deployed stub's primary provider link flaps: [cycles]
           down/up cycles, down [down_for] out of every [period] —
           replayed through {!Simcore.Faults.schedule_flap_train} *)
+  | Flash_crowd of { rate : int; depth : int; reserve : int; burst : int }
+      (** every link gets a {!Dataplane.Linkq} of [depth] bytes
+          draining [rate] bytes per tick with [reserve] bytes held for
+          control traffic; during the fault window [burst] extra data
+          packets per tick saturate the queues while control probes
+          must keep flowing — graceful degradation, not a cliff *)
+  | Slow_consumer of {
+      shards : int;
+      victim : int;
+      slowdown : int;
+      spill_cap : int;
+      flows : int;
+    }
+      (** a [shards]-way {!Multicore.Domainpool} forwards [flows]
+          flows per tick under the deterministic cooperative driver;
+          during the fault window shard [victim] runs one pass every
+          [slowdown] rounds, so its peers' rings back up into
+          [spill_cap]-bounded spill buffers and shedding begins *)
 
 type t = {
   name : string;
@@ -105,7 +125,8 @@ val equal : t -> t -> bool
     used by the loader round-trip tests. *)
 
 val kind_label : kind -> string
-(** ["blackout" | "depeer" | "hijack" | "provider-flap"]. *)
+(** ["blackout" | "depeer" | "hijack" | "provider-flap" |
+    "flash-crowd" | "slow-consumer"]. *)
 
 (** {2 The built-in catalog} *)
 
@@ -114,8 +135,16 @@ val provider_depeer : t
 val prefix_hijack : t
 val flapping_provider : t
 
+val flash_crowd : t
+(** Queue-saturating data burst with control probes riding the
+    reserve — the overload drill CI runs as its SLO gate. *)
+
+val slow_consumer : t
+(** One starved shard under the cooperative pool driver — sustained
+    backpressure with bounded spill and deterministic shedding. *)
+
 val catalog : t list
-(** The four archetypes above, in that order — what experiment E34
+(** The six archetypes above, in that order — what experiment E34
     sweeps and [evolvenet drill --name] looks up. *)
 
 val find : string -> t option
@@ -123,9 +152,9 @@ val find : string -> t option
 
 val with_intensity : t -> float -> t
 (** Scale the drill's severity: message loss and the kind's magnitude
-    knob (blackout link count, flap cycle count) are multiplied by the
-    factor (loss capped at 0.9). Intensity 1.0 is the identity; E34
-    sweeps it.
+    knob (blackout link count, flap cycle count, flash-crowd burst,
+    slow-consumer slowdown) are multiplied by the factor (loss capped
+    at 0.9). Intensity 1.0 is the identity; E34 sweeps it.
     @raise Invalid_argument when the factor is not positive. *)
 
 (** {2 File format} *)

@@ -179,9 +179,10 @@ let sessions_lines r ~domain =
 
 let stats_line tag (s : Faults.stats) =
   Printf.sprintf
-    "  %s: sent=%d delivered=%d lost=%d cut=%d dead=%d dup=%d reordered=%d"
+    "  %s: sent=%d delivered=%d lost=%d cut=%d dead=%d shed=%d dup=%d \
+     reordered=%d"
     tag s.Faults.sent s.Faults.delivered s.Faults.lost s.Faults.cut
-    s.Faults.dead s.Faults.duplicated s.Faults.reordered
+    s.Faults.dead s.Faults.shed s.Faults.duplicated s.Faults.reordered
 
 let health_lines r =
   let b = Drill.book r in

@@ -9,6 +9,7 @@ type stats = {
   last_change : float;
   keepalives : int;
   resets : int;
+  shed_retries : int;
 }
 
 (* a candidate route at a domain *)
@@ -47,6 +48,7 @@ type t = {
   mutable last_change : float;
   mutable keepalives : int;
   mutable resets : int;
+  mutable shed_retries : int;
 }
 
 let origin_pref = 4
@@ -82,15 +84,50 @@ let exportable t d (s : session) prefix =
       else None
 
 (* hand a message to the fabric (or straight to the engine when no
-   faults are configured); false = the transport visibly failed *)
-let post t engine d (s : session) action =
+   faults are configured); false = the transport visibly failed.
+   A [Shed] verdict is overload, not failure: the channel is alive and
+   the fabric just refused this window's budget, so instead of a
+   session reset we re-post after an exponential backoff (doubling
+   from one session delay), giving up — and only then treating it as a
+   transport failure — after [max_shed_retries] refusals. *)
+let max_shed_retries = 8
+
+(* [still_wanted] is re-checked before every re-post: an update retry
+   carries the advertisement captured at flush time, and replaying it
+   after a newer flush advertised something else would let the stale
+   path land second and overwrite the fresh one. [on_give_up] runs
+   when a retry exhausts the budget (or the retried transport visibly
+   fails) — the async analogue of [post] returning [false] to its
+   original caller, which by then has long returned. *)
+let rec post ?(prio = Faults.Bulk) ?(attempt = 0)
+    ?(still_wanted = fun () -> true) ?on_give_up t engine d (s : session)
+    action =
   match t.faults with
   | None ->
       Engine.schedule engine ~delay:s.delay action;
       true
   | Some f -> (
-      match Faults.send f engine ~src:d ~dst:s.peer ~delay:s.delay action with
+      match
+        Faults.send ~prio f engine ~src:d ~dst:s.peer ~delay:s.delay action
+      with
       | Faults.Sent -> true
+      | Faults.Shed ->
+          if attempt >= max_shed_retries then false
+          else begin
+            t.shed_retries <- t.shed_retries + 1;
+            let backoff = s.delay *. Float.of_int (1 lsl attempt) in
+            Engine.schedule engine ~delay:backoff (fun engine ->
+                if alive t d && s.up && still_wanted () then
+                  if
+                    not
+                      (post ~prio ~attempt:(attempt + 1) ~still_wanted
+                         ?on_give_up t engine d s action)
+                  then
+                    match on_give_up with
+                    | Some give_up -> give_up engine
+                    | None -> ());
+            true
+          end
       | Faults.Lost | Faults.Cut | Faults.Dead -> false)
 
 let rec recompute_best t engine d prefix =
@@ -168,17 +205,31 @@ and flush t engine d (s : session) =
                 s.advertised <-
                   (prefix, path) :: List.remove_assoc prefix s.advertised;
                 t.updates <- t.updates + 1;
+                let still_wanted () =
+                  match List.assoc_opt prefix s.advertised with
+                  | Some cur -> List.equal Int.equal cur path
+                  | None -> false
+                in
                 if
                   not
-                    (post t engine d s (fun engine ->
+                    (post ~still_wanted
+                       ~on_give_up:(fun engine -> transport_failure t engine d s)
+                       t engine d s
+                       (fun engine ->
                          receive t engine ~at:s.peer ~from:d ~prefix (Some path)))
                 then failed := true
             | None, Some _ ->
                 s.advertised <- List.remove_assoc prefix s.advertised;
                 t.updates <- t.updates + 1;
+                let still_wanted () =
+                  Option.is_none (List.assoc_opt prefix s.advertised)
+                in
                 if
                   not
-                    (post t engine d s (fun engine ->
+                    (post ~still_wanted
+                       ~on_give_up:(fun engine -> transport_failure t engine d s)
+                       t engine d s
+                       (fun engine ->
                          receive t engine ~at:s.peer ~from:d ~prefix None))
                 then failed := true
             | None, None -> ())
@@ -355,6 +406,7 @@ let create ?(mrai = 2.0) ?(link_delay = 0.1) ?(jitter = 0.0)
       last_change = 0.0;
       keepalives = 0;
       resets = 0;
+      shed_retries = 0;
     }
   in
   (match faults with
@@ -383,7 +435,7 @@ let enable_timers ?(keepalive = 1.0) ?(hold = 3.5) t engine ~until =
                   t.keepalives <- t.keepalives + 1;
                   if
                     not
-                      (post t engine d s (fun engine ->
+                      (post ~prio:Faults.Keepalive t engine d s (fun engine ->
                            heard t engine ~at:s.peer ~from:d))
                   then transport_failure t engine d s)
                 t.sessions.(d)
@@ -430,6 +482,7 @@ let stats t =
     last_change = t.last_change;
     keepalives = t.keepalives;
     resets = t.resets;
+    shed_retries = t.shed_retries;
   }
 
 let agrees_with_synchronous t =

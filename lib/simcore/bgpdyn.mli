@@ -22,6 +22,10 @@ type stats = {
   keepalives : int;  (** keepalive messages sent (E31 overhead) *)
   resets : int;  (** session halves torn down — hold expiry, transport
                      failure, crash *)
+  shed_retries : int;
+      (** sends refused by the fabric's capacity budget and retried
+          with exponential backoff instead of resetting the session —
+          the overload-survival path of DESIGN.md §13 *)
 }
 
 type t

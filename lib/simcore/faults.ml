@@ -5,13 +5,20 @@ type policy = {
   dup : float;
   extra_delay : float;
   jitter : float;
+  capacity : int;
 }
 
-let reliable = { loss = 0.0; dup = 0.0; extra_delay = 0.0; jitter = 0.0 }
+let reliable =
+  { loss = 0.0; dup = 0.0; extra_delay = 0.0; jitter = 0.0; capacity = 0 }
 
-let lossy ?(dup = 0.0) ?(extra_delay = 0.0) ?(jitter = 0.0) loss =
+let lossy ?(dup = 0.0) ?(extra_delay = 0.0) ?(jitter = 0.0) ?(capacity = 0) loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Faults.lossy: loss not in [0,1]";
-  { loss; dup; extra_delay; jitter }
+  if capacity < 0 then invalid_arg "Faults.lossy: negative capacity";
+  { loss; dup; extra_delay; jitter; capacity }
+
+let limited capacity =
+  if capacity <= 0 then invalid_arg "Faults.limited: capacity must be positive";
+  { reliable with capacity }
 
 type stats = {
   sent : int;
@@ -19,17 +26,24 @@ type stats = {
   lost : int;
   cut : int;
   dead : int;
+  shed : int;
   duplicated : int;
   reordered : int;
 }
 
-type outcome = Sent | Lost | Cut | Dead
+type outcome = Sent | Lost | Cut | Dead | Shed
+type prio = Bulk | Keepalive
+
+(* Per-directed-pair capacity accounting: messages admitted in the
+   current unit-time window. *)
+type window = { mutable w_start : float; mutable w_used : int }
 
 type t = {
   rng : Rng.t;
   mutable policy : src:int -> dst:int -> policy;
   fifo : bool;
   last_delivery : (int * int, float) Hashtbl.t;  (* per directed pair *)
+  windows : (int * int, window) Hashtbl.t;  (* per directed pair *)
   down_links : (int * int, unit) Hashtbl.t;
   down_nodes : (int, unit) Hashtbl.t;
   mutable on_crash : (Engine.t -> int -> unit) list;
@@ -39,6 +53,7 @@ type t = {
   mutable lost : int;
   mutable cut : int;
   mutable dead : int;
+  mutable shed : int;
   mutable duplicated : int;
   mutable reordered : int;
 }
@@ -49,6 +64,7 @@ let create ?(policy = fun ~src:_ ~dst:_ -> reliable) ?(fifo = false) seed =
     policy;
     fifo;
     last_delivery = Hashtbl.create 16;
+    windows = Hashtbl.create 16;
     down_links = Hashtbl.create 8;
     down_nodes = Hashtbl.create 8;
     on_crash = [];
@@ -58,6 +74,7 @@ let create ?(policy = fun ~src:_ ~dst:_ -> reliable) ?(fifo = false) seed =
     lost = 0;
     cut = 0;
     dead = 0;
+    shed = 0;
     duplicated = 0;
     reordered = 0;
   }
@@ -71,6 +88,7 @@ let stats t =
     lost = t.lost;
     cut = t.cut;
     dead = t.dead;
+    shed = t.shed;
     duplicated = t.duplicated;
     reordered = t.reordered;
   }
@@ -162,7 +180,41 @@ let attempt t engine ~src ~dst ~delay ~(p : policy) action =
     true
   end
 
-let send t engine ~src ~dst ~delay action =
+(* Capacity admission over fixed unit-time windows anchored at integer
+   simulation times — deterministic, no randomness. A [Bulk] message
+   is shed once the window's budget is spent; [Keepalive] traffic gets
+   twice the budget, so keepalives are never shed before bulk sends:
+   any window state that sheds a keepalive has been shedding bulk
+   messages since half that many admissions ago. *)
+let over_capacity t engine ~src ~dst ~prio capacity =
+  capacity > 0
+  && begin
+       let now = Engine.now engine in
+       let w_start = Float.of_int (int_of_float now) in
+       let w =
+         match Hashtbl.find_opt t.windows (src, dst) with
+         | Some w ->
+             if w.w_start < w_start then begin
+               w.w_start <- w_start;
+               w.w_used <- 0
+             end;
+             w
+         | None ->
+             let w = { w_start; w_used = 0 } in
+             Hashtbl.replace t.windows (src, dst) w;
+             w
+       in
+       let budget =
+         match prio with Bulk -> capacity | Keepalive -> 2 * capacity
+       in
+       if w.w_used >= budget then true
+       else begin
+         w.w_used <- w.w_used + 1;
+         false
+       end
+     end
+
+let send ?(prio = Bulk) t engine ~src ~dst ~delay action =
   if not (node_up t src) || not (node_up t dst) then begin
     t.dead <- t.dead + 1;
     Dead
@@ -172,12 +224,20 @@ let send t engine ~src ~dst ~delay action =
     Cut
   end
   else begin
-    t.sent <- t.sent + 1;
     let p = t.policy ~src ~dst in
-    let landed = attempt t engine ~src ~dst ~delay ~p action in
-    if Rng.bernoulli t.rng p.dup then begin
-      t.duplicated <- t.duplicated + 1;
-      ignore (attempt t engine ~src ~dst ~delay ~p action)
-    end;
-    if landed then Sent else Lost
+    if over_capacity t engine ~src ~dst ~prio p.capacity then begin
+      (* overload, not failure: the sender should retry with backoff,
+         not reset the session (DESIGN.md §13) *)
+      t.shed <- t.shed + 1;
+      Shed
+    end
+    else begin
+      t.sent <- t.sent + 1;
+      let landed = attempt t engine ~src ~dst ~delay ~p action in
+      if Rng.bernoulli t.rng p.dup then begin
+        t.duplicated <- t.duplicated + 1;
+        ignore (attempt t engine ~src ~dst ~delay ~p action)
+      end;
+      if landed then Sent else Lost
+    end
   end

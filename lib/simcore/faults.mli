@@ -24,15 +24,30 @@ type policy = {
   jitter : float;
       (** uniform extra latency in [0, jitter] — what reorders
           messages relative to their send order *)
+  capacity : int;
+      (** messages admitted per directed pair per unit of simulation
+          time; 0 (the default) means unlimited. Beyond the budget the
+          fabric {e sheds} — a deterministic overload verdict distinct
+          from loss, which the sender answers with retry/backoff
+          rather than a session reset (DESIGN.md §13). [Keepalive]
+          sends get twice the budget, so keepalives are never shed
+          before bulk traffic. *)
 }
 
 val reliable : policy
 (** No loss, no duplication, no extra delay — the idealized fabric
     every protocol ran on before this module existed. *)
 
-val lossy : ?dup:float -> ?extra_delay:float -> ?jitter:float -> float -> policy
+val lossy :
+  ?dup:float -> ?extra_delay:float -> ?jitter:float -> ?capacity:int -> float -> policy
 (** [lossy p] drops each transmission with probability [p].
-    @raise Invalid_argument when [p] is outside [0,1]. *)
+    @raise Invalid_argument when [p] is outside [0,1] or [capacity] is
+    negative. *)
+
+val limited : int -> policy
+(** [limited c] is {!reliable} with [capacity = c]: the pure-overload
+    fabric the shed/backoff tests use.
+    @raise Invalid_argument when [c] is not positive. *)
 
 type t
 
@@ -55,8 +70,18 @@ type outcome =
   | Lost  (** killed by the loss draw *)
   | Cut  (** the link was down at send time *)
   | Dead  (** an endpoint was down at send time *)
+  | Shed
+      (** refused by the capacity budget — overload, not failure: the
+          channel is alive and the sender should retry with backoff *)
+
+type prio =
+  | Bulk  (** updates, LSAs — the first traffic shed under overload *)
+  | Keepalive
+      (** session liveness (keepalives, acks): twice the capacity
+          budget, so never shed before bulk traffic *)
 
 val send :
+  ?prio:prio ->
   t ->
   Engine.t ->
   src:int ->
@@ -68,11 +93,13 @@ val send :
     [action] after [delay] plus any policy-drawn extra latency, unless
     the fabric decides otherwise. A message is dropped when either
     endpoint is down or the link is down at send time, when the loss
-    draw fails, or when the receiver has crashed by delivery time.
-    Link state is only checked at send time — a message already on the
-    wire survives a flap. All draws happen at send time; the returned
-    outcome is the send-time verdict, which is what lets a sender
-    model TCP-style transport-failure detection. *)
+    draw fails, or when the receiver has crashed by delivery time;
+    it is shed ([prio]-aware, default [Bulk]) when the policy's
+    capacity budget for the directed pair's current unit-time window
+    is spent. Link state is only checked at send time — a message
+    already on the wire survives a flap. All draws happen at send
+    time; the returned outcome is the send-time verdict, which is
+    what lets a sender model TCP-style transport-failure detection. *)
 
 (** {2 Link flaps} *)
 
@@ -136,6 +163,7 @@ type stats = {
   lost : int;  (** dropped by the loss draw *)
   cut : int;  (** dropped because the link was down at send time *)
   dead : int;  (** dropped because an endpoint was down *)
+  shed : int;  (** refused by the capacity budget (not counted in [sent]) *)
   duplicated : int;
   reordered : int;
       (** deliveries scheduled to land strictly before a message

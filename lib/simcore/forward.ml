@@ -24,7 +24,7 @@ let make_env ?config ?(flavor_of = fun _ -> Igp.Linkstate_igp) inet =
 
 let reconverge env = Bgp.converge env.bgp
 
-type drop_reason = Ttl_expired | No_route | Stuck | Link_down
+type drop_reason = Ttl_expired | No_route | Stuck | Link_down | Queue_full | Shed
 
 type outcome =
   | Router_accepted of int

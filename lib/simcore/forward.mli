@@ -42,6 +42,14 @@ type drop_reason =
       (** the FIB pointed over a link that is currently down — only the
           fault-aware data path ({!Dataplane.Pump} under a link filter,
           experiment E32) produces this *)
+  | Queue_full
+      (** droptail loss at a finite-capacity link queue — only the
+          capacity-aware data path ({!Dataplane.Pump} with a
+          {!Dataplane.Linkq} attached, experiment E36) produces this *)
+  | Shed
+      (** deliberate load shedding: a data-class packet evicted or
+          refused in favour of control traffic under the per-class drop
+          precedence (DESIGN.md §13) *)
 
 type outcome =
   | Router_accepted of int  (** packet addressed to this router, or anycast

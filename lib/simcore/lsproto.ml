@@ -16,6 +16,7 @@ type stats = {
   last_change : float;
   acks : int;
   retransmits : int;
+  shed_retries : int;
 }
 
 (* per-(sender, neighbor, origin) reliable-flooding state *)
@@ -44,6 +45,7 @@ type t = {
   mutable last_change : float;
   mutable acks : int;
   mutable retransmits : int;
+  mutable shed_retries : int;
 }
 
 (* retransmit schedule: capped exponential backoff in units of the
@@ -63,11 +65,27 @@ let in_domain t rid =
 let alive t rid =
   match t.faults with None -> true | Some f -> Faults.node_up f rid
 
-(* raw message handoff; delivery is the fabric's problem *)
-let post t engine ~src ~dst action =
+(* raw message handoff; delivery is the fabric's problem — except a
+   [Shed] verdict (capacity overload, not loss), which the sender
+   answers with a bounded exponential-backoff re-post: acks ride
+   [Keepalive] priority so flooding stays acknowledged under overload;
+   an LSA abandoned after the retry cap is repaired by the
+   ack/retransmit machinery like any lost transmission. *)
+let max_shed_retries = 4
+
+let rec post ?(prio = Faults.Bulk) ?(attempt = 0) t engine ~src ~dst action =
   match t.faults with
   | None -> Engine.schedule engine ~delay:t.delay action
-  | Some f -> ignore (Faults.send f engine ~src ~dst ~delay:t.delay action)
+  | Some f -> (
+      match Faults.send ~prio f engine ~src ~dst ~delay:t.delay action with
+      | Faults.Shed when attempt < max_shed_retries ->
+          t.shed_retries <- t.shed_retries + 1;
+          let backoff = t.delay *. Float.of_int (1 lsl attempt) in
+          Engine.schedule engine ~delay:backoff (fun engine ->
+              if alive t src then
+                post ~prio ~attempt:(attempt + 1) t engine ~src ~dst action)
+      | Faults.Sent | Faults.Lost | Faults.Cut | Faults.Dead | Faults.Shed ->
+          ())
 
 let rec receive t engine ~rid ~from lsa =
   let li = local_index t rid in
@@ -76,7 +94,7 @@ let rec receive t engine ~rid ~from lsa =
   (match from with
   | Some from when Option.is_some t.faults ->
       t.acks <- t.acks + 1;
-      post t engine ~src:rid ~dst:from (fun engine ->
+      post ~prio:Faults.Keepalive t engine ~src:rid ~dst:from (fun engine ->
           receive_ack t engine ~rid:from ~nb:rid ~origin:lsa.origin ~seq:lsa.seq)
   | _ -> ());
   let fresher =
@@ -234,6 +252,7 @@ let create ?(link_delay = 1.0) ?faults inet ~domain =
       last_change = 0.0;
       acks = 0;
       retransmits = 0;
+      shed_retries = 0;
     }
   in
   (match faults with
@@ -327,6 +346,7 @@ let stats t =
     last_change = t.last_change;
     acks = t.acks;
     retransmits = t.retransmits;
+    shed_retries = t.shed_retries;
   }
 
 let spf t ~router =

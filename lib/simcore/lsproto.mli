@@ -25,6 +25,11 @@ type stats = {
   last_change : float;  (** engine time of the last LSDB update *)
   acks : int;  (** acknowledgement messages sent (E31 overhead) *)
   retransmits : int;  (** unacked LSA transmissions repeated by timer *)
+  shed_retries : int;
+      (** sends refused by the fabric's capacity budget and re-posted
+          with exponential backoff (DESIGN.md §13); acks ride
+          [Faults.Keepalive] priority so flooding stays acknowledged
+          under overload *)
 }
 
 val create :

@@ -314,7 +314,14 @@ let test_bench_drills_schema () =
   List.iter
     (fun n ->
       check Alcotest.bool (n ^ " present") true (contains body ("\"" ^ n ^ "\"")))
-    [ "regional-blackout"; "provider-depeer"; "prefix-hijack"; "flapping-provider" ];
+    [
+      "regional-blackout";
+      "provider-depeer";
+      "prefix-hijack";
+      "flapping-provider";
+      "flash-crowd";
+      "slow-consumer";
+    ];
   (* the committed artifact doubles as a regression gate: every
      catalog drill must be green in it *)
   check Alcotest.bool "drills pass" true (contains body "\"pass\": true");
@@ -332,6 +339,34 @@ let test_bench_drills_schema () =
           | Some f when Float.is_finite f && f >= 0.0 -> ()
           | _ -> Alcotest.failf "%S is not a finite number (%S)" key v))
     [ "blackhole_s"; "stale_frac"; "hijacked_peak" ]
+
+let test_bench_overload_schema () =
+  let body = read_bench "BENCH_overload.json" in
+  check_schema "BENCH_overload.json" ~strings:[]
+    ~numbers:
+      [
+        "uncrashed_run_ms"; "crashed_run_ms"; "recovery_overhead_ms"; "restarts";
+      ];
+  check Alcotest.bool "has the goodput-vs-load curve" true
+    (contains body "goodput_vs_load");
+  check Alcotest.bool "has per-drill drop reasons" true
+    (contains body "overload_drills");
+  check Alcotest.bool "both overload drills present" true
+    (contains body "flash-crowd" && contains body "slow-consumer");
+  (* the supervised restart really happened, and it was cheap enough
+     to measure rather than hang *)
+  (match field body "restarts" with
+  | Some v -> check Alcotest.bool "restarts fired" true (float_of_string v >= 1.0)
+  | None -> Alcotest.failf "missing key \"restarts\"");
+  (match field body "recovery_overhead_ms" with
+  | Some v ->
+      check Alcotest.bool "recovery overhead non-negative and finite" true
+        (let f = float_of_string v in
+         Float.is_finite f && f >= 0.0)
+  | None -> Alcotest.failf "missing key \"recovery_overhead_ms\"");
+  (* control never shed before data anywhere on the curve *)
+  check Alcotest.bool "control rides the reserve" false
+    (contains body "\"ctrl_ok\": 0.")
 
 let () =
   Alcotest.run "cli"
@@ -379,5 +414,7 @@ let () =
             test_bench_shard_schema;
           Alcotest.test_case "BENCH_drills schema" `Slow
             test_bench_drills_schema;
+          Alcotest.test_case "BENCH_overload schema" `Slow
+            test_bench_overload_schema;
         ] );
     ]

@@ -12,6 +12,7 @@ module Fabric = Vnbone.Fabric
 module Router = Vnbone.Router
 module Transport = Vnbone.Transport
 module Flowcache = Dataplane.Flowcache
+module Linkq = Dataplane.Linkq
 module Workload = Dataplane.Workload
 module Telemetry = Dataplane.Telemetry
 module Pump = Dataplane.Pump
@@ -42,6 +43,8 @@ let trace_str (t : Forward.trace) =
     | Forward.Dropped Forward.No_route -> "drop no-route"
     | Forward.Dropped Forward.Stuck -> "drop stuck"
     | Forward.Dropped Forward.Link_down -> "drop link-down"
+    | Forward.Dropped Forward.Queue_full -> "drop queue-full"
+    | Forward.Dropped Forward.Shed -> "drop shed"
   in
   String.concat ">" (List.map string_of_int t.Forward.hops) ^ " => " ^ outcome
 
@@ -369,6 +372,138 @@ let test_refresh_clears_caches () =
   check Alcotest.int "first post-refresh pass misses" hits_before
     t.Telemetry.cache_hits
 
+(* ------------------------------------------------------------------ *)
+(* Linkq: finite-capacity link queues (DESIGN.md §13)                  *)
+
+let test_linkq_admission_discipline () =
+  (* depth 1000, reserve 100: data plays in [0, 900], control in
+     [0, 1000], and a data refusal with reserve room left is a shed *)
+  let lq =
+    Linkq.create ~control_reserve:100 ~routers:3 ~rate:300 ~depth:1000
+      [ (0, 1) ]
+  in
+  let data = Telemetry.Native and ctl = Telemetry.Control in
+  let admit cls bytes = Linkq.admit lq ~src:0 ~dst:1 ~cls ~bytes in
+  check Alcotest.bool "600B data fits" true (admit data 600 = Linkq.Admitted);
+  check Alcotest.bool "second 600B overflows the depth: droptail" true
+    (admit data 600 = Linkq.Rejected_full);
+  check Alcotest.bool "350B data only blocked by the reserve: shed" true
+    (admit data 350 = Linkq.Rejected_shed);
+  check Alcotest.bool "350B control rides the reserve" true
+    (admit ctl 350 = Linkq.Admitted);
+  check Alcotest.bool "control past the depth still droptails" true
+    (admit ctl 100 = Linkq.Rejected_full);
+  check Alcotest.bool "unregistered link stays an infinite pipe" true
+    (Linkq.admit lq ~src:0 ~dst:2 ~cls:data ~bytes:999_999 = Linkq.Admitted);
+  check Alcotest.int "950B queued on the loaded direction" 950
+    (Linkq.queued lq ~src:0 ~dst:1);
+  check Alcotest.int "reverse direction registered but idle" 0
+    (Linkq.queued lq ~src:1 ~dst:0);
+  Linkq.tick lq;
+  check Alcotest.int "tick drains one rate quantum" 650
+    (Linkq.queued lq ~src:0 ~dst:1);
+  let s = Linkq.stats lq in
+  check Alcotest.int "both directions registered" 2 s.Linkq.links;
+  check Alcotest.int "two admissions" 2 s.Linkq.admitted;
+  check Alcotest.int "two droptails" 2 s.Linkq.drops_full;
+  check Alcotest.int "one precedence shed" 1 s.Linkq.drops_shed;
+  check Alcotest.int "queued tracks the drain" 650 s.Linkq.queued;
+  check Alcotest.int "high water from before the tick" 950 s.Linkq.high_water;
+  check (Alcotest.float 1e-9) "mean delay in ticks" 1.0 s.Linkq.mean_delay
+
+let test_linkq_validation () =
+  let invalid msg g =
+    match g () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("expected Invalid_argument: " ^ msg)
+  in
+  invalid "zero rate" (fun () ->
+      ignore (Linkq.create ~routers:2 ~rate:0 ~depth:10 [ (0, 1) ]));
+  invalid "zero depth" (fun () ->
+      ignore (Linkq.create ~routers:2 ~rate:1 ~depth:0 [ (0, 1) ]));
+  invalid "reserve = depth" (fun () ->
+      ignore
+        (Linkq.create ~control_reserve:10 ~routers:2 ~rate:1 ~depth:10
+           [ (0, 1) ]));
+  invalid "endpoint out of range" (fun () ->
+      ignore (Linkq.create ~routers:2 ~rate:1 ~depth:10 [ (0, 2) ]))
+
+(* Drive a pump through congested queues and check, class by class,
+   that every injected packet is accounted exactly once: delivered +
+   dropped + ttl-expired + queue-dropped + shed = injected. *)
+let partition_run ~reserve ~load =
+  let inet = Internet.build Internet.default_params in
+  let env = Forward.make_env inet in
+  let hosts =
+    Array.init
+      (Array.length inet.Internet.endhosts)
+      (fun h -> Internet.endhost inet h)
+  in
+  let nh = Array.length hosts in
+  let pump = Pump.create env in
+  let lq =
+    Linkq.of_internet ~control_reserve:reserve ~rate:3000 ~depth:6000 inet
+  in
+  Pump.attach_linkq pump lq;
+  let payload = String.make 600 'd' in
+  let data_in = ref 0 and ctl_in = ref 0 in
+  for _tick = 1 to 8 do
+    for k = 0 to load - 1 do
+      let s = hosts.(k mod nh) and d = hosts.((k + (nh / 2) + 1) mod nh) in
+      if s != d then begin
+        incr data_in;
+        let p =
+          Packet.make_data ~src:s.Internet.haddr ~dst:d.Internet.haddr payload
+        in
+        ignore (Pump.inject pump p ~entry:s.Internet.access_router)
+      end
+    done;
+    for k = 0 to 7 do
+      let s = hosts.(k mod nh) and d = hosts.((k + (nh / 3) + 1) mod nh) in
+      if s != d then begin
+        incr ctl_in;
+        let p =
+          Packet.make_data ~src:s.Internet.haddr ~dst:d.Internet.haddr "probe"
+        in
+        ignore
+          (Pump.inject ~cls:Telemetry.Control pump p
+             ~entry:s.Internet.access_router)
+      end
+    done;
+    Linkq.tick lq
+  done;
+  (Pump.telemetry pump, !data_in, !ctl_in)
+
+let terminal (c : Telemetry.counters) =
+  c.Telemetry.delivered + c.Telemetry.dropped + c.Telemetry.ttl_expired
+  + c.Telemetry.queue_dropped + c.Telemetry.shed
+
+let test_class_drop_partition_with_reserve () =
+  let tel, data_in, ctl_in = partition_run ~reserve:1200 ~load:64 in
+  let dat = Telemetry.cls tel Telemetry.Native in
+  let ctl = Telemetry.cls tel Telemetry.Control in
+  let enc = Telemetry.cls tel Telemetry.Encap in
+  check Alcotest.int "data class partitions" data_in (terminal dat);
+  check Alcotest.int "control class partitions" ctl_in (terminal ctl);
+  check Alcotest.int "no encap traffic in this run" 0 (terminal enc);
+  check Alcotest.int "classes partition the total" (data_in + ctl_in)
+    (terminal (Telemetry.total tel));
+  check Alcotest.bool "overload actually shed data" true
+    (dat.Telemetry.shed > 0);
+  check Alcotest.int "control is never shed" 0 ctl.Telemetry.shed;
+  check Alcotest.int "the reserve admitted every probe" ctl_in
+    ctl.Telemetry.delivered
+
+let test_class_drop_partition_no_reserve () =
+  (* without a reserve there is no precedence class: refusals are pure
+     droptail, so the shed counter must stay zero everywhere *)
+  let tel, data_in, ctl_in = partition_run ~reserve:0 ~load:256 in
+  let c = Telemetry.total tel in
+  check Alcotest.int "total partitions" (data_in + ctl_in) (terminal c);
+  check Alcotest.int "no reserve, no sheds" 0 c.Telemetry.shed;
+  check Alcotest.bool "congestion droptailed" true
+    (c.Telemetry.queue_dropped > 0)
+
 let () =
   Alcotest.run "dataplane"
     [
@@ -415,5 +550,15 @@ let () =
             test_refresh_tracks_control_plane;
           Alcotest.test_case "refresh clears caches" `Quick
             test_refresh_clears_caches;
+        ] );
+      ( "linkq",
+        [
+          Alcotest.test_case "admission discipline" `Quick
+            test_linkq_admission_discipline;
+          Alcotest.test_case "validation" `Quick test_linkq_validation;
+          Alcotest.test_case "per-class drop partition (reserve)" `Quick
+            test_class_drop_partition_with_reserve;
+          Alcotest.test_case "per-class drop partition (droptail)" `Quick
+            test_class_drop_partition_no_reserve;
         ] );
     ]

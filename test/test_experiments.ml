@@ -832,7 +832,7 @@ let e34 = lazy (E.e34_drill_catalog ~params:small_params ())
 let test_e34_catalog_passes () =
   let rows = Lazy.force e34 in
   (* two intensities per catalog drill *)
-  check Alcotest.int "one row per drill x intensity" 8 (List.length rows);
+  check Alcotest.int "one row per drill x intensity" 12 (List.length rows);
   List.iter
     (fun (r : E.e34_row) ->
       if r.E.intensity34 <= 1.0 +. 1e-9 then
@@ -894,6 +894,111 @@ let test_e35_containment_improves_with_deployment () =
         && r.E.hijacked_peak35 <= 1.0
         && r.E.hijacked_mean35 <= r.E.hijacked_peak35 +. 1e-9))
     rows
+
+(* --- E36 ------------------------------------------------------------ *)
+
+let e36 = lazy (E.e36_overload_response ~params:small_params ())
+
+let test_e36_graceful_degradation () =
+  let rows = Lazy.force e36 in
+  check Alcotest.int "one row per load level" 7 (List.length rows);
+  (* the delivered fraction degrades monotonically past saturation —
+     a slope, not a cliff *)
+  let rec non_increasing = function
+    | (a : E.e36_row) :: (b :: _ as rest) ->
+        b.E.goodput_frac36 <= a.E.goodput_frac36 +. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "goodput fraction non-increasing in offered load" true
+    (non_increasing rows);
+  (* absolute goodput never collapses: more offered load never delivers
+     less (the higher level replays the lower one's injections as a
+     per-tick prefix) *)
+  let rec goodput_monotone = function
+    | (a : E.e36_row) :: (b :: _ as rest) ->
+        b.E.goodput36 >= a.E.goodput36 && goodput_monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "absolute goodput non-decreasing" true
+    (goodput_monotone rows);
+  List.iter
+    (fun (r : E.e36_row) ->
+      check Alcotest.bool
+        (Printf.sprintf "load %d: queued bytes bounded by depth" r.E.load36)
+        true r.E.bounded36;
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "load %d: control never shed before data" r.E.load36)
+        1.0 r.E.ctrl_ok36;
+      check Alcotest.bool
+        (Printf.sprintf "load %d: some goodput survives" r.E.load36)
+        true (r.E.goodput36 > 0))
+    rows;
+  (* the sweep actually reaches saturation: the top load is shed *)
+  let last = List.nth rows (List.length rows - 1) in
+  check Alcotest.bool "top load overloads the queues" true
+    (last.E.shed36 + last.E.qdrop36 > 0);
+  check Alcotest.bool "delay grows under overload" true
+    (last.E.delay36 >= (List.hd rows).E.delay36)
+
+let test_e36_deterministic () =
+  let row_str (r : E.e36_row) =
+    Printf.sprintf "%d %d %d %.6f %.6f %d %d %.6f %d %b" r.E.load36
+      r.E.offered36 r.E.goodput36 r.E.goodput_frac36 r.E.ctrl_ok36 r.E.qdrop36
+      r.E.shed36 r.E.delay36 r.E.queued_hw36 r.E.bounded36
+  in
+  let run () =
+    List.map row_str (E.e36_overload_response ~params:small_params ())
+  in
+  check Alcotest.(list string) "e36 rows identical across runs" (run ())
+    (run ())
+
+(* --- E37 ------------------------------------------------------------ *)
+
+let e37 = lazy (E.e37_crash_recovery ~params:small_params ())
+
+let test_e37_zero_divergence () =
+  let rows = Lazy.force e37 in
+  check Alcotest.int "one row per shard count" 4 (List.length rows);
+  List.iter
+    (fun (r : E.e37_row) ->
+      check Alcotest.bool
+        (Printf.sprintf "%d shards: the crash fired and was supervised"
+           r.E.shards37)
+        true
+        (r.E.restarts37 >= 1);
+      check Alcotest.bool
+        (Printf.sprintf "%d shards: verdicts identical after restart"
+           r.E.shards37)
+        true r.E.identical37;
+      check Alcotest.int
+        (Printf.sprintf "%d shards: nothing shed across the restart"
+           r.E.shards37)
+        0 r.E.shed37;
+      check Alcotest.bool
+        (Printf.sprintf "%d shards: traffic terminated" r.E.shards37)
+        true
+        (r.E.delivered37 + r.E.dropped37 + r.E.ttl37 > 0))
+    rows;
+  (* the verdict counts themselves are shard-count invariant, as E33
+     demands of the uncrashed pool *)
+  (match rows with
+  | first :: rest ->
+      List.iter
+        (fun (r : E.e37_row) ->
+          check Alcotest.int "delivered invariant across shard counts"
+            first.E.delivered37 r.E.delivered37)
+        rest
+  | [] -> ())
+
+let test_e37_deterministic () =
+  let row_str (r : E.e37_row) =
+    Printf.sprintf "%d %d %d %d %d %d %d %b" r.E.shards37 r.E.restarts37
+      r.E.rounds37 r.E.delivered37 r.E.dropped37 r.E.ttl37 r.E.shed37
+      r.E.identical37
+  in
+  let run () = List.map row_str (E.e37_crash_recovery ~params:small_params ()) in
+  check Alcotest.(list string) "e37 rows identical across runs" (run ())
+    (run ())
 
 let () =
   Alcotest.run "experiments"
@@ -1080,5 +1185,19 @@ let () =
         [
           Alcotest.test_case "containment improves with deployment" `Slow
             test_e35_containment_improves_with_deployment;
+        ] );
+      ( "e36",
+        [
+          Alcotest.test_case "graceful degradation, not a cliff" `Slow
+            test_e36_graceful_degradation;
+          Alcotest.test_case "same seed, same rows" `Slow
+            test_e36_deterministic;
+        ] );
+      ( "e37",
+        [
+          Alcotest.test_case "zero verdict divergence after restart" `Slow
+            test_e37_zero_divergence;
+          Alcotest.test_case "same seed, same rows" `Slow
+            test_e37_deterministic;
         ] );
     ]

@@ -17,6 +17,7 @@ module Wire = Netcore.Wire
 module Arena = Netcore.Arena
 module Ring = Multicore.Ring
 module Shardmap = Multicore.Shardmap
+module Shard = Multicore.Shard
 module Domainpool = Multicore.Domainpool
 
 let check = Alcotest.check
@@ -340,6 +341,179 @@ let test_pool_telemetry_accumulates () =
   check Alcotest.bool "all counters doubled" true
     ((p2, b2, e2, d2, r2, t2) = (2 * p1, 2 * b1, 2 * e1, 2 * d1, 2 * r1, 2 * t1))
 
+(* ---------------------------------------------------------------- *)
+(* Overload: bounded spill, shedding, supervision (DESIGN.md §13)    *)
+
+(* the terminal-accounting partition: every injected packet ends
+   exactly once as delivered, dropped, ttl-expired, queue-dropped or
+   shed *)
+let terminal_sum t =
+  let c = Telemetry.total t in
+  c.Telemetry.delivered + c.Telemetry.dropped + c.Telemetry.ttl_expired
+  + c.Telemetry.queue_dropped + c.Telemetry.shed
+
+let injected flows =
+  List.fold_left (fun n f -> n + f.Workload.packets) 0 flows
+
+(* one starved cooperative run with tight rings and a tiny spill; the
+   slow-consumer drill's regime, down to the paced injection *)
+let overloaded_pool env flows =
+  let pool =
+    Domainpool.create env ~shards:4 ~ring_capacity:8 ~spill_cap:8
+      ~inject_per_pass:2 ~seed:11L
+  in
+  let rounds = Domainpool.run_cooperative ~slow:(1, 12) pool flows in
+  (pool, rounds)
+
+let test_spill_bounded_under_overload () =
+  let env, flows, _ = Lazy.force pool_fixture in
+  let pool, _ = overloaded_pool env flows in
+  check Alcotest.bool "overload actually shed" true (Domainpool.shed pool > 0);
+  check Alcotest.bool "pool high-water within the bound" true
+    (Domainpool.overflow_high_water pool <= 8);
+  for s = 0 to Domainpool.num_shards pool - 1 do
+    let sh = Domainpool.shard pool s in
+    check Alcotest.bool
+      (Printf.sprintf "shard %d high-water within its cap" s)
+      true
+      (Shard.overflow_high_water sh <= Shard.overflow_cap sh);
+    check Alcotest.int
+      (Printf.sprintf "shard %d spill drained" s)
+      0 (Shard.overflow_len sh)
+  done;
+  check Alcotest.int "every packet reached a terminal verdict"
+    (injected flows)
+    (terminal_sum (Domainpool.telemetry pool));
+  check Alcotest.int "pool shed equals the telemetry's" (Domainpool.shed pool)
+    (Telemetry.total (Domainpool.telemetry pool)).Telemetry.shed;
+  Domainpool.close pool
+
+let test_overload_deterministic () =
+  (* backpressure and shedding are part of the deterministic contract:
+     two identical starved runs agree on every count, rounds included *)
+  let env, flows, _ = Lazy.force pool_fixture in
+  let signature () =
+    let pool, rounds = overloaded_pool env flows in
+    let v = verdict (Domainpool.telemetry pool) in
+    let s =
+      ( Domainpool.shed pool,
+        Domainpool.overflow_high_water pool,
+        Domainpool.crossings pool,
+        rounds )
+    in
+    Domainpool.close pool;
+    (v, s)
+  in
+  check Alcotest.bool "starved runs are bit-reproducible" true
+    (signature () = signature ())
+
+let test_shed_eager_bounded_deterministic () =
+  (* the opt-in producer-side early shed: still bounded, still
+     deterministic under the cooperative driver, and it sheds no less
+     than the spill-full path alone *)
+  let env, flows, _ = Lazy.force pool_fixture in
+  let run () =
+    let pool =
+      Domainpool.create env ~shards:4 ~ring_capacity:8 ~spill_cap:8
+        ~inject_per_pass:2 ~shed_eager:true ~seed:11L
+    in
+    let rounds = Domainpool.run_cooperative ~slow:(1, 12) pool flows in
+    let tel = Domainpool.telemetry pool in
+    let sg =
+      (verdict tel, Domainpool.shed pool, Domainpool.overflow_high_water pool)
+    in
+    check Alcotest.int "terminal accounting still partitions"
+      (injected flows) (terminal_sum tel);
+    check Alcotest.bool "eager shedding keeps the spill bound" true
+      (Domainpool.overflow_high_water pool <= 8);
+    check Alcotest.bool "eager path shed" true (Domainpool.shed pool > 0);
+    Domainpool.close pool;
+    ignore rounds;
+    sg
+  in
+  check Alcotest.bool "eager runs are bit-reproducible" true (run () = run ())
+
+let test_pool_supervised_restart_parallel () =
+  (* the parallel spawn/join path with a crash armed: the supervisor
+     must revive the victim and the verdict must still equal the
+     serial pump's — caches rebuild warm from the shared FIBs, so a
+     restart is invisible to forwarding decisions *)
+  let env, flows, pump = Lazy.force pool_fixture in
+  let oracle = verdict (Pump.telemetry pump) in
+  let pool = Domainpool.create env ~shards:4 ~seed:11L in
+  Shard.arm_crash (Domainpool.shard pool 1) ~after:64;
+  Domainpool.run pool flows;
+  check Alcotest.bool "the supervisor restarted the victim" true
+    (Domainpool.restarts pool >= 1);
+  check Alcotest.bool "victim's restart is counted per shard" true
+    (Domainpool.shard_restarts pool 1 >= 1);
+  check Alcotest.int "nothing was shed across the crash" 0
+    (Domainpool.shed pool);
+  check Alcotest.bool "verdict equals the serial pump's" true
+    (verdict (Domainpool.telemetry pool) = oracle);
+  Domainpool.close pool
+
+(* The per-pair no-reorder property. [Shard.offer]'s discipline —
+   ring only while the spill is empty, spill retried FIFO before
+   fresh handoffs, shed past the bound — exercised over the real ring
+   for every qcheck-drawn interleaving of producer steps and consumer
+   drains: the messages that survive must reach the consumer in
+   exactly the order the producer emitted them. *)
+let prop_backpressure_no_reorder =
+  QCheck.Test.make
+    ~name:"overload: survivors keep per-pair FIFO under spill and shed"
+    ~count:300
+    QCheck.(
+      triple (int_range 0 4) (int_range 1 8)
+        (list_of_size (QCheck.Gen.int_range 1 60) (int_range 0 4)))
+    (fun (cap_log, spill_cap, drains) ->
+      let r = Ring.create ~capacity:(1 lsl cap_log) ~dummy:(-1) in
+      let spill = Queue.create () in
+      let sent = ref [] and received = ref [] and shed = ref [] in
+      let flush_spill () =
+        let stalled = ref false in
+        while (not !stalled) && not (Queue.is_empty spill) do
+          if Ring.push r (Queue.peek spill) then ignore (Queue.take spill)
+          else stalled := true
+        done
+      in
+      let offer v =
+        sent := v :: !sent;
+        flush_spill ();
+        if Queue.is_empty spill && Ring.push r v then ()
+        else if Queue.length spill < spill_cap then Queue.add v spill
+        else shed := v :: !shed
+      in
+      let next = ref 0 in
+      List.iter
+        (fun pops ->
+          offer !next;
+          incr next;
+          for _ = 1 to pops do
+            if not (Ring.is_empty r) then received := Ring.pop r :: !received
+          done)
+        drains;
+      (* end of overload: drain everything still in flight, spill
+         first through the ring as the shard's retry loop would *)
+      let guard = ref 0 in
+      while
+        (not (Ring.is_empty r)) || not (Queue.is_empty spill)
+      do
+        incr guard;
+        if !guard > 100_000 then failwith "drain did not terminate";
+        while not (Ring.is_empty r) do
+          received := Ring.pop r :: !received
+        done;
+        flush_spill ()
+      done;
+      let module IS = Set.Make (Int) in
+      let shed_set = IS.of_list !shed in
+      let survivors =
+        List.filter (fun v -> not (IS.mem v shed_set)) (List.rev !sent)
+      in
+      List.rev !received = survivors
+      && List.length !received + IS.cardinal shed_set = List.length !sent)
+
 let () =
   Alcotest.run "multicore"
     [
@@ -376,5 +550,17 @@ let () =
             test_pool_env_shard_count;
           Alcotest.test_case "telemetry accumulates" `Quick
             test_pool_telemetry_accumulates;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "spill bounded under sustained overload" `Quick
+            test_spill_bounded_under_overload;
+          Alcotest.test_case "starved runs deterministic" `Quick
+            test_overload_deterministic;
+          Alcotest.test_case "eager shed bounded and deterministic" `Quick
+            test_shed_eager_bounded_deterministic;
+          Alcotest.test_case "supervised restart on the parallel path" `Slow
+            test_pool_supervised_restart_parallel;
+          qcheck prop_backpressure_no_reorder;
         ] );
     ]

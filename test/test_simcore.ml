@@ -831,6 +831,7 @@ let outcome_str = function
   | Faults.Lost -> "lost"
   | Faults.Cut -> "cut"
   | Faults.Dead -> "dead"
+  | Faults.Shed -> "shed"
 
 let test_faults_flap_train () =
   (* one call scripts the whole train: down at start + i*period, up
@@ -866,6 +867,39 @@ let test_faults_flap_train () =
   invalid (fun () ->
       Faults.schedule_flap_train f e ~a:0 ~b:1 ~start:0.0 ~cycles:1 ~period:1.0
         ~down_for:0.0)
+
+let test_faults_capacity_shed () =
+  (* the pure-overload fabric (DESIGN.md §13): a per-pair budget of 2
+     per unit-time window, with keepalives allowed twice that — bulk
+     sheds first, keepalives ride until the doubled budget is spent,
+     and a fresh window restores everything *)
+  let f = Faults.create ~policy:(fun ~src:_ ~dst:_ -> Faults.limited 2) 5L in
+  let e = Engine.create () in
+  let send ?prio () =
+    outcome_str (Faults.send ?prio f e ~src:0 ~dst:1 ~delay:0.01 (fun _ -> ()))
+  in
+  check Alcotest.string "first bulk admitted" "sent" (send ());
+  check Alcotest.string "second bulk admitted" "sent" (send ());
+  check Alcotest.string "third bulk shed" "shed" (send ());
+  check Alcotest.string "keepalive rides the doubled budget" "sent"
+    (send ~prio:Faults.Keepalive ());
+  check Alcotest.string "second keepalive too" "sent"
+    (send ~prio:Faults.Keepalive ());
+  check Alcotest.string "doubled budget spent: keepalive shed" "shed"
+    (send ~prio:Faults.Keepalive ());
+  (* the reverse direction and other pairs have their own budgets *)
+  check Alcotest.string "reverse direction unaffected" "sent"
+    (outcome_str (Faults.send f e ~src:1 ~dst:0 ~delay:0.01 (fun _ -> ())));
+  (* a later window starts a fresh budget *)
+  Engine.schedule_at e ~time:1.5 (fun _ ->
+      check Alcotest.string "fresh window, fresh budget" "sent" (send ()));
+  ignore (Engine.run e);
+  let s = Faults.stats f in
+  check Alcotest.int "sheds counted" 2 s.Faults.shed;
+  check Alcotest.int "sheds not counted as sent" 6 s.Faults.sent;
+  match Faults.limited 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "limited 0 must be refused"
 
 (* ------------------------------------------------------------------ *)
 (* Bgpdyn under faults                                                 *)
@@ -922,6 +956,33 @@ let test_bgpdyn_crash_restart_converges () =
   let s = Bgpdyn.stats dyn in
   check Alcotest.bool "keepalives flowed" true (s.Bgpdyn.keepalives > 0);
   check Alcotest.bool "crashes tore sessions down" true (s.Bgpdyn.resets > 0)
+
+let test_bgpdyn_survives_overload () =
+  (* a capacity-limited fabric sheds update bursts; shed is overload,
+     not failure, so sessions answer with retry/backoff instead of
+     resets and the protocol still reaches the synchronous oracle
+     once the load clears (DESIGN.md §13) *)
+  let inet = Internet.build Internet.default_params in
+  let faults =
+    Faults.create ~fifo:true
+      ~policy:(fun ~src:_ ~dst:_ -> Faults.limited 3)
+      19L
+  in
+  let dyn = Bgpdyn.create ~faults inet in
+  let engine = Engine.create () in
+  Bgpdyn.originate_all_domain_prefixes dyn engine;
+  Engine.schedule_at engine ~time:120.0 (fun _ ->
+      Faults.set_policy faults (fun ~src:_ ~dst:_ -> Faults.reliable));
+  ignore (Engine.run engine);
+  (match Bgpdyn.agrees_with_synchronous dyn with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let s = Bgpdyn.stats dyn in
+  let f = Faults.stats faults in
+  check Alcotest.bool "the fabric shed update traffic" true (f.Faults.shed > 0);
+  check Alcotest.bool "sheds were answered with retries" true
+    (s.Bgpdyn.shed_retries > 0);
+  check Alcotest.int "overload alone resets no session" 0 s.Bgpdyn.resets
 
 (* ------------------------------------------------------------------ *)
 (* Lsproto under faults                                                *)
@@ -1042,6 +1103,8 @@ let () =
           Alcotest.test_case "crash at the delivery instant" `Quick
             test_faults_crash_at_delivery_instant;
           Alcotest.test_case "flap train" `Quick test_faults_flap_train;
+          Alcotest.test_case "capacity budget sheds" `Quick
+            test_faults_capacity_shed;
         ] );
       ( "forward",
         [
@@ -1096,5 +1159,7 @@ let () =
             test_bgpdyn_converges_under_loss;
           Alcotest.test_case "crash/restart with timers converges" `Quick
             test_bgpdyn_crash_restart_converges;
+          Alcotest.test_case "survives overload via shed retries" `Quick
+            test_bgpdyn_survives_overload;
         ] );
     ]
